@@ -1,0 +1,51 @@
+"""Fig 5(g)(h) benchmark: latency and power versus injection rate.
+
+Shape claims checked (paper Section 4.3.1):
+
+* (g) the 5-10 Gb/s power-aware network tracks the non-power-aware
+  network's throughput; the static 3.3 Gb/s network saturates much
+  earlier;
+* (h) relative power rises with injection rate; large savings remain at
+  light load; VCSEL stays at or below modulator power.
+"""
+
+import pytest
+
+from repro.experiments import fig5
+from repro.metrics.latency import zero_load_latency
+
+from conftest import run_once
+
+FRACTIONS = (0.15, 0.4, 0.6)
+
+
+@pytest.fixture(scope="module")
+def curves(smoke_scale):
+    return fig5.injection_sweep(smoke_scale, fractions=FRACTIONS)
+
+
+def test_fig5g_latency_vs_injection(benchmark, smoke_scale):
+    curves = run_once(benchmark, fig5.injection_sweep, smoke_scale,
+                      None, FRACTIONS)
+    zero_load = zero_load_latency(smoke_scale.network, packet_size=5)
+    throughput = {
+        name: fig5.throughput_of_curve(points, zero_load)
+        for name, points in curves.items()
+    }
+    # The static 3.3 Gb/s network saturates no later than the PA 5-10G one.
+    assert throughput["static_3.3"] <= throughput["vcsel_5_10"] + 1e-9
+    # The PA network keeps at least the middle operating point.
+    rates = [rate for rate, _ in curves["vcsel_5_10"]]
+    assert throughput["vcsel_5_10"] >= rates[1] - 1e-9
+
+    # (h): power rises with load and VCSEL <= modulator everywhere.
+    for technology in ("vcsel_5_10", "modulator_5_10"):
+        powers = [r.relative_power for _, r in curves[technology]]
+        assert powers[0] < 0.5            # big savings at light load
+        assert powers[0] <= powers[-1] + 0.02
+    for (_, vcsel_r), (_, mod_r) in zip(curves["vcsel_5_10"],
+                                        curves["modulator_5_10"]):
+        assert vcsel_r.relative_power <= mod_r.relative_power + 0.01
+    # The wider 3.3-10 ladder saves at least as much at light load.
+    assert curves["vcsel_3.3_10"][0][1].relative_power <= \
+        curves["vcsel_5_10"][0][1].relative_power + 0.01

@@ -1,0 +1,28 @@
+"""Fig 5(d)(e)(f) benchmark: latency/power/PLP versus utilisation threshold.
+
+Shape claims checked (paper Section 4.3.1): higher thresholds scale links
+more aggressively, so power must not increase with the threshold, while
+latency must not decrease, at medium load.
+"""
+
+from repro.experiments import fig5
+
+from conftest import run_once
+
+THRESHOLDS = (0.45, 0.55, 0.65)
+
+
+def test_fig5def_threshold_sweep(benchmark, smoke_scale):
+    sweeps = run_once(benchmark, fig5.threshold_sweep, smoke_scale,
+                      THRESHOLDS)
+    medium = sweeps["medium"]
+    powers = [r.power_ratio for r in medium.results]
+    latencies = [r.latency_ratio for r in medium.results]
+    # Power is (weakly) decreasing in the threshold at medium load ...
+    assert powers[-1] <= powers[0] + 0.03
+    # ... and the latency cost moves the other way (or stays put).
+    assert latencies[-1] >= latencies[0] * 0.9
+    # Light load is threshold-insensitive: few transitions either way.
+    light = sweeps["light"]
+    light_powers = [r.power_ratio for r in light.results]
+    assert max(light_powers) - min(light_powers) < 0.1

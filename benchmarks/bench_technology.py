@@ -1,0 +1,43 @@
+"""Technology-comparison benchmark: electrical vs VCSEL vs modulator.
+
+A design-space extension beyond the paper's two optical transmitters: the
+electrical DVS link the architecture descends from.  Asserts the scaling
+ordering (electrical saves the deepest fraction, the modulator the
+shallowest — its driver supply is pinned) and the Fig. 6(d) opto ordering
+at every ladder level.
+"""
+
+from repro.core.levels import BitRateLadder
+from repro.photonics.electrical import ElectricalLinkModel, compare_technologies
+from repro.photonics.power_model import LinkPowerModel
+
+from conftest import run_once
+
+
+def test_technology_power_curves(benchmark):
+    ladder = BitRateLadder.paper_default()
+    rows = run_once(benchmark, compare_technologies, tuple(ladder.rates))
+    for row in rows:
+        # Fig. 6(d): VCSEL at or below modulator at every level.
+        assert row["vcsel"] <= row["modulator"] + 1e-12
+    # All three technologies meet at the calibrated 10 Gb/s point.
+    top = rows[-1]
+    assert abs(top["vcsel"] - top["modulator"]) < 1e-12
+    assert abs(top["electrical"] - top["vcsel"]) < 1e-3
+
+
+def test_savings_fraction_ordering(benchmark):
+    def savings():
+        electrical = ElectricalLinkModel().as_power_model()
+        vcsel = LinkPowerModel.vcsel_link()
+        modulator = LinkPowerModel.modulator_link()
+        return {
+            "electrical": 1 - electrical.power(5e9) / electrical.max_power,
+            "vcsel": vcsel.savings_fraction(5e9),
+            "modulator": modulator.savings_fraction(5e9),
+        }
+
+    result = run_once(benchmark, savings)
+    assert result["electrical"] >= result["vcsel"] >= result["modulator"]
+    # Everyone saves most of their power at the ladder bottom.
+    assert result["modulator"] > 0.7

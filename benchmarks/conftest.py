@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Every figure/table benchmark runs its experiment harness once (via
+``benchmark.pedantic``) at the ``smoke`` scale and asserts the paper's
+*shape* claims on the result, so the suite doubles as an end-to-end
+regression check.  EXPERIMENTS.md records the scaling caveats; the same
+harnesses run at ``bench``/``paper`` scale via
+``python -m repro.experiments.report``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import get_scale
+
+
+@pytest.fixture(scope="session")
+def smoke_scale():
+    return get_scale("smoke")
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

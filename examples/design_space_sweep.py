@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Design-space sweep: the knobs the paper explores, in one run.
+
+Sweeps three design dimensions at a reduced scale and prints the
+power/latency trade-off table for each, mirroring Section 4.3.1:
+
+* bit-rate ladder range (5-10 vs 3.3-10 Gb/s vs static rates),
+* policy sampling window Tw,
+* link-utilisation thresholds.
+
+Run:  python examples/design_space_sweep.py   (takes a minute or two)
+"""
+
+from __future__ import annotations
+
+from repro.config import PolicyConfig
+from repro.experiments.configs import (
+    get_scale,
+    power_config,
+    reference_rates,
+    static_rate_config,
+)
+from repro.experiments.fig5 import uniform_factory
+from repro.experiments.runner import run_pair, run_simulation
+
+
+def header(title: str) -> None:
+    print(f"\n{title}")
+    print(f"  {'variant':24s}{'latency x':>10s}{'power x':>9s}{'PLP':>7s}")
+
+
+def row(name: str, normalised) -> None:
+    print(f"  {name:24s}{normalised.latency_ratio:>10.2f}"
+          f"{normalised.power_ratio:>9.2f}"
+          f"{normalised.power_latency_product:>7.2f}")
+
+
+def main() -> None:
+    scale = get_scale("smoke")
+    rate = reference_rates(scale.network)["medium"]
+    factory = uniform_factory(rate)
+    print(f"Uniform random traffic at {rate:.2f} packets/cycle on a "
+          f"{scale.network.mesh_width}x{scale.network.mesh_height}x"
+          f"{scale.network.nodes_per_cluster} system.")
+
+    header("Bit-rate ladder range (Fig. 5(g)(h))")
+    for name, config in (
+        ("vcsel 5-10 Gb/s", power_config(scale, min_bit_rate=5e9)),
+        ("vcsel 3.3-10 Gb/s", power_config(scale, min_bit_rate=3.3e9)),
+        ("static 3.3 Gb/s", static_rate_config(scale, 3.3e9)),
+    ):
+        _, _, normalised = run_pair(scale, config, factory, label=name)
+        row(name, normalised)
+
+    header("Policy window Tw (Fig. 5(a)-(c))")
+    for window in (50, 200, 1000):
+        policy = PolicyConfig(window_cycles=window)
+        config = power_config(scale, policy=policy)
+        _, _, normalised = run_pair(scale, config, factory,
+                                    label=f"Tw={window}")
+        row(f"Tw = {window} cycles", normalised)
+
+    header("Average utilisation threshold (Fig. 5(d)-(f))")
+    for average in (0.45, 0.55, 0.65):
+        policy = PolicyConfig(
+            window_cycles=scale.policy_window_cycles
+        ).with_average_threshold(average)
+        config = power_config(scale, policy=policy)
+        _, _, normalised = run_pair(scale, config, factory,
+                                    label=f"T={average}")
+        row(f"threshold ~ {average}", normalised)
+
+    print("\nExpected shapes: the wider ladder and higher thresholds save "
+          "more power\nat more latency; very short windows hurt both.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Link budget analysis: the photonics layer on its own.
+
+Uses the Section 2 component models without any network simulation:
+
+* prints the Table 2 power budget and each component's scaling trend,
+* shows the link power curve across the bit-rate ladder for both
+  transmitter technologies,
+* sizes the external laser for the paper's 1280-fiber splitter tree and
+  checks the optical margin of each of the three power bands.
+
+Run:  python examples/link_budget_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.core.levels import BitRateLadder
+from repro.experiments.table2 import link_totals, trend_model_rows
+from repro.photonics import (
+    ExternalLaserSource,
+    LinkBudget,
+    LinkPowerModel,
+    VariableOpticalAttenuator,
+)
+from repro.units import to_gbps, to_mw, watts_to_dbm
+
+
+def print_table2() -> None:
+    print("Table 2 — component power @10 Gb/s and scaling trends")
+    print(f"  {'component':18s}{'power (mW)':>12s}{'trend':>12s}")
+    for row in trend_model_rows():
+        print(f"  {row['component']:18s}{row['power_mw']:>12s}"
+              f"{row['trend']:>12s}")
+    totals = link_totals()
+    print(f"  VCSEL link total: {totals['vcsel_at_10g_mw']:.0f} mW @10G, "
+          f"{totals['vcsel_at_5g_mw']:.0f} mW @5G "
+          f"({100 * totals['vcsel_savings_at_5g']:.0f}% saving)\n")
+
+
+def print_power_curves() -> None:
+    ladder = BitRateLadder.paper_default()
+    vcsel = LinkPowerModel.vcsel_link()
+    modulator = LinkPowerModel.modulator_link()
+    print("Link power across the 5-10 Gb/s ladder (mW):")
+    print(f"  {'rate (Gb/s)':>12s}{'VCSEL':>10s}{'modulator':>12s}")
+    for level in range(ladder.num_levels):
+        rate = ladder.rate(level)
+        print(f"  {to_gbps(rate):>12.1f}{to_mw(vcsel.power(rate)):>10.1f}"
+              f"{to_mw(modulator.power(rate)):>12.1f}")
+    print()
+
+
+def print_optical_budget() -> None:
+    print("External laser sizing (1:64 then 1:20 splitter tree, Fig. 3(b)):")
+    budget = LinkBudget(source=ExternalLaserSource(output_power=2.0))
+    tree = budget.source.tree
+    print(f"  fan-out: {tree.fan_out} fibers, "
+          f"end-to-end splitting loss {tree.total_loss_db:.1f} dB")
+    needed = budget.required_laser_power(10e9, margin_db=3.0)
+    print(f"  laser power for every fiber to close at 10 Gb/s "
+          f"with 3 dB margin: {needed:.2f} W "
+          f"({watts_to_dbm(needed):.1f} dBm)")
+
+    sized = LinkBudget(source=ExternalLaserSource(output_power=needed))
+    voa = VariableOpticalAttenuator()
+    print("\n  Optical band margins (Plow/Pmid/Phigh at band-max rates):")
+    print(f"  {'band':>6s}{'atten (dB)':>12s}{'max rate':>10s}"
+          f"{'margin (dB)':>13s}")
+    for row in sized.band_report(voa, (4e9, 6e9, 10e9)):
+        print(f"  {int(row['level']):>6d}{row['attenuation_db']:>12.2f}"
+              f"{to_gbps(row['max_bit_rate']):>9.0f}G"
+              f"{row['margin_db']:>13.2f}")
+
+
+def main() -> None:
+    print_table2()
+    print_power_curves()
+    print_optical_budget()
+
+
+if __name__ == "__main__":
+    main()

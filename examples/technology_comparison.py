@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Technology comparison: electrical DVS links vs the two optical options.
+
+The paper's power-aware architecture descends from electrical DVS links
+(its reference [24]); this study puts all three link technologies through
+the same power-aware network and the same workload:
+
+* electrical serial link (driver/termination/equalisation/receiver),
+* VCSEL-based opto link,
+* MQW-modulator opto link with external laser.
+
+It prints the per-link power curves and then full-network results, showing
+the paper's Fig. 6(d) ordering (VCSEL <= modulator) and where the
+electrical link's deeper voltage scaling does and doesn't help.
+
+Run:  python examples/technology_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.config import (
+    NetworkConfig,
+    PolicyConfig,
+    PowerAwareConfig,
+    SimulationConfig,
+)
+from repro.core.manager import NetworkPowerManager
+from repro.metrics.ascii import format_table
+from repro.network.simulator import Simulator
+from repro.photonics.electrical import ElectricalLinkModel, compare_technologies
+from repro.traffic.uniform import UniformRandomTraffic
+from repro.units import to_gbps, to_mw
+
+NETWORK = NetworkConfig(mesh_width=4, mesh_height=4, nodes_per_cluster=8)
+CYCLES = 16_000
+RATE = 0.6
+
+
+def print_link_curves() -> None:
+    print("Per-link power (mW) under DVS, by technology:")
+    rows = []
+    for row in compare_technologies((5e9, 6e9, 7e9, 8e9, 9e9, 10e9)):
+        rows.append([
+            f"{to_gbps(row['bit_rate']):.0f}",
+            f"{to_mw(row['electrical']):.1f}",
+            f"{to_mw(row['vcsel']):.1f}",
+            f"{to_mw(row['modulator']):.1f}",
+        ])
+    print(format_table(["Gb/s", "electrical", "vcsel", "modulator"], rows))
+    print()
+
+
+def run_network(technology: str):
+    power = PowerAwareConfig(policy=PolicyConfig(window_cycles=400))
+    config = SimulationConfig(network=NETWORK, power=power,
+                              warmup_cycles=2000, sample_interval=1000)
+    traffic = UniformRandomTraffic(NETWORK.num_nodes, RATE, seed=9)
+    sim = Simulator(config, traffic)
+    # Swap every link's power model: the manager exposes exactly this
+    # plug-in point for measured or alternative models (paper Section 5).
+    if technology == "electrical":
+        sim.power.replace_power_model(ElectricalLinkModel().as_power_model())
+    else:
+        sim.power.replace_power_model(_opto_model(technology))
+    sim.run(CYCLES)
+    return sim.summary()
+
+
+def _opto_model(technology: str):
+    from repro.photonics.power_model import LinkPowerModel
+
+    if technology == "vcsel":
+        return LinkPowerModel.vcsel_link()
+    return LinkPowerModel.modulator_link()
+
+
+def main() -> None:
+    print_link_curves()
+    print(f"Full-network run ({RATE} pkt/cyc uniform, {CYCLES} cycles):")
+    rows = []
+    for technology in ("electrical", "vcsel", "modulator"):
+        summary = run_network(technology)
+        rows.append([
+            technology,
+            f"{summary['mean_latency']:.1f}",
+            f"{summary['relative_power']:.3f}",
+            f"{100 * (1 - summary['relative_power']):.1f}%",
+        ])
+    print(format_table(
+        ["technology", "latency (cyc)", "rel. power", "saving"], rows))
+    print("\nExpected ordering: electrical saves the deepest fraction "
+          "(every term voltage-scaled),\nVCSEL next, modulator last "
+          "(its driver supply is pinned) — the paper's Fig. 6(d).")
+
+
+if __name__ == "__main__":
+    main()

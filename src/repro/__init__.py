@@ -1,0 +1,89 @@
+"""repro — power-aware opto-electronic networked systems.
+
+A complete reproduction of "Exploring the Design Space of Power-Aware
+Opto-Electronic Networked Systems" (Chen, Peh, Wei, Huang, Prucnal,
+HPCA-11 2005): the opto-electronic link power models of Section 2, the
+power-aware control architecture of Section 3, the flit-level network
+simulator of Section 4, and harnesses regenerating every table and figure
+of the evaluation.
+
+Quickstart::
+
+    from repro import SimulationConfig, Simulator, UniformRandomTraffic
+
+    config = SimulationConfig()          # 8x8 racks, VCSEL links, Tw=1000
+    traffic = UniformRandomTraffic(config.network.num_nodes,
+                                   injection_rate=1.25, seed=7)
+    sim = Simulator(config, traffic)
+    sim.run(50_000)
+    print(sim.summary())                 # latency, relative power, ...
+
+See ``examples/`` for runnable scenarios and ``DESIGN.md`` for the system
+inventory.
+"""
+
+from repro.config import (
+    MODULATOR,
+    VCSEL,
+    NetworkConfig,
+    PolicyConfig,
+    PowerAwareConfig,
+    SimulationConfig,
+    TransitionConfig,
+    small_network,
+)
+from repro.core import (
+    BitRateLadder,
+    LinkPolicyController,
+    NetworkPowerManager,
+    OpticalBands,
+    OpticalPowerController,
+    PowerAwareLink,
+)
+from repro.errors import (
+    ConfigError,
+    LinkStateError,
+    ReproError,
+    SimulationError,
+    TraceFormatError,
+)
+from repro.network import Simulator
+from repro.photonics import LinkPowerModel, PhysicsLinkModel
+from repro.traffic import (
+    HotspotTraffic,
+    TraceReplaySource,
+    UniformRandomTraffic,
+    generate_splash_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitRateLadder",
+    "ConfigError",
+    "HotspotTraffic",
+    "LinkPolicyController",
+    "LinkPowerModel",
+    "LinkStateError",
+    "MODULATOR",
+    "NetworkConfig",
+    "NetworkPowerManager",
+    "OpticalBands",
+    "OpticalPowerController",
+    "PhysicsLinkModel",
+    "PolicyConfig",
+    "PowerAwareConfig",
+    "PowerAwareLink",
+    "ReproError",
+    "SimulationConfig",
+    "SimulationError",
+    "Simulator",
+    "TraceFormatError",
+    "TraceReplaySource",
+    "TransitionConfig",
+    "UniformRandomTraffic",
+    "VCSEL",
+    "generate_splash_trace",
+    "small_network",
+    "__version__",
+]

@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Simulate one configuration and print the summary (optionally next to
+    the non-power-aware baseline).
+``table2``
+    Print the link component power budget and the paper cross-check.
+``trace``
+    Synthesise a SPLASH2-like traffic trace to a file.
+``report``
+    Regenerate EXPERIMENTS.md (delegates to
+    :mod:`repro.experiments.report`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import MODULATOR, VCSEL
+from repro.experiments.configs import get_scale, power_config, reference_rates
+from repro.experiments.fig5 import uniform_factory
+from repro.experiments.fig6 import hotspot_factory
+from repro.experiments.runner import run_pair, run_simulation
+from repro.metrics.ascii import format_table, sparkline
+
+
+def _add_run_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "run", help="simulate one configuration and print the summary")
+    parser.add_argument("--scale", default="smoke",
+                        choices=["smoke", "bench", "paper"])
+    parser.add_argument("--traffic", default="uniform",
+                        choices=["uniform", "hotspot", "splash"])
+    parser.add_argument("--rate", type=float, default=None,
+                        help="packets/cycle for uniform traffic "
+                             "(default: the scale's 'light' reference)")
+    parser.add_argument("--benchmark", default="fft",
+                        choices=["fft", "lu", "radix"],
+                        help="trace for --traffic splash")
+    parser.add_argument("--technology", default=VCSEL,
+                        choices=[VCSEL, MODULATOR])
+    parser.add_argument("--optical-levels", type=int, default=1,
+                        choices=[1, 3])
+    parser.add_argument("--min-rate-gbps", type=float, default=5.0)
+    parser.add_argument("--cycles", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--baseline", action="store_true",
+                        help="also run the non-power-aware network and "
+                             "print normalised ratios")
+
+
+def _add_trace_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "trace", help="synthesise a SPLASH2-like trace file")
+    parser.add_argument("benchmark", choices=["fft", "lu", "radix"])
+    parser.add_argument("--nodes", type=int, default=64)
+    parser.add_argument("--duration", type=int, default=100_000)
+    parser.add_argument("--intensity", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default=None,
+                        help="output path (default: <benchmark>.trace)")
+
+
+def _add_sweep_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "sweep", help="run one of the Fig. 5 design-space sweeps")
+    parser.add_argument("kind", choices=["window", "threshold", "ablation"])
+    parser.add_argument("--scale", default="smoke",
+                        choices=["smoke", "bench", "paper"])
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Power-aware opto-electronic networked systems "
+                    "(HPCA-11 2005 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_run_parser(subparsers)
+    subparsers.add_parser("table2", help="print the Table 2 power budget")
+    _add_trace_parser(subparsers)
+    _add_sweep_parser(subparsers)
+    report = subparsers.add_parser(
+        "report", help="regenerate EXPERIMENTS.md (slow)")
+    report.add_argument("--scale", default="bench",
+                        choices=["smoke", "bench", "paper"])
+    report.add_argument("--out", default="EXPERIMENTS.md")
+    report.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _command_run(args) -> int:
+    scale = get_scale(args.scale)
+    if args.traffic == "uniform":
+        rate = args.rate if args.rate is not None else \
+            reference_rates(scale.network)["light"]
+        factory = uniform_factory(rate)
+        workload = f"uniform @ {rate:.2f} pkt/cyc"
+    elif args.traffic == "hotspot":
+        factory = hotspot_factory(scale)
+        workload = "time-varying hot-spot"
+    else:
+        from repro.experiments.fig7 import splash_factory
+
+        factory = splash_factory(args.benchmark, scale)
+        workload = f"splash/{args.benchmark} trace"
+    power = power_config(
+        scale, technology=args.technology,
+        min_bit_rate=args.min_rate_gbps * 1e9,
+        optical_levels=args.optical_levels,
+    )
+    print(f"{workload} on {scale.network.mesh_width}x"
+          f"{scale.network.mesh_height}x{scale.network.nodes_per_cluster}, "
+          f"{args.technology} links ...")
+    if args.baseline:
+        aware, baseline, normalised = run_pair(
+            scale, power, factory, label="cli", seed=args.seed,
+            cycles=args.cycles)
+        rows = [
+            ["mean latency (cyc)", f"{baseline.mean_latency:.1f}",
+             f"{aware.mean_latency:.1f}"],
+            ["relative power", f"{baseline.relative_power:.3f}",
+             f"{aware.relative_power:.3f}"],
+            ["packets delivered", baseline.packets_delivered,
+             aware.packets_delivered],
+        ]
+        print(format_table(["metric", "baseline", "power-aware"], rows))
+        print(f"\nlatency ratio {normalised.latency_ratio:.2f}, "
+              f"power ratio {normalised.power_ratio:.2f}, "
+              f"PLP {normalised.power_latency_product:.2f}")
+    else:
+        result = run_simulation(scale, power, factory, label="cli",
+                                seed=args.seed, cycles=args.cycles)
+        rows = [[key, value] for key, value in (
+            ("cycles", result.cycles),
+            ("packets delivered", result.packets_delivered),
+            ("mean latency (cyc)", f"{result.mean_latency:.1f}"),
+            ("p95 latency (cyc)", f"{result.p95_latency:.1f}"),
+            ("relative power", f"{result.relative_power:.3f}"),
+            ("transitions up/down",
+             f"{result.transitions_up}/{result.transitions_down}"),
+        )]
+        print(format_table(["metric", "value"], rows))
+        if result.power_series:
+            print("\nrelative power over time:")
+            baseline_watts = result.power_series[0][1]
+            series = [w / baseline_watts for _, w in result.power_series]
+            print("  " + sparkline(series))
+    return 0
+
+
+def _command_table2() -> int:
+    from repro.experiments.table2 import (
+        link_totals,
+        trend_model_rows,
+        verify_against_paper,
+    )
+
+    rows = [[r["component"], r["power_mw"], r["trend"]]
+            for r in trend_model_rows()]
+    print(format_table(["component", "power @10G (mW)", "trend"], rows))
+    totals = link_totals()
+    print(f"\nVCSEL link: {totals['vcsel_at_10g_mw']:.0f} mW @10G -> "
+          f"{totals['vcsel_at_5g_mw']:.0f} mW @5G "
+          f"({100 * totals['vcsel_savings_at_5g']:.0f}% saving)")
+    problems = verify_against_paper()
+    print("paper cross-check:", "OK" if not problems else problems)
+    return 0 if not problems else 1
+
+
+def _command_trace(args) -> int:
+    from repro.traffic.splash import generate_splash_trace, mean_packet_size
+    from repro.traffic.trace import write_trace_file
+
+    records = generate_splash_trace(
+        args.benchmark, args.nodes, args.duration,
+        seed=args.seed, intensity=args.intensity,
+    )
+    out = args.out or f"{args.benchmark}.trace"
+    count = write_trace_file(records, out)
+    print(f"wrote {count} records to {out} "
+          f"(mean packet {mean_packet_size(records):.1f} flits)")
+    return 0
+
+
+def _command_sweep(args) -> int:
+    scale = get_scale(args.scale)
+    if args.kind == "ablation":
+        from repro.experiments.ablation import ablation_table, run_ablation
+
+        print(ablation_table(run_ablation(scale, seed=args.seed)))
+        return 0
+    from repro.experiments import fig5
+
+    if args.kind == "window":
+        sweeps = fig5.window_size_sweep(scale, seed=args.seed)
+        x_label = "Tw"
+    else:
+        sweeps = fig5.threshold_sweep(scale, seed=args.seed)
+        x_label = "avg threshold"
+    for load, series in sweeps.items():
+        print(f"\nload: {load}")
+        rows = [
+            [x, f"{r.latency_ratio:.2f}", f"{r.power_ratio:.3f}",
+             f"{r.power_latency_product:.3f}"]
+            for x, r in zip(series.x_values, series.results)
+        ]
+        print(format_table([x_label, "latency x", "power x", "PLP"], rows))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "table2":
+        return _command_table2()
+    if args.command == "trace":
+        return _command_trace(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "report":
+        from repro.experiments.report import main as report_main
+
+        return report_main(["--scale", args.scale, "--out", args.out,
+                            "--seed", str(args.seed)])
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

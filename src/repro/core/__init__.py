@@ -1,0 +1,38 @@
+"""The paper's primary contribution: power-aware link control.
+
+* :mod:`~repro.core.levels` — bit-rate/voltage ladders, optical bands;
+* :mod:`~repro.core.policy` — the windowed Lu/Bu link policy controller;
+* :mod:`~repro.core.transitions` — transition state machines with the
+  T_br/T_v delays;
+* :mod:`~repro.core.laser_policy` — the external laser source controller;
+* :mod:`~repro.core.power_link` — one link under power control, with exact
+  energy accounting;
+* :mod:`~repro.core.manager` — the network-wide power manager.
+"""
+
+from repro.core.laser_policy import OpticalPowerController
+from repro.core.levels import BitRateLadder, OpticalBands
+from repro.core.manager import (
+    NetworkPowerManager,
+    ladder_from_config,
+    power_model_from_config,
+)
+from repro.core.policy import HOLD, STEP_DOWN, STEP_UP, LinkPolicyController
+from repro.core.power_link import PowerAwareLink
+from repro.core.transitions import LinkTransitionEngine, TransitionState
+
+__all__ = [
+    "BitRateLadder",
+    "HOLD",
+    "LinkPolicyController",
+    "LinkTransitionEngine",
+    "NetworkPowerManager",
+    "OpticalBands",
+    "OpticalPowerController",
+    "PowerAwareLink",
+    "STEP_DOWN",
+    "STEP_UP",
+    "TransitionState",
+    "ladder_from_config",
+    "power_model_from_config",
+]

@@ -1,0 +1,98 @@
+"""External laser source controller (paper Sections 3.2.2 and 3.3).
+
+Modulator-based links cannot tune their optical power locally — the light
+comes from the central external laser through a per-fiber variable optical
+attenuator (VOA) with a ~100 us response time.  The external laser source
+controller therefore tracks much longer traffic trends than the link policy
+controller:
+
+* every 200 us *epoch* it checks whether the link's bit rate stayed, for the
+  whole epoch, inside a band that a lower optical level could serve; if so
+  it issues a ``Pdec`` request and the optical power halves (one band down);
+* when the link policy controller wants a bit rate above what the current
+  optical level supports, a ``Pinc`` request is sent *immediately* — but
+  the electrical bit rate must hold until the new light level settles
+  (100 us later), which is the latency penalty Fig. 6(c) shows for
+  multi-optical-level systems.
+
+One controller instance manages one fiber's VOA.  Raising the band is
+gated by the settle time; lowering is effective immediately for link
+correctness (less light is *needed*, and the settle only removes excess).
+"""
+
+from __future__ import annotations
+
+from repro.config import TransitionConfig
+from repro.core.levels import OpticalBands
+from repro.errors import LinkStateError
+
+
+class OpticalPowerController:
+    """Per-fiber optical band state machine."""
+
+    __slots__ = (
+        "bands", "config", "band", "pending_band", "ready_at",
+        "max_band_needed", "increases", "decreases",
+    )
+
+    def __init__(self, bands: OpticalBands, config: TransitionConfig,
+                 initial_band: int | None = None):
+        self.bands = bands
+        self.config = config
+        self.band = bands.top_band if initial_band is None else initial_band
+        if not 0 <= self.band <= bands.top_band:
+            raise LinkStateError(
+                f"initial band must be in [0, {bands.num_bands}), got {self.band!r}"
+            )
+        self.pending_band = self.band
+        self.ready_at = 0.0
+        self.max_band_needed = 0
+        self.increases = 0
+        self.decreases = 0
+
+    @property
+    def in_transition(self) -> bool:
+        return self.pending_band != self.band
+
+    def effective_band(self, now: float) -> int:
+        """The band whose light level is actually on the fiber at ``now``."""
+        if self.pending_band > self.band and now >= self.ready_at:
+            self.band = self.pending_band
+        return self.band
+
+    def can_support(self, bit_rate: float, now: float) -> bool:
+        """Whether the current light level supports ``bit_rate`` at ``now``."""
+        return self.bands.band_for_rate(bit_rate) <= self.effective_band(now)
+
+    def note_rate(self, bit_rate: float) -> None:
+        """Record the band the link needed (called every policy window)."""
+        needed = self.bands.band_for_rate(bit_rate)
+        if needed > self.max_band_needed:
+            self.max_band_needed = needed
+
+    def request_increase(self, bit_rate: float, now: float) -> None:
+        """Pinc: command the VOA toward the band ``bit_rate`` needs.
+
+        The new level is usable once the VOA settles (100 us).  Repeated
+        requests for the same or lower band are idempotent.
+        """
+        needed = self.bands.band_for_rate(bit_rate)
+        if needed <= self.pending_band:
+            return
+        self.pending_band = needed
+        self.ready_at = now + self.config.optical_transition_cycles
+        self.increases += 1
+
+    def on_epoch(self, now: float) -> None:
+        """Epoch-end Pdec evaluation (every 200 us).
+
+        Steps one band down only when the whole epoch fit in a lower band
+        and no increase is pending.
+        """
+        self.effective_band(now)
+        if not self.in_transition and self.max_band_needed < self.band \
+                and self.band > 0:
+            self.band -= 1
+            self.pending_band = self.band
+            self.decreases += 1
+        self.max_band_needed = 0

@@ -1,0 +1,221 @@
+"""Network-wide power manager.
+
+Instantiates one :class:`~repro.core.power_link.PowerAwareLink` per fiber in
+the topology (injection, ejection *and* mesh links all carry policy
+controllers, per Fig. 4(b)), schedules the shared policy windows and — for
+modulator systems with multiple optical levels — the external laser source
+controller epochs, and aggregates energy for the power metrics.
+
+The non-power-aware baseline needs no manager at all: its power is by
+definition ``num_links * P_max`` for the whole run, which
+:meth:`NetworkPowerManager.baseline_power` reports so experiments can
+normalise exactly the way the paper does.
+"""
+
+from __future__ import annotations
+
+from repro.config import (
+    MODULATOR,
+    NetworkConfig,
+    PowerAwareConfig,
+)
+from repro.core.laser_policy import OpticalPowerController
+from repro.core.levels import BitRateLadder, OpticalBands
+from repro.core.power_link import PowerAwareLink
+from repro.errors import ConfigError
+from repro.network.topology import ClusteredMesh
+from repro.photonics.power_model import LinkPowerModel
+
+
+def ladder_from_config(config: PowerAwareConfig) -> BitRateLadder:
+    """Build the bit-rate ladder a :class:`PowerAwareConfig` describes."""
+    return BitRateLadder.linear(
+        config.min_bit_rate, config.max_bit_rate, config.num_levels
+    )
+
+
+def power_model_from_config(config: PowerAwareConfig) -> LinkPowerModel:
+    """Build the Table 2 link power model for the configured technology."""
+    if config.technology == MODULATOR:
+        return LinkPowerModel.modulator_link()
+    return LinkPowerModel.vcsel_link()
+
+
+class NetworkPowerManager:
+    """Drives every power-aware link of one simulated network."""
+
+    def __init__(self, topology: ClusteredMesh, config: PowerAwareConfig,
+                 network: NetworkConfig):
+        self.config = config
+        self.network = network
+        self.ladder = ladder_from_config(config)
+        self.power_model = power_model_from_config(config)
+        if self.ladder.max_rate != config.max_bit_rate:
+            raise ConfigError("ladder top must equal the configured max rate")
+
+        ladder = self.ladder
+
+        def service_time_fn(level: int) -> float:
+            return network.flit_service_time(ladder.rate(level),
+                                             ladder.max_rate)
+
+        self.multi_optical = (
+            config.technology == MODULATOR and config.optical_levels > 1
+        )
+        bands = None
+        if self.multi_optical:
+            if config.optical_levels != 3:
+                raise ConfigError(
+                    "only the paper's 3-level optical scheme is defined; "
+                    f"got optical_levels={config.optical_levels!r}"
+                )
+            bands = OpticalBands.paper_three_level()
+
+        self.links: list[PowerAwareLink] = []
+        for link, buffer in zip(topology.links, topology.downstream_buffers):
+            optical = (
+                OpticalPowerController(bands, config.transitions)
+                if bands is not None else None
+            )
+            self.links.append(
+                PowerAwareLink(
+                    link=link,
+                    ladder=ladder,
+                    power_model=self.power_model,
+                    policy_config=config.policy,
+                    transition_config=config.transitions,
+                    service_time_fn=service_time_fn,
+                    downstream_buffer=buffer,
+                    optical=optical,
+                )
+            )
+        self._transitioning: set[PowerAwareLink] = set()
+        self.window = config.policy.window_cycles
+        self.epoch = config.transitions.laser_epoch_cycles
+        #: (cycle, total watts) samples for power-over-time figures.
+        self.power_series: list[tuple[int, float]] = []
+        self._finalized_at: float | None = None
+
+    # -- per-cycle driving -----------------------------------------------------
+
+    def on_cycle(self, now: int) -> None:
+        """Advance transitions; run window/epoch logic on boundaries."""
+        if self._transitioning:
+            done = []
+            for pal in self._transitioning:
+                pal.advance(now)
+                if not pal.engine.in_transition:
+                    done.append(pal)
+            for pal in done:
+                self._transitioning.discard(pal)
+        if now > 0 and now % self.window == 0:
+            start = now - self.window
+            for pal in self.links:
+                pal.on_window(start, now)
+                if pal.engine.in_transition:
+                    self._transitioning.add(pal)
+        if self.multi_optical and now > 0 and now % self.epoch == 0:
+            for pal in self.links:
+                pal.optical.on_epoch(now)
+
+    def sample_power(self, now: int) -> float:
+        """Record and return the instantaneous network link power, watts."""
+        total = sum(pal.current_power() for pal in self.links)
+        self.power_series.append((now, total))
+        return total
+
+    # -- results ---------------------------------------------------------------
+
+    def finalize(self, now: float) -> None:
+        """Flush every link's energy integral at the end of a run."""
+        for pal in self.links:
+            pal.finalize(now)
+        self._finalized_at = now
+
+    def total_energy_watt_cycles(self) -> float:
+        return sum(pal.energy_watt_cycles for pal in self.links)
+
+    def baseline_power(self) -> float:
+        """Power of the non-power-aware network, watts (all links at max)."""
+        return len(self.links) * self.power_model.max_power
+
+    def average_power(self, total_cycles: float) -> float:
+        """Mean network link power over the run, watts."""
+        if total_cycles <= 0:
+            raise ConfigError("total_cycles must be positive")
+        return self.total_energy_watt_cycles() / total_cycles
+
+    def relative_power(self, total_cycles: float) -> float:
+        """Average power as a fraction of the non-power-aware network.
+
+        This is the paper's headline power metric ("power dissipated by our
+        power-aware network is expressed as a percentage of that consumed by
+        a non-power-aware network with all links at 10 Gb/s").
+        """
+        return self.average_power(total_cycles) / self.baseline_power()
+
+    def level_histogram(self) -> list[int]:
+        """How many links sit at each committed ladder level right now."""
+        histogram = [0] * self.ladder.num_levels
+        for pal in self.links:
+            histogram[pal.level] += 1
+        return histogram
+
+    def transition_totals(self) -> dict[str, int]:
+        """Total up/down transitions across all links."""
+        up = sum(pal.engine.steps_up for pal in self.links)
+        down = sum(pal.engine.steps_down for pal in self.links)
+        return {"up": up, "down": down}
+
+    def replace_power_model(self, model) -> None:
+        """Swap in a different link power model before the run starts.
+
+        This is the paper's Section 5 workflow: feed measured test-chip
+        power curves (:class:`~repro.photonics.measured.MeasuredLinkPowerModel`)
+        — or any object with ``power(bit_rate)`` and ``max_power`` — into
+        the simulator in place of the analytic models.  Refused once any
+        energy has accrued, because mixing models mid-run would corrupt
+        the accounting.
+        """
+        if any(pal.energy_watt_cycles > 0.0 for pal in self.links):
+            raise ConfigError(
+                "cannot replace the power model after energy has accrued; "
+                "swap models before running the simulator"
+            )
+        self.power_model = model
+        levels = tuple(model.power(rate) for rate in self.ladder.rates)
+        for pal in self.links:
+            pal.level_powers = levels
+
+    def link_report(self, total_cycles: float) -> list[dict[str, float | str]]:
+        """Per-link accounting rows (kind, level, transitions, energy).
+
+        One row per fiber, for offline analysis of where the power went.
+        ``total_cycles`` converts each link's energy into average watts.
+        """
+        if total_cycles <= 0:
+            raise ConfigError("total_cycles must be positive")
+        rows: list[dict[str, float | str]] = []
+        for pal in self.links:
+            rows.append({
+                "link_id": pal.link.link_id,
+                "kind": pal.link.kind,
+                "level": pal.level,
+                "bit_rate": pal.bit_rate,
+                "ups": pal.engine.steps_up,
+                "downs": pal.engine.steps_down,
+                "flits": pal.link.flits_carried,
+                "avg_power_w": pal.energy_watt_cycles / total_cycles,
+            })
+        return rows
+
+    def energy_by_kind(self, total_cycles: float) -> dict[str, float]:
+        """Average power per link kind, watts (injection/ejection/mesh)."""
+        if total_cycles <= 0:
+            raise ConfigError("total_cycles must be positive")
+        totals: dict[str, float] = {}
+        for pal in self.links:
+            kind = pal.link.kind
+            totals[kind] = totals.get(kind, 0.0) \
+                + pal.energy_watt_cycles / total_cycles
+        return totals

@@ -1,0 +1,163 @@
+"""Power-aware link: transport + ladder + policy + transitions + energy.
+
+This is where the paper's pieces meet: a :class:`PowerAwareLink` binds one
+transport :class:`~repro.network.links.Link` to
+
+* a :class:`~repro.core.levels.BitRateLadder` and the per-level power drawn
+  from a :class:`~repro.photonics.power_model.LinkPowerModel`,
+* a :class:`~repro.core.policy.LinkPolicyController` making window-boundary
+  decisions from the link's Lu/Bu counters,
+* a :class:`~repro.core.transitions.LinkTransitionEngine` executing those
+  decisions with realistic delays, and
+* (modulator systems with multiple optical levels) an
+  :class:`~repro.core.laser_policy.OpticalPowerController` gating upward
+  bit-rate steps on external light availability.
+
+Energy accounting is exact and O(state changes): the link is billed at its
+current level's power between billing events; the transition engine reports
+every billing change with its precise timestamp.
+"""
+
+from __future__ import annotations
+
+from repro.config import PolicyConfig, TransitionConfig
+from repro.core.laser_policy import OpticalPowerController
+from repro.core.levels import BitRateLadder
+from repro.core.policy import STEP_DOWN, STEP_UP, LinkPolicyController
+from repro.core.transitions import LinkTransitionEngine
+from repro.network.buffers import InputBuffer
+from repro.network.links import Link
+from repro.photonics.power_model import LinkPowerModel
+
+
+class PowerAwareLink:
+    """One link under run-time power control."""
+
+    __slots__ = (
+        "link", "ladder", "engine", "policy", "optical", "downstream_buffer",
+        "level_powers", "energy_watt_cycles", "_last_charge", "pending_up",
+        "windows_observed",
+    )
+
+    def __init__(self, link: Link, ladder: BitRateLadder,
+                 power_model: LinkPowerModel, policy_config: PolicyConfig,
+                 transition_config: TransitionConfig,
+                 service_time_fn,
+                 downstream_buffer: tuple[InputBuffer, ...] | None,
+                 optical: OpticalPowerController | None = None,
+                 initial_level: int | None = None):
+        self.link = link
+        self.ladder = ladder
+        #: Power (watts) per ladder level, precomputed from the model.
+        self.level_powers = tuple(
+            power_model.power(rate) for rate in ladder.rates
+        )
+        self.policy = LinkPolicyController(policy_config)
+        self.engine = LinkTransitionEngine(
+            link, ladder, transition_config, service_time_fn, initial_level
+        )
+        self.engine.billing_listener = self._charge
+        self.optical = optical
+        self.downstream_buffer = downstream_buffer
+        self.energy_watt_cycles = 0.0
+        self._last_charge = 0.0
+        self.pending_up = False
+        self.windows_observed = 0
+
+    # -- energy accounting ----------------------------------------------------
+
+    def _charge(self, now: float) -> None:
+        """Bill the current level's power up to ``now``."""
+        elapsed = now - self._last_charge
+        if elapsed > 0.0:
+            self.energy_watt_cycles += (
+                self.level_powers[self.engine.billing_level] * elapsed
+            )
+            self._last_charge = now
+
+    def current_power(self) -> float:
+        """Instantaneous billed power, watts."""
+        return self.level_powers[self.engine.billing_level]
+
+    def finalize(self, now: float) -> None:
+        """Flush the energy integral at the end of a run."""
+        self._charge(now)
+
+    def average_power(self, total_cycles: float) -> float:
+        """Mean power over a run of ``total_cycles``, watts."""
+        return self.energy_watt_cycles / total_cycles
+
+    # -- control --------------------------------------------------------------
+
+    def advance(self, now: float) -> None:
+        """Progress any in-flight transition (cheap no-op guard)."""
+        engine = self.engine
+        if engine.in_transition and now >= engine.next_event:
+            engine.advance(now)
+
+    def on_window(self, start: float, end: float) -> int:
+        """Window-boundary policy evaluation; returns the decision taken."""
+        self.windows_observed += 1
+        window = end - start
+        busy = self.link.take_busy_time()
+        pressure = self.link.take_pressure_time()
+        if self.policy.config.pressure_aware_utilisation:
+            busy = max(busy, pressure)
+        lu = min(1.0, busy / window)
+        buffers = self.downstream_buffer
+        if buffers:
+            bu = sum(
+                b.mean_utilisation(start, end) for b in buffers
+            ) / len(buffers)
+        else:
+            bu = 0.0
+        level = self.engine.level
+        if level > 0:
+            down_ratio = self.ladder.rate(level) / self.ladder.rate(level - 1)
+        else:
+            down_ratio = 1.0
+        decision = self.policy.observe(lu, bu, down_ratio)
+
+        if self.optical is not None:
+            self.optical.note_rate(self.engine.operating_rate)
+
+        if self.pending_up:
+            # Holding the electrical rate until the external light settles.
+            target_rate = self.ladder.rate(
+                self.ladder.clamp(self.engine.level + 1)
+            )
+            if self.optical.can_support(target_rate, end):
+                self.pending_up = False
+                self.engine.request_step(STEP_UP, end)
+            return decision
+
+        if decision == STEP_UP:
+            if self.engine.level < self.ladder.top_level:
+                target_rate = self.ladder.rate(self.engine.level + 1)
+                if self.optical is not None and not self.optical.can_support(
+                        target_rate, end):
+                    self.optical.request_increase(target_rate, end)
+                    self.pending_up = True
+                else:
+                    self.engine.request_step(STEP_UP, end)
+        elif decision == STEP_DOWN:
+            self.engine.request_step(STEP_DOWN, end)
+        return decision
+
+    # -- reporting ------------------------------------------------------------
+
+    @property
+    def level(self) -> int:
+        """Committed ladder level."""
+        return self.engine.level
+
+    @property
+    def bit_rate(self) -> float:
+        """Committed bit rate, bits per second."""
+        return self.ladder.rate(self.engine.level)
+
+    def transition_counts(self) -> dict[str, int]:
+        return {
+            "up": self.engine.steps_up,
+            "down": self.engine.steps_down,
+        }

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Configuration problems raise :class:`ConfigError` at construction
+time rather than producing silently-wrong simulations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulator reached an inconsistent internal state.
+
+    This always indicates a bug (e.g. a credit-accounting violation), never
+    a user mistake, so it is raised eagerly instead of being papered over.
+    """
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A traffic trace file is malformed."""
+
+
+class LinkStateError(ReproError, RuntimeError):
+    """An operation was attempted on a link in an incompatible state.
+
+    For example: pushing a flit onto a link that is disabled for a bit-rate
+    transition, or commanding a transition while another is in flight.
+    """

@@ -1,0 +1,47 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+* :mod:`~repro.experiments.table2` — component power budget (analytic);
+* :mod:`~repro.experiments.fig5` — uniform-random sweeps (window size,
+  thresholds, injection rate);
+* :mod:`~repro.experiments.fig6` — time-varying hot-spot experiments
+  (transition-delay ablation, optical levels, VCSEL vs modulator);
+* :mod:`~repro.experiments.fig7` — SPLASH2-like trace replays;
+* :mod:`~repro.experiments.table3` — normalised power-performance table;
+* :mod:`~repro.experiments.report` — ``python -m repro.experiments.report``
+  regenerates EXPERIMENTS.md.
+
+Shared machinery: :mod:`~repro.experiments.configs` (scales, reference
+rates) and :mod:`~repro.experiments.runner` (run + normalise).
+"""
+
+from repro.experiments.configs import (
+    SCALES,
+    ExperimentScale,
+    get_scale,
+    power_config,
+    reference_rates,
+    static_rate_config,
+    uniform_saturation_packets,
+)
+from repro.experiments.runner import (
+    TrafficFactory,
+    build_simulator,
+    collect_result,
+    run_pair,
+    run_simulation,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "TrafficFactory",
+    "build_simulator",
+    "collect_result",
+    "get_scale",
+    "power_config",
+    "reference_rates",
+    "run_pair",
+    "run_simulation",
+    "static_rate_config",
+    "uniform_saturation_packets",
+]

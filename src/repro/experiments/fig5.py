@@ -1,0 +1,188 @@
+"""Figure 5 harnesses: uniform random traffic sweeps.
+
+* (a)(b)(c) — latency / power / power-latency product versus the policy's
+  sampling window size ``Tw`` at light, medium and heavy load;
+* (d)(e)(f) — the same metrics versus the average link-utilisation
+  threshold with TH - TL fixed at 0.1;
+* (g) — latency versus injection rate for the non-power-aware network, the
+  5-10 Gb/s and 3.3-10 Gb/s power-aware networks, and a static 3.3 Gb/s
+  network;
+* (h) — relative power versus injection rate for VCSEL and modulator
+  systems on both ladders.
+
+Each public function returns plain data structures (series of
+(x, metric) points) so benchmarks and the report generator can render them
+without re-running simulations.
+"""
+
+from __future__ import annotations
+
+from repro.config import MODULATOR, PolicyConfig, VCSEL
+from repro.experiments.configs import (
+    ExperimentScale,
+    power_config,
+    reference_rates,
+    static_rate_config,
+    uniform_saturation_packets,
+)
+from repro.experiments.runner import run_pair, run_simulation
+from repro.metrics.summary import RunResult, SweepSeries, normalise
+from repro.traffic.uniform import UniformRandomTraffic
+
+#: Tw values of the paper's sweep (100 .. 10000 cycles at paper scale);
+#: scaled presets sweep the same 0.1x .. 10x multiples of their own
+#: default window so every point still sees many windows per run.
+PAPER_WINDOWS = (100, 300, 1000, 3000, 10_000)
+WINDOW_MULTIPLES = (0.1, 0.3, 1.0, 3.0, 10.0)
+
+
+def windows_for_scale(scale: ExperimentScale) -> tuple[int, ...]:
+    """The Tw sweep values appropriate to an experiment scale."""
+    return tuple(
+        max(10, round(multiple * scale.policy_window_cycles))
+        for multiple in WINDOW_MULTIPLES
+    )
+
+#: Average-threshold values of the Fig. 5(d-f) sweep.
+DEFAULT_THRESHOLDS = (0.45, 0.50, 0.55, 0.60, 0.65)
+
+
+def uniform_factory(rate: float, packet_size: int = 5):
+    """A :data:`~repro.experiments.runner.TrafficFactory` for uniform load."""
+
+    def factory(num_nodes: int, seed: int) -> UniformRandomTraffic:
+        return UniformRandomTraffic(num_nodes, rate, packet_size, seed)
+
+    return factory
+
+
+def _baseline_per_load(scale: ExperimentScale, loads: dict[str, float],
+                       seed: int) -> dict[str, RunResult]:
+    """One non-power-aware run per load (shared across sweep points)."""
+    return {
+        name: run_simulation(
+            scale, None, uniform_factory(rate),
+            label=f"baseline/{name}", seed=seed,
+        )
+        for name, rate in loads.items()
+    }
+
+
+def window_size_sweep(scale: ExperimentScale,
+                      windows: tuple[int, ...] | None = None,
+                      technology: str = MODULATOR,
+                      seed: int = 1) -> dict[str, SweepSeries]:
+    """Fig. 5(a)(b)(c): sweep the sampling window Tw at three loads.
+
+    The paper runs this on the modulator-based network and notes identical
+    trends for VCSELs.
+    """
+    windows = windows or windows_for_scale(scale)
+    loads = reference_rates(scale.network)
+    baselines = _baseline_per_load(scale, loads, seed)
+    sweeps: dict[str, SweepSeries] = {}
+    for load_name, rate in loads.items():
+        series = SweepSeries(name=load_name, x_label="window_cycles")
+        for window in windows:
+            policy = PolicyConfig(window_cycles=window)
+            power = power_config(scale, technology=technology, policy=policy)
+            aware = run_simulation(
+                scale, power, uniform_factory(rate),
+                label=f"Tw={window}/{load_name}", seed=seed,
+            )
+            series.append(window, normalise(aware, baselines[load_name]))
+        sweeps[load_name] = series
+    return sweeps
+
+
+def threshold_sweep(scale: ExperimentScale,
+                    averages: tuple[float, ...] = DEFAULT_THRESHOLDS,
+                    technology: str = MODULATOR,
+                    seed: int = 1) -> dict[str, SweepSeries]:
+    """Fig. 5(d)(e)(f): sweep the average link-utilisation threshold.
+
+    TH - TL stays fixed at 0.1 ("simulations show better
+    power-performance"); the congested thresholds shift with the average.
+    """
+    loads = reference_rates(scale.network)
+    baselines = _baseline_per_load(scale, loads, seed)
+    sweeps: dict[str, SweepSeries] = {}
+    for load_name, rate in loads.items():
+        series = SweepSeries(name=load_name, x_label="average_threshold")
+        for average in averages:
+            policy = PolicyConfig().with_average_threshold(average)
+            power = power_config(scale, technology=technology, policy=policy)
+            aware = run_simulation(
+                scale, power, uniform_factory(rate),
+                label=f"T={average}/{load_name}", seed=seed,
+            )
+            series.append(average, normalise(aware, baselines[load_name]))
+        sweeps[load_name] = series
+    return sweeps
+
+
+def ladder_configurations(scale: ExperimentScale) -> dict[str, object]:
+    """The network variants compared in Fig. 5(g)(h).
+
+    Returns a name -> PowerAwareConfig-or-None mapping; ``None`` is the
+    non-power-aware network.
+    """
+    return {
+        "baseline": None,
+        "vcsel_5_10": power_config(scale, technology=VCSEL, min_bit_rate=5e9),
+        "vcsel_3.3_10": power_config(scale, technology=VCSEL,
+                                     min_bit_rate=3.3e9),
+        "modulator_5_10": power_config(scale, technology=MODULATOR,
+                                       min_bit_rate=5e9),
+        "modulator_3.3_10": power_config(scale, technology=MODULATOR,
+                                         min_bit_rate=3.3e9),
+        "static_3.3": static_rate_config(scale, 3.3e9),
+    }
+
+
+def injection_rate_fractions() -> tuple[float, ...]:
+    """Saturation fractions swept in Fig. 5(g)(h)."""
+    return (0.15, 0.30, 0.45, 0.60, 0.70, 0.78, 0.88)
+
+
+def injection_sweep(scale: ExperimentScale,
+                    configurations: dict[str, object] | None = None,
+                    fractions: tuple[float, ...] | None = None,
+                    seed: int = 1) -> dict[str, list[tuple[float, RunResult]]]:
+    """Fig. 5(g)(h): sweep injection rate for every network variant.
+
+    Returns, per variant, a list of (injection rate, RunResult); latency
+    curves feed (g) and relative-power curves feed (h).
+    """
+    configurations = configurations or ladder_configurations(scale)
+    fractions = fractions or injection_rate_fractions()
+    saturation = uniform_saturation_packets(scale.network)
+    curves: dict[str, list[tuple[float, RunResult]]] = {}
+    for name, power in configurations.items():
+        points = []
+        for fraction in fractions:
+            rate = fraction * saturation
+            result = run_simulation(
+                scale, power, uniform_factory(rate),
+                label=f"{name}@{fraction:.2f}", seed=seed,
+            )
+            points.append((rate, result))
+        curves[name] = points
+    return curves
+
+
+def throughput_of_curve(points: list[tuple[float, RunResult]],
+                        zero_load_latency: float) -> float:
+    """Saturation throughput per the paper's 2x-zero-load criterion.
+
+    Works on an already-computed injection sweep: returns the highest
+    swept rate whose latency stays below twice the zero-load latency
+    (0.0 if even the lightest point exceeds it).
+    """
+    threshold = 2.0 * zero_load_latency
+    best = 0.0
+    for rate, result in points:
+        latency = result.mean_latency
+        if latency == latency and latency <= threshold:
+            best = max(best, rate)
+    return best

@@ -1,0 +1,163 @@
+"""Figure 6 harnesses: time-varying hot-spot traffic.
+
+* (a) — the injection-rate profile itself;
+* (b) — latency over time for the power-aware network with and without
+  transition delays (T_v and T_br zeroed), against the non-power-aware
+  network: the voltage-transition penalty should be negligible and the
+  bit-rate relock penalty small;
+* (c) — latency over time for modulator systems with a single versus three
+  optical power levels: the big injection jump forces an optical level
+  transition whose 100 us settle shows up as a latency spike;
+* (d) — relative power over time for VCSEL- versus modulator-based
+  power-aware systems (VCSEL slightly lower everywhere).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import MODULATOR, NetworkConfig, VCSEL
+from repro.experiments.configs import (
+    ExperimentScale,
+    baseline_link_power,
+    power_config,
+    uniform_saturation_packets,
+)
+from repro.experiments.runner import TrafficFactory, run_simulation
+from repro.metrics.energy import normalise_power_series
+from repro.metrics.summary import RunResult
+from repro.network.simulator import Simulator
+from repro.config import SimulationConfig
+from repro.traffic.hotspot import HotspotTraffic, Phase, paper_like_schedule
+
+#: Total span of the paper's hot-spot schedule, cycles (Fig. 6(a)).
+PAPER_SCHEDULE_SPAN = 1_800_000
+
+
+def schedule_for_scale(scale: ExperimentScale) -> tuple[Phase, ...]:
+    """The Fig. 6(a) schedule compressed to fit the scale's run length.
+
+    Rates are also scaled to the smaller mesh's saturation point so each
+    phase exercises the same fraction of capacity as at paper scale.
+    """
+    divisor = max(1, math.ceil(PAPER_SCHEDULE_SPAN / scale.run_cycles))
+    phases = paper_like_schedule(scale=divisor)
+    capacity_ratio = (
+        uniform_saturation_packets(scale.network)
+        / uniform_saturation_packets(NetworkConfig())
+    )
+    return tuple(
+        Phase(p.start_cycle, p.injection_rate * capacity_ratio)
+        for p in phases
+    )
+
+
+def default_hotspot_node(network: NetworkConfig) -> int:
+    """The scaled equivalent of the paper's "node 4 in rack(3,5)"."""
+    rack_x = min(network.mesh_width - 1,
+                 round(3 * network.mesh_width / 8))
+    rack_y = min(network.mesh_height - 1,
+                 round(5 * network.mesh_height / 8))
+    local = min(4, network.nodes_per_cluster - 1)
+    router = rack_y * network.mesh_width + rack_x
+    return router * network.nodes_per_cluster + local
+
+
+def hotspot_factory(scale: ExperimentScale,
+                    hotspot_weight: float = 4.0) -> TrafficFactory:
+    """Traffic factory for the scaled Fig. 6 hot-spot workload."""
+    schedule = schedule_for_scale(scale)
+    hotspot = default_hotspot_node(scale.network)
+
+    def factory(num_nodes: int, seed: int) -> HotspotTraffic:
+        return HotspotTraffic(num_nodes, schedule, hotspot,
+                              hotspot_weight=hotspot_weight, seed=seed)
+
+    return factory
+
+
+def injection_profile(scale: ExperimentScale, seed: int = 1) -> list[float]:
+    """Fig. 6(a): the injection-rate-over-time series actually generated."""
+    result = run_simulation(
+        scale, None, hotspot_factory(scale),
+        label="hotspot/profile", seed=seed,
+    )
+    return list(result.injection_series)
+
+
+def transition_delay_ablation(scale: ExperimentScale, seed: int = 1
+                              ) -> dict[str, dict]:
+    """Fig. 6(b): power-aware latency with vs. without transition delays.
+
+    Returns per-variant dictionaries with the aggregate result and the
+    latency-over-time series.
+    """
+    factory = hotspot_factory(scale)
+    variants = {
+        "non_power_aware": None,
+        "power_aware": power_config(scale, technology=MODULATOR),
+        "power_aware_ideal": power_config(scale, technology=MODULATOR,
+                                          ideal_transitions=True),
+    }
+    return {
+        name: _run_with_latency_series(scale, power, factory,
+                                       label=f"fig6b/{name}", seed=seed)
+        for name, power in variants.items()
+    }
+
+
+def optical_level_comparison(scale: ExperimentScale, seed: int = 1
+                             ) -> dict[str, dict]:
+    """Fig. 6(c): single vs. three optical power levels vs. baseline."""
+    factory = hotspot_factory(scale)
+    variants = {
+        "non_power_aware": None,
+        "single_optical_level": power_config(scale, technology=MODULATOR,
+                                             optical_levels=1),
+        "three_optical_levels": power_config(scale, technology=MODULATOR,
+                                             optical_levels=3),
+    }
+    return {
+        name: _run_with_latency_series(scale, power, factory,
+                                       label=f"fig6c/{name}", seed=seed)
+        for name, power in variants.items()
+    }
+
+
+def technology_power_comparison(scale: ExperimentScale, seed: int = 1
+                                ) -> dict[str, dict]:
+    """Fig. 6(d): VCSEL vs. modulator relative power over time."""
+    factory = hotspot_factory(scale)
+    out: dict[str, dict] = {}
+    for name, technology in (("vcsel", VCSEL), ("modulator", MODULATOR)):
+        power = power_config(scale, technology=technology)
+        result = run_simulation(scale, power, factory,
+                                label=f"fig6d/{name}", seed=seed)
+        baseline_watts = baseline_link_power(scale, power)
+        out[name] = {
+            "result": result,
+            "relative_power_series": normalise_power_series(
+                list(result.power_series), baseline_watts
+            ),
+        }
+    return out
+
+
+def _run_with_latency_series(scale: ExperimentScale, power,
+                             factory: TrafficFactory, *, label: str,
+                             seed: int) -> dict:
+    """Run and keep both the aggregate result and the latency series."""
+    config = SimulationConfig(
+        network=scale.network, power=power, seed=seed,
+        warmup_cycles=scale.warmup_cycles,
+        sample_interval=scale.sample_interval,
+    )
+    sim = Simulator(config, factory(scale.network.num_nodes, seed))
+    sim.run(scale.run_cycles)
+    from repro.experiments.runner import collect_result
+
+    result: RunResult = collect_result(sim, label)
+    return {
+        "result": result,
+        "latency_series": sim.stats.latency_series(),
+    }

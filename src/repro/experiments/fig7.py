@@ -1,0 +1,152 @@
+"""Figure 7 / Table 3 harnesses: SPLASH2-like application traces.
+
+For each benchmark (FFT, LU, Radix) the harness synthesises a trace whose
+injection-rate envelope matches the paper's published signature (see
+:mod:`repro.traffic.splash`), replays it through the power-aware and the
+non-power-aware networks, and reports:
+
+* Fig. 7(a)(c)(e) — the injection-rate-over-time series,
+* Fig. 7(b)(d)(f) — the power-aware network's relative power over time,
+* Table 3 — normalised latency, power and power-latency product.
+
+The paper runs the modulator-based system here; ``technology`` switches to
+VCSEL for the (slightly better) alternative.
+"""
+
+from __future__ import annotations
+
+from repro.config import MODULATOR, NetworkConfig
+from repro.experiments.configs import (
+    ExperimentScale,
+    baseline_link_power,
+    power_config,
+    uniform_saturation_packets,
+)
+from repro.experiments.runner import TrafficFactory, run_pair
+from repro.metrics.energy import normalise_power_series, smooth_series
+from repro.metrics.summary import NormalisedResult, RunResult
+from repro.traffic.splash import BENCHMARKS, generate_splash_trace
+from repro.traffic.trace import TraceReplaySource
+
+#: The paper's benchmarks run on 64 processors of the 512-node system —
+#: "parallelized onto 64 nodes housed in 8 racks" (Section 4.3.3); the
+#: other 56 racks sit idle.  That spatial idleness is where most of the
+#: >75% power saving comes from.  We place the active racks along the
+#: first mesh row (8 racks at paper scale), so inter-rack traffic has a
+#: whole row of links to spread over.
+_PAPER_ACTIVE_NODES = 64
+
+#: Peak utilisation targeted on the busiest row link at the full bit rate.
+#: The published injection-rate axes are not transferable across
+#: simulators (RSIM timing vs ours), so the envelope *shape* is kept and
+#: its amplitude is calibrated to exercise the same operating region: the
+#: active row's centre links peak around half capacity, exactly the regime
+#: where the policy has both savings headroom and latency exposure.
+_ROW_PEAK_UTILISATION = 0.55
+
+#: Fraction of aggregate row traffic crossing the row's centre link, one
+#: direction (uniform traffic over a w-node path: ~w/4 x 1/(w-1) pairs...
+#: empirically ~0.25-0.28 for w in 4..8).
+_ROW_CENTRE_FRACTION = 0.27
+
+#: Peak of the published envelopes, packets/cycle (fft/lu/radix ~0.3).
+_ENVELOPE_PEAK = 0.3
+
+
+def active_nodes_for(network: NetworkConfig) -> int:
+    """Nodes the benchmark occupies: the first row of racks."""
+    return network.mesh_width * network.nodes_per_cluster
+
+
+def splash_intensity(network: NetworkConfig) -> float:
+    """Envelope amplitude calibration factor (see _ROW_PEAK_UTILISATION)."""
+    from repro.traffic.splash import DATA_FLITS, CONTROL_FLITS, DATA_FRACTION
+
+    mean_flits = DATA_FRACTION * DATA_FLITS + (1 - DATA_FRACTION) * CONTROL_FLITS
+    peak_aggregate_flits = _ROW_PEAK_UTILISATION / _ROW_CENTRE_FRACTION
+    peak_aggregate_packets = peak_aggregate_flits / mean_flits
+    return peak_aggregate_packets / _ENVELOPE_PEAK
+
+
+def splash_factory(benchmark: str, scale: ExperimentScale,
+                   duration: int | None = None) -> TrafficFactory:
+    """Traffic factory replaying a synthesised benchmark trace.
+
+    The trace spans ~80% of the run budget so the network can drain and
+    latency statistics cover every packet.
+    """
+    span = duration if duration is not None else int(scale.run_cycles * 0.8)
+    intensity = splash_intensity(scale.network)
+    active = active_nodes_for(scale.network)
+
+    def factory(num_nodes: int, seed: int) -> TraceReplaySource:
+        records = generate_splash_trace(
+            benchmark, active, span, seed=seed, intensity=intensity
+        )
+        return TraceReplaySource(num_nodes, records)
+
+    return factory
+
+
+def run_benchmark(benchmark: str, scale: ExperimentScale,
+                  technology: str = MODULATOR, seed: int = 1) -> dict:
+    """One benchmark's full Fig. 7 + Table 3 data."""
+    if benchmark not in BENCHMARKS:
+        raise ValueError(f"unknown benchmark {benchmark!r}")
+    factory = splash_factory(benchmark, scale)
+    power = power_config(scale, technology=technology)
+    # The trace spans ~80% of the run budget; draining the tail of the
+    # last phase through a scaled-down network can take a while longer.
+    aware, baseline, normalised = run_pair(
+        scale, power, factory,
+        label=f"splash/{benchmark}", seed=seed, drain=True,
+        cycles=2 * scale.run_cycles,
+    )
+    baseline_watts = baseline_link_power(scale, power)
+    return {
+        "benchmark": benchmark,
+        "aware": aware,
+        "baseline": baseline,
+        "normalised": normalised,
+        "injection_series": list(aware.injection_series),
+        "relative_power_series": smooth_series(
+            normalise_power_series(list(aware.power_series), baseline_watts),
+            window=3,
+        ),
+    }
+
+
+def run_all_benchmarks(scale: ExperimentScale, technology: str = MODULATOR,
+                       seed: int = 1) -> dict[str, dict]:
+    """Fig. 7 for all three benchmarks."""
+    return {
+        benchmark: run_benchmark(benchmark, scale, technology, seed)
+        for benchmark in BENCHMARKS
+    }
+
+
+def table3_rows(results: dict[str, dict]) -> list[dict[str, float | str]]:
+    """Table 3: normalised latency / power / PLP per benchmark."""
+    rows = []
+    for benchmark, data in results.items():
+        normalised: NormalisedResult = data["normalised"]
+        rows.append(
+            {
+                "trace": benchmark.upper(),
+                "latency_ratio": normalised.latency_ratio,
+                "power_ratio": normalised.power_ratio,
+                "power_latency_product": normalised.power_latency_product,
+            }
+        )
+    return rows
+
+
+def mean_power_savings(results: dict[str, dict]) -> float:
+    """Average power saving across benchmarks (the paper's ">75%" claim)."""
+    ratios = [data["normalised"].power_ratio for data in results.values()]
+    return 1.0 - sum(ratios) / len(ratios)
+
+
+def aware_result(results: dict[str, dict], benchmark: str) -> RunResult:
+    """Convenience accessor used by tests and the report generator."""
+    return results[benchmark]["aware"]

@@ -1,0 +1,107 @@
+"""Experiment runner: build, run and summarise simulations.
+
+Every figure/table harness funnels through :func:`run_simulation` (one
+configured run -> :class:`~repro.metrics.summary.RunResult`) and
+:func:`run_pair` (power-aware + matched non-power-aware baseline ->
+:class:`~repro.metrics.summary.NormalisedResult`), so normalisation is
+applied uniformly and deterministically (same traffic seed on both sides).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.config import (
+    NetworkConfig,
+    PowerAwareConfig,
+    SimulationConfig,
+)
+from repro.experiments.configs import ExperimentScale
+from repro.metrics.summary import NormalisedResult, RunResult, normalise
+from repro.network.simulator import Simulator
+from repro.traffic.base import TrafficSource
+
+#: Builds a fresh traffic source: (num_nodes, seed) -> source.  Sources are
+#: stateful, so every run needs its own instance.
+TrafficFactory = Callable[[int, int], TrafficSource]
+
+
+def build_simulator(network: NetworkConfig,
+                    power: PowerAwareConfig | None,
+                    traffic_factory: TrafficFactory,
+                    *, seed: int, warmup_cycles: int,
+                    sample_interval: int) -> Simulator:
+    """Construct a ready-to-run simulator."""
+    config = SimulationConfig(
+        network=network,
+        power=power,
+        seed=seed,
+        warmup_cycles=warmup_cycles,
+        sample_interval=sample_interval,
+    )
+    traffic = traffic_factory(network.num_nodes, seed)
+    return Simulator(config, traffic)
+
+
+def collect_result(sim: Simulator, label: str) -> RunResult:
+    """Freeze a finished simulator's metrics into a :class:`RunResult`."""
+    sim.finalize()
+    cycles = max(1, sim.cycle)
+    stats = sim.stats
+    power = sim.power
+    return RunResult(
+        label=label,
+        cycles=cycles,
+        packets_created=stats.packets_created,
+        packets_delivered=stats.packets_delivered,
+        mean_latency=stats.mean_latency,
+        p95_latency=stats.latency_percentile(0.95),
+        max_latency=stats.latency_max,
+        relative_power=sim.relative_power(),
+        accepted_rate=stats.accepted_rate(cycles),
+        transitions_up=(power.transition_totals()["up"] if power else 0),
+        transitions_down=(power.transition_totals()["down"] if power else 0),
+        power_series=tuple(power.power_series) if power else (),
+        injection_series=tuple(stats.injection_series()),
+        level_histogram=tuple(power.level_histogram()) if power else (),
+    )
+
+
+def run_simulation(scale: ExperimentScale,
+                   power: PowerAwareConfig | None,
+                   traffic_factory: TrafficFactory,
+                   *, label: str, seed: int = 1,
+                   cycles: int | None = None,
+                   drain: bool = False) -> RunResult:
+    """One configured run at an experiment scale."""
+    sim = build_simulator(
+        scale.network, power, traffic_factory,
+        seed=seed, warmup_cycles=scale.warmup_cycles,
+        sample_interval=scale.sample_interval,
+    )
+    budget = cycles if cycles is not None else scale.run_cycles
+    if drain:
+        sim.run_until_drained(budget)
+    else:
+        sim.run(budget)
+    return collect_result(sim, label)
+
+
+def run_pair(scale: ExperimentScale, power: PowerAwareConfig,
+             traffic_factory: TrafficFactory, *, label: str, seed: int = 1,
+             cycles: int | None = None, drain: bool = False
+             ) -> tuple[RunResult, RunResult, NormalisedResult]:
+    """A power-aware run plus its matched non-power-aware baseline.
+
+    Both runs use the same traffic seed, so they see the identical packet
+    stream; the normalised result is therefore a pure policy effect.
+    """
+    aware = run_simulation(
+        scale, power, traffic_factory,
+        label=label, seed=seed, cycles=cycles, drain=drain,
+    )
+    baseline = run_simulation(
+        scale, None, traffic_factory,
+        label=f"{label}/baseline", seed=seed, cycles=cycles, drain=drain,
+    )
+    return aware, baseline, normalise(aware, baseline)

@@ -1,0 +1,72 @@
+"""Table 3 harness: power-performance of the SPLASH2-like traces.
+
+Table 3 aggregates the Fig. 7 runs: normalised average latency, power and
+power-latency product for FFT, LU and Radix on the power-aware network.
+Paper values for comparison:
+
+============  =========  ======  ======
+Trace         FFT        LU      Radix
+============  =========  ======  ======
+Latency       1.08       1.50    1.60
+Power         0.22       0.25    0.23
+PLP           0.24       0.38    0.37
+============  =========  ======  ======
+"""
+
+from __future__ import annotations
+
+from repro.config import MODULATOR
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.fig7 import run_all_benchmarks, table3_rows
+
+#: Paper Table 3: trace -> (latency ratio, power ratio, PLP).
+PAPER_TABLE3 = {
+    "FFT": (1.08, 0.22, 0.24),
+    "LU": (1.50, 0.25, 0.38),
+    "RADIX": (1.60, 0.23, 0.37),
+}
+
+
+def compute_table3(scale: ExperimentScale, technology: str = MODULATOR,
+                   seed: int = 1) -> list[dict[str, float | str]]:
+    """Run all three benchmarks and return the Table 3 rows."""
+    results = run_all_benchmarks(scale, technology=technology, seed=seed)
+    return table3_rows(results)
+
+
+def shape_check(rows: list[dict[str, float | str]]) -> list[str]:
+    """Validate the qualitative claims Table 3 supports.
+
+    * every trace saves most of the link power (power ratio well below 0.5),
+    * latency cost stays below 2x,
+    * FFT has the lowest latency penalty (its traffic varies slowly, so the
+      policy predicts it best),
+    * PLP improves for every trace.
+
+    Returns a list of violated claims (empty = shape reproduced).
+    """
+    problems: list[str] = []
+    by_trace = {str(row["trace"]): row for row in rows}
+    for trace, row in by_trace.items():
+        if float(row["power_ratio"]) >= 0.5:
+            problems.append(
+                f"{trace}: power ratio {row['power_ratio']:.2f} >= 0.5"
+            )
+        if float(row["latency_ratio"]) >= 2.5:
+            problems.append(
+                f"{trace}: latency ratio {row['latency_ratio']:.2f} >= 2.5"
+            )
+        if float(row["power_latency_product"]) >= 1.0:
+            problems.append(
+                f"{trace}: PLP {row['power_latency_product']:.2f} >= 1"
+            )
+    if "FFT" in by_trace:
+        fft_latency = float(by_trace["FFT"]["latency_ratio"])
+        for other in ("LU", "RADIX"):
+            if other in by_trace and \
+                    fft_latency > float(by_trace[other]["latency_ratio"]) + 0.05:
+                problems.append(
+                    f"FFT latency ratio {fft_latency:.2f} not lowest "
+                    f"(vs {other})"
+                )
+    return problems

@@ -1,0 +1,76 @@
+"""Saturation-throughput measurement (the paper's throughput metric).
+
+Section 4.1 defines throughput as "the injection rate at which average
+network latency exceeds twice the latency at zero network load".  This
+harness measures it directly: a bisection over injection rates, each probe
+a short uniform-traffic simulation, with the zero-load reference taken
+from the analytic model (validated against single-packet runs in the
+tests).
+
+Used for the Fig. 5(g) comparison claims ("the network with 5-10 Gb/s
+links saturates at the same point as the non-power-aware network; with
+3.3-10 Gb/s links throughput suffers; statically 3.3 Gb/s is far worse").
+"""
+
+from __future__ import annotations
+
+from repro.config import PowerAwareConfig
+from repro.experiments.configs import (
+    ExperimentScale,
+    uniform_saturation_packets,
+)
+from repro.experiments.fig5 import uniform_factory
+from repro.experiments.runner import run_simulation
+from repro.metrics.latency import find_throughput, zero_load_latency
+
+#: Packet size used by the probes (the sweep's synthetic default).
+PROBE_PACKET_SIZE = 5
+
+
+def latency_probe(scale: ExperimentScale,
+                  power: PowerAwareConfig | None,
+                  seed: int = 1,
+                  cycles: int | None = None):
+    """A ``rate -> mean latency`` callable backed by short simulations."""
+    budget = cycles if cycles is not None else max(6000,
+                                                   scale.run_cycles // 4)
+
+    def probe(rate: float) -> float:
+        result = run_simulation(
+            scale, power, uniform_factory(rate, PROBE_PACKET_SIZE),
+            label=f"throughput-probe@{rate:.3f}", seed=seed, cycles=budget,
+        )
+        return result.mean_latency
+
+    return probe
+
+
+def measure_throughput(scale: ExperimentScale,
+                       power: PowerAwareConfig | None,
+                       *, seed: int = 1, cycles: int | None = None,
+                       tolerance_fraction: float = 0.05,
+                       max_iterations: int = 7) -> float:
+    """Measured saturation throughput, packets/cycle.
+
+    The "latency at zero network load" reference is configuration-
+    specific: an idle power-aware network sits at its *minimum* bit rate
+    (that is the whole point), so its zero-load latency uses the ladder
+    bottom's service time; the non-power-aware baseline references the
+    full rate.
+    """
+    if power is not None:
+        service = scale.network.flit_service_time(power.min_bit_rate,
+                                                  power.max_bit_rate)
+    else:
+        service = 1.0
+    zero_load = zero_load_latency(scale.network, PROBE_PACKET_SIZE,
+                                  service_time=service)
+    ceiling = uniform_saturation_packets(scale.network, PROBE_PACKET_SIZE)
+    return find_throughput(
+        latency_probe(scale, power, seed=seed, cycles=cycles),
+        zero_load=zero_load,
+        low=0.05 * ceiling,
+        high=1.1 * ceiling,
+        tolerance=tolerance_fraction * ceiling,
+        max_iterations=max_iterations,
+    )

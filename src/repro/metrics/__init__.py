@@ -1,0 +1,40 @@
+"""Evaluation metrics (paper Section 4.1).
+
+Latency, throughput, power and power-latency product, plus the
+normalisation against the non-power-aware baseline that every figure and
+table of the paper applies.
+"""
+
+from repro.metrics.energy import (
+    average_power_watts,
+    normalise_power_series,
+    series_mean,
+    smooth_series,
+    watt_cycles_to_joules,
+)
+from repro.metrics.latency import (
+    find_throughput,
+    mean_hop_count,
+    zero_load_latency,
+)
+from repro.metrics.summary import (
+    NormalisedResult,
+    RunResult,
+    SweepSeries,
+    normalise,
+)
+
+__all__ = [
+    "NormalisedResult",
+    "RunResult",
+    "SweepSeries",
+    "average_power_watts",
+    "find_throughput",
+    "mean_hop_count",
+    "normalise",
+    "normalise_power_series",
+    "series_mean",
+    "smooth_series",
+    "watt_cycles_to_joules",
+    "zero_load_latency",
+]

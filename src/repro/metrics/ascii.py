@@ -1,0 +1,85 @@
+"""Plain-text rendering helpers for series and tables.
+
+The repository has no plotting dependency; experiments and examples render
+time series as sparklines and results as aligned tables.  Kept in the
+library (rather than in each example) so the CLI and the report generator
+share one implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.errors import ConfigError
+
+#: Density ramp used for sparklines, lightest to darkest.  The lightest
+#: bucket is a visible dot (space is reserved for NaN gaps).
+SPARK_CHARS = ".,:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 72) -> str:
+    """Render a numeric series as a one-line ASCII sparkline.
+
+    NaNs render as spaces; the series is resampled to ``width`` columns by
+    striding.  Returns ``"(no data)"`` for an empty or all-NaN series.
+    """
+    if width < 1:
+        raise ConfigError(f"width must be >= 1, got {width!r}")
+    clean = [v for v in values if not math.isnan(v)]
+    if not clean:
+        return "(no data)"
+    lo, hi = min(clean), max(clean)
+    span = (hi - lo) or 1.0
+    stride = max(1, len(values) // width)
+    sampled = list(values)[::stride][:width]
+    chars = []
+    for value in sampled:
+        if math.isnan(value):
+            chars.append(" ")
+        else:
+            index = int((value - lo) / span * (len(SPARK_CHARS) - 1))
+            chars.append(SPARK_CHARS[index])
+    return "".join(chars)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 min_width: int = 6) -> str:
+    """Render an aligned plain-text table (right-aligned cells)."""
+    if not headers:
+        raise ConfigError("a table needs at least one column")
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(min_width, len(header),
+            *(len(row[i]) for row in str_rows)) if str_rows
+        else max(min_width, len(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)
+
+
+def histogram_bar(counts: Sequence[int], width: int = 40) -> list[str]:
+    """Render integer counts as horizontal bars, one line per bucket."""
+    total = max(counts) if counts else 0
+    lines = []
+    for index, count in enumerate(counts):
+        length = 0 if total == 0 else round(width * count / total)
+        lines.append(f"{index:>3d} | {'#' * length} {count}")
+    return lines

@@ -1,0 +1,63 @@
+"""Energy/power metric helpers.
+
+Converts between the simulator's watt-cycle accounting and physical units,
+and provides the per-window power series used by the power-over-time
+figures (Fig. 6(d), Fig. 7(b)(d)(f)).
+"""
+
+from __future__ import annotations
+
+from repro.config import NetworkConfig
+from repro.errors import ConfigError
+
+
+def watt_cycles_to_joules(watt_cycles: float,
+                          network: NetworkConfig) -> float:
+    """Convert the simulator's watt-cycle energy unit to joules."""
+    return watt_cycles * network.cycle_time_s
+
+
+def average_power_watts(watt_cycles: float, cycles: float) -> float:
+    """Mean power of an energy total over a cycle count, watts."""
+    if cycles <= 0:
+        raise ConfigError(f"cycles must be > 0, got {cycles!r}")
+    return watt_cycles / cycles
+
+
+def normalise_power_series(series: list[tuple[int, float]],
+                           baseline_power: float) -> list[tuple[int, float]]:
+    """Express a sampled (cycle, watts) series relative to the baseline."""
+    if baseline_power <= 0.0:
+        raise ConfigError(
+            f"baseline_power must be > 0, got {baseline_power!r}"
+        )
+    return [(cycle, power / baseline_power) for cycle, power in series]
+
+
+def smooth_series(series: list[tuple[int, float]],
+                  window: int = 5) -> list[tuple[int, float]]:
+    """Centred moving average over a (x, y) series.
+
+    The paper notes the power curves "filter out small fluctuations in the
+    injection rate curves and are thus smoother"; this helper produces the
+    same visual smoothing for reports.
+    """
+    if window < 1:
+        raise ConfigError(f"window must be >= 1, got {window!r}")
+    if window == 1 or len(series) <= 1:
+        return list(series)
+    half = window // 2
+    values = [y for _, y in series]
+    smoothed = []
+    for i, (x, _) in enumerate(series):
+        lo = max(0, i - half)
+        hi = min(len(values), i + half + 1)
+        smoothed.append((x, sum(values[lo:hi]) / (hi - lo)))
+    return smoothed
+
+
+def series_mean(series: list[tuple[int, float]]) -> float:
+    """Mean of the y values of a sampled series."""
+    if not series:
+        raise ConfigError("cannot average an empty series")
+    return sum(y for _, y in series) / len(series)

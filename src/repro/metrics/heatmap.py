@@ -1,0 +1,111 @@
+"""Mesh heatmaps: spatial views of utilisation, levels and congestion.
+
+The paper's spatial-variance story (idle racks at minimum rate, busy paths
+high) is best seen as a map of the mesh.  These helpers render a running
+simulator's per-rack and per-direction state as ASCII grids — no plotting
+dependency, usable in a terminal or a report.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.metrics.ascii import SPARK_CHARS
+from repro.network.links import MESH
+from repro.network.simulator import Simulator
+
+#: Direction glyphs for the link-level map: east, west, north, south.
+_DIRECTION_GLYPHS = ("E", "W", "N", "S")
+
+
+def _cell_char(value: float, lo: float, hi: float) -> str:
+    span = hi - lo
+    if span <= 0.0:
+        return SPARK_CHARS[0]
+    index = int((value - lo) / span * (len(SPARK_CHARS) - 1))
+    return SPARK_CHARS[max(0, min(index, len(SPARK_CHARS) - 1))]
+
+
+def rack_occupancy_heatmap(sim: Simulator) -> str:
+    """Buffered flits per rack as a ``height x width`` character grid."""
+    config = sim.config.network
+    occupancy = [
+        float(sum(ip.occupancy for ip in router.inputs))
+        for router in sim.network.routers
+    ]
+    lo, hi = min(occupancy), max(occupancy)
+    rows = []
+    for y in range(config.mesh_height):
+        row = "".join(
+            _cell_char(occupancy[y * config.mesh_width + x], lo, hi)
+            for x in range(config.mesh_width)
+        )
+        rows.append(row)
+    legend = f"(flits per rack: min={lo:.0f} max={hi:.0f})"
+    return "\n".join(rows + [legend])
+
+
+def rack_level_heatmap(sim: Simulator) -> str:
+    """Mean committed link level per rack (node-facing links included).
+
+    Digits 0-9 map the mean level across the rack's injection/ejection
+    links plus its outgoing mesh links, scaled to the ladder height —
+    dark digits mean high bit rates.
+    """
+    if sim.power is None:
+        raise ConfigError("rack_level_heatmap needs a power-aware simulator")
+    config = sim.config.network
+    top = sim.power.ladder.top_level
+    per_router: dict[int, list[int]] = {
+        r.router_id: [] for r in sim.network.routers
+    }
+    locals_ = config.nodes_per_cluster
+    for pal in sim.power.links:
+        link = pal.link
+        if link.kind == MESH:
+            continue
+        node_id = _node_for_local_link(sim, link.link_id)
+        per_router[node_id // locals_].append(pal.level)
+    rows = []
+    for y in range(config.mesh_height):
+        cells = []
+        for x in range(config.mesh_width):
+            levels = per_router[y * config.mesh_width + x]
+            mean = sum(levels) / len(levels) if levels else 0.0
+            digit = round(9 * mean / max(1, top))
+            cells.append(str(digit))
+        rows.append("".join(cells))
+    return "\n".join(rows + ["(0=ladder bottom ... 9=full rate)"])
+
+
+def _node_for_local_link(sim: Simulator, link_id: int) -> int:
+    """Node id served by a local (injection/ejection) link.
+
+    The topology wires local links in node order, two per node
+    (injection then ejection), before any mesh links.
+    """
+    return link_id // 2
+
+
+def mesh_utilisation_table(sim: Simulator, window: float) -> list[str]:
+    """Per-mesh-link busy fraction since the caller's last reset.
+
+    Returns ``router (x,y) dir: fraction`` lines sorted busiest-first.
+    Pair with zeroing ``link.busy_accum`` before the measured interval.
+    """
+    if window <= 0.0:
+        raise ConfigError(f"window must be > 0, got {window!r}")
+    config = sim.config.network
+    locals_ = config.nodes_per_cluster
+    lines = []
+    for router in sim.network.routers:
+        for direction in range(4):
+            output = router.outputs[locals_ + direction]
+            if output is None:
+                continue
+            fraction = min(1.0, output.link.busy_accum / window)
+            lines.append((fraction, router.x, router.y, direction))
+    lines.sort(reverse=True)
+    return [
+        f"({x},{y}) {_DIRECTION_GLYPHS[d]}: {fraction:.2f}"
+        for fraction, x, y, d in lines
+    ]

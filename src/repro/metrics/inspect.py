@@ -1,0 +1,69 @@
+"""Live-simulation introspection helpers.
+
+Debugging a power-aware network means asking *where* the flits and the
+watts are right now.  These helpers snapshot a running simulator without
+disturbing it; the examples and the stall watchdog use them, and they are
+handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.network.links import EJECTION, INJECTION, MESH
+from repro.network.simulator import Simulator
+
+
+def buffer_occupancy_map(sim: Simulator) -> dict[int, int]:
+    """Total buffered flits per router id (only non-empty routers)."""
+    occupancy = {}
+    for router in sim.network.routers:
+        total = sum(ip.occupancy for ip in router.inputs)
+        if total:
+            occupancy[router.router_id] = total
+    return occupancy
+
+
+def source_backlog_map(sim: Simulator, top: int = 10) -> list[tuple[int, int]]:
+    """The ``top`` nodes with the largest source queues, (node, flits)."""
+    backlog = [(node.node_id, node.pending_flits)
+               for node in sim.network.nodes if node.pending_flits]
+    backlog.sort(key=lambda pair: -pair[1])
+    return backlog[:top]
+
+
+def level_map(sim: Simulator) -> dict[str, Counter]:
+    """Committed ladder level histogram per link kind.
+
+    Returns an empty mapping for non-power-aware simulations.
+    """
+    if sim.power is None:
+        return {}
+    histogram: dict[str, Counter] = {
+        INJECTION: Counter(), EJECTION: Counter(), MESH: Counter(),
+    }
+    for pal in sim.power.links:
+        histogram[pal.link.kind][pal.level] += 1
+    return histogram
+
+
+def congestion_report(sim: Simulator, top: int = 8) -> str:
+    """A human-readable snapshot of where traffic is stuck."""
+    lines = [f"cycle {sim.cycle}: {sim.stats.in_flight} packets in flight, "
+             f"{sim.network.total_pending_flits} flits queued at sources"]
+    backlog = source_backlog_map(sim, top)
+    if backlog:
+        lines.append("worst source queues: " + ", ".join(
+            f"node {node}={flits}f" for node, flits in backlog))
+    buffers = buffer_occupancy_map(sim)
+    if buffers:
+        worst = sorted(buffers.items(), key=lambda kv: -kv[1])[:top]
+        lines.append("fullest routers: " + ", ".join(
+            f"r{router}={flits}f" for router, flits in worst))
+    levels = level_map(sim)
+    for kind, counter in levels.items():
+        if counter:
+            ordered = ", ".join(f"L{level}:{count}"
+                                for level, count in sorted(counter.items()))
+            lines.append(f"{kind} link levels: {ordered}")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Result serialisation: archive experiment outputs as JSON.
+
+Sweeps at paper scale take hours; archiving each :class:`RunResult` lets
+the report generator and notebooks re-render without re-running.  The
+format is a plain JSON object per result (schema-versioned), with the
+potentially large time series included explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import TextIO
+
+from repro.errors import ConfigError
+from repro.metrics.summary import NormalisedResult, RunResult
+
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """A JSON-serialisable dictionary of one run result."""
+    payload = asdict(result)
+    payload["schema_version"] = SCHEMA_VERSION
+    # Tuples become lists under asdict+json; normalise explicitly so the
+    # round-trip comparison is well defined.
+    payload["power_series"] = [list(pair) for pair in result.power_series]
+    payload["injection_series"] = list(result.injection_series)
+    payload["level_histogram"] = list(result.level_histogram)
+    return payload
+
+
+def result_from_dict(payload: dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output."""
+    data = dict(payload)
+    version = data.pop("schema_version", None)
+    if version != SCHEMA_VERSION:
+        raise ConfigError(
+            f"unsupported result schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    data["power_series"] = tuple(
+        (int(cycle), float(watts)) for cycle, watts in data["power_series"]
+    )
+    data["injection_series"] = tuple(data["injection_series"])
+    data["level_histogram"] = tuple(data["level_histogram"])
+    return RunResult(**data)
+
+
+def save_results(results: dict[str, RunResult], stream: TextIO) -> None:
+    """Write a name -> result mapping as JSON."""
+    json.dump({name: result_to_dict(result)
+               for name, result in results.items()}, stream, indent=1)
+
+
+def load_results(stream: TextIO) -> dict[str, RunResult]:
+    """Read a name -> result mapping written by :func:`save_results`."""
+    payload = json.load(stream)
+    return {name: result_from_dict(data) for name, data in payload.items()}
+
+
+def save_results_file(results: dict[str, RunResult],
+                      path: str | Path) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        save_results(results, stream)
+
+
+def load_results_file(path: str | Path) -> dict[str, RunResult]:
+    with open(path, "r", encoding="utf-8") as stream:
+        return load_results(stream)
+
+
+def normalised_to_dict(result: NormalisedResult) -> dict:
+    """Serialise a normalised (paper-style) result."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "label": result.label,
+        "latency_ratio": result.latency_ratio,
+        "power_ratio": result.power_ratio,
+        "baseline_latency": result.baseline_latency,
+        "aware_latency": result.aware_latency,
+    }
+
+
+def normalised_from_dict(payload: dict) -> NormalisedResult:
+    data = dict(payload)
+    version = data.pop("schema_version", None)
+    if version != SCHEMA_VERSION:
+        raise ConfigError(
+            f"unsupported result schema version {version!r}"
+        )
+    return NormalisedResult(**data)

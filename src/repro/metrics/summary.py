@@ -1,0 +1,123 @@
+"""Run-result containers and paper-style normalisation.
+
+The paper reports four metrics (Section 4.1): average latency, throughput,
+power (as a fraction of the non-power-aware network) and the power-latency
+product.  Latency and PLP are always *normalised against a non-power-aware
+run of the same workload*; :func:`normalise` performs that division.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one simulation run produced."""
+
+    label: str
+    cycles: int
+    packets_created: int
+    packets_delivered: int
+    mean_latency: float
+    p95_latency: float
+    max_latency: float
+    relative_power: float
+    accepted_rate: float
+    transitions_up: int = 0
+    transitions_down: int = 0
+    power_series: tuple[tuple[int, float], ...] = ()
+    injection_series: tuple[float, ...] = ()
+    level_histogram: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.cycles < 1:
+            raise ConfigError("a run must cover at least one cycle")
+
+    @property
+    def power_latency_product(self) -> float:
+        """Relative power x mean latency (un-normalised latency)."""
+        return self.relative_power * self.mean_latency
+
+    @property
+    def delivery_fraction(self) -> float:
+        """Delivered / created packets (1.0 for a drained run)."""
+        if self.packets_created == 0:
+            return math.nan
+        return self.packets_delivered / self.packets_created
+
+
+@dataclass(frozen=True)
+class NormalisedResult:
+    """A power-aware run expressed relative to its baseline run.
+
+    These are exactly the quantities in the paper's Table 3 and the y-axes
+    of Fig. 5: latency ratio, power ratio (already relative by
+    construction) and their product.
+    """
+
+    label: str
+    latency_ratio: float
+    power_ratio: float
+    baseline_latency: float
+    aware_latency: float
+
+    @property
+    def power_latency_product(self) -> float:
+        return self.latency_ratio * self.power_ratio
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "latency_ratio": self.latency_ratio,
+            "power_ratio": self.power_ratio,
+            "power_latency_product": self.power_latency_product,
+        }
+
+
+def normalise(aware: RunResult, baseline: RunResult) -> NormalisedResult:
+    """Express a power-aware run relative to its non-power-aware twin."""
+    if baseline.relative_power != 1.0:
+        raise ConfigError(
+            "the baseline run must be non-power-aware (relative power 1.0), "
+            f"got {baseline.relative_power!r}"
+        )
+    if math.isnan(baseline.mean_latency) or baseline.mean_latency <= 0.0:
+        raise ConfigError(
+            f"baseline latency is unusable: {baseline.mean_latency!r}"
+        )
+    return NormalisedResult(
+        label=aware.label,
+        latency_ratio=aware.mean_latency / baseline.mean_latency,
+        power_ratio=aware.relative_power,
+        baseline_latency=baseline.mean_latency,
+        aware_latency=aware.mean_latency,
+    )
+
+
+@dataclass
+class SweepSeries:
+    """One plotted curve: x values with a result per point."""
+
+    name: str
+    x_label: str
+    x_values: list[float] = field(default_factory=list)
+    results: list[NormalisedResult] = field(default_factory=list)
+
+    def append(self, x: float, result: NormalisedResult) -> None:
+        self.x_values.append(x)
+        self.results.append(result)
+
+    def latency_curve(self) -> list[tuple[float, float]]:
+        return [(x, r.latency_ratio) for x, r in zip(self.x_values, self.results)]
+
+    def power_curve(self) -> list[tuple[float, float]]:
+        return [(x, r.power_ratio) for x, r in zip(self.x_values, self.results)]
+
+    def plp_curve(self) -> list[tuple[float, float]]:
+        return [
+            (x, r.power_latency_product)
+            for x, r in zip(self.x_values, self.results)
+        ]

@@ -1,0 +1,93 @@
+"""Switch-allocation arbiters.
+
+Each router output port arbitrates among the input ports requesting it every
+cycle.  Two classic schemes are provided:
+
+* :class:`RoundRobinArbiter` — the default; strongly fair, one-hot grant,
+  rotating priority (what PopNet-style simulators use for SA).
+* :class:`MatrixArbiter` — least-recently-served; provided as a design-space
+  extension and exercised by the ablation benchmarks.
+
+Arbiters are tiny pieces of mutable state with a single ``grant`` method so
+they can be unit- and property-tested in isolation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigError
+
+
+class RoundRobinArbiter:
+    """Rotating-priority arbiter over ``size`` requesters."""
+
+    __slots__ = ("size", "_next")
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ConfigError(f"arbiter size must be >= 1, got {size!r}")
+        self.size = size
+        self._next = 0
+
+    def grant(self, requests: Sequence[int]) -> int:
+        """Grant one requester and rotate priority past it.
+
+        ``requests`` is the collection of requesting indices (any order).
+        Returns the granted index, or -1 if no one requested.
+        """
+        if not requests:
+            return -1
+        best = -1
+        best_key = self.size  # larger than any rotated distance
+        for r in requests:
+            if not 0 <= r < self.size:
+                raise ConfigError(f"request index {r!r} outside [0, {self.size})")
+            key = (r - self._next) % self.size
+            if key < best_key:
+                best_key = key
+                best = r
+        self._next = (best + 1) % self.size
+        return best
+
+
+class MatrixArbiter:
+    """Least-recently-served arbiter using the classic priority matrix.
+
+    ``_beats[i][j]`` is True when requester ``i`` currently outranks ``j``.
+    The winner is the requester that beats every other requester; after a
+    grant the winner drops below everyone (its row clears, its column sets).
+    """
+
+    __slots__ = ("size", "_beats")
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ConfigError(f"arbiter size must be >= 1, got {size!r}")
+        self.size = size
+        # Initialise with a total order: lower index beats higher index.
+        self._beats = [[i < j for j in range(size)] for i in range(size)]
+
+    def grant(self, requests: Sequence[int]) -> int:
+        """Grant the least-recently-served requester, or -1 if none."""
+        if not requests:
+            return -1
+        active = set()
+        for r in requests:
+            if not 0 <= r < self.size:
+                raise ConfigError(f"request index {r!r} outside [0, {self.size})")
+            active.add(r)
+        winner = -1
+        for i in active:
+            if all(self._beats[i][j] for j in active if j != i):
+                winner = i
+                break
+        if winner < 0:
+            # The matrix invariant guarantees a unique winner among any
+            # subset; reaching here means the matrix was corrupted.
+            raise ConfigError("priority matrix lost its total-order invariant")
+        for j in range(self.size):
+            if j != winner:
+                self._beats[winner][j] = False
+                self._beats[j][winner] = True
+        return winner

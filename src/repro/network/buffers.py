@@ -1,0 +1,138 @@
+"""Input buffering and credit accounting.
+
+The paper's routers have 16-flit input buffers per port with credit-based
+backpressure: the upstream side of each link holds a credit counter equal to
+the free slots downstream and may only forward a flit while credits remain.
+
+:class:`InputBuffer` is the downstream FIFO; :class:`CreditCounter` is the
+upstream view.  They are kept separate (rather than peeking across the link)
+because that is the invariant hardware must maintain — the property tests
+drive both ends and assert they never disagree.
+
+The buffer also integrates its own occupancy over time.  The power-aware
+policy (paper Eq. 10) needs the *average* buffer utilisation ``Bu`` over a
+sampling window; integrating at push/pop events makes that O(flits) instead
+of O(cycles x ports).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigError, SimulationError
+from repro.network.flit import Flit
+
+
+class InputBuffer:
+    """A bounded FIFO of flits at a router input port.
+
+    ``push``/``pop`` take the current cycle so the buffer can maintain a
+    time-weighted occupancy integral for the policy's ``Bu`` statistic.
+    """
+
+    __slots__ = ("capacity", "_fifo", "_occ_integral", "_last_event")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigError(f"buffer capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        self._fifo: deque[Flit] = deque()
+        self._occ_integral = 0.0
+        self._last_event = 0.0
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of flits currently buffered."""
+        return len(self._fifo)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._fifo)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._fifo
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._fifo) >= self.capacity
+
+    def head(self) -> Flit:
+        """Peek the oldest buffered flit (raises if empty)."""
+        if not self._fifo:
+            raise SimulationError("head() on an empty input buffer")
+        return self._fifo[0]
+
+    def _advance(self, now: float) -> None:
+        self._occ_integral += len(self._fifo) * (now - self._last_event)
+        self._last_event = now
+
+    def push(self, flit: Flit, now: float) -> None:
+        """Append an arriving flit at cycle ``now``.
+
+        Overflow is a credit-protocol violation, so it raises
+        :class:`SimulationError` instead of dropping silently.
+        """
+        if len(self._fifo) >= self.capacity:
+            raise SimulationError(
+                "input buffer overflow: upstream sent a flit without credit"
+            )
+        self._advance(now)
+        self._fifo.append(flit)
+
+    def pop(self, now: float) -> Flit:
+        """Remove and return the oldest flit at cycle ``now``."""
+        if not self._fifo:
+            raise SimulationError("pop() on an empty input buffer")
+        self._advance(now)
+        return self._fifo.popleft()
+
+    def mean_utilisation(self, window_start: float, window_end: float) -> float:
+        """Average fraction of slots occupied over a closed window.
+
+        Implements the ``Bu`` term of paper Eq. 10 for one buffer.  Call at
+        each window boundary; the internal integral is then reset so the
+        next window starts fresh.
+        """
+        if window_end <= window_start:
+            raise ConfigError(
+                f"window must have positive length: [{window_start}, {window_end}]"
+            )
+        self._advance(window_end)
+        mean_occupancy = self._occ_integral / (window_end - window_start)
+        self._occ_integral = 0.0
+        return min(1.0, mean_occupancy / self.capacity)
+
+
+class CreditCounter:
+    """Upstream credit state for one downstream input buffer."""
+
+    __slots__ = ("capacity", "_credits")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigError(f"credit capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        self._credits = capacity
+
+    @property
+    def available(self) -> int:
+        return self._credits
+
+    def can_send(self) -> bool:
+        return self._credits > 0
+
+    def consume(self) -> None:
+        """Spend one credit when forwarding a flit downstream."""
+        if self._credits <= 0:
+            raise SimulationError("credit underflow: sent a flit with zero credits")
+        self._credits -= 1
+
+    def refill(self) -> None:
+        """Return one credit when the downstream buffer drains a flit."""
+        if self._credits >= self.capacity:
+            raise SimulationError("credit overflow: more credits than buffer slots")
+        self._credits += 1

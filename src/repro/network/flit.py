@@ -1,0 +1,49 @@
+"""Flit — the flow-control unit moved by the simulator.
+
+The paper's routers operate on fixed-size 16-bit flits regardless of the
+(variable) link bit rates; a packet is a train of flits led by a *head* flit
+that carries the route and closed by a *tail* flit that releases wormhole
+resources.
+
+Flits are the hot-path object of the simulator, so the class is deliberately
+minimal: ``__slots__``, no properties on the fast fields, and identity by
+object (never compared by value).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.network.packet import Packet
+
+
+class Flit:
+    """One flow-control unit of a packet.
+
+    Attributes
+    ----------
+    packet:
+        The owning :class:`~repro.network.packet.Packet`.
+    index:
+        Position within the packet (0 = head).
+    is_head / is_tail:
+        Wormhole role markers.  A single-flit packet is both.
+    vc:
+        The virtual channel the flit currently travels in.  Rewritten at
+        every hop by switch traversal (the flit carries the *downstream*
+        VC id while on a link).
+    """
+
+    __slots__ = ("packet", "index", "is_head", "is_tail", "vc")
+
+    def __init__(self, packet: "Packet", index: int, is_head: bool, is_tail: bool):
+        self.packet = packet
+        self.index = index
+        self.is_head = is_head
+        self.is_tail = is_tail
+        self.vc = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "H" if self.is_head else ("T" if self.is_tail else "B")
+        return f"Flit(pkt={self.packet.packet_id}, idx={self.index}, {role})"

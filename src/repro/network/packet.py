@@ -1,0 +1,73 @@
+"""Packet — a multi-flit message between two processing nodes.
+
+Carries the identifiers and timestamps the statistics layer needs.  Packet
+latency (paper Section 4.1) runs "from the creation of the first flit of the
+packet till the ejection of its last flit from the network at the
+destination".
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.network.flit import Flit
+
+
+class Packet:
+    """A message of ``size`` flits from node ``src`` to node ``dst``.
+
+    Attributes
+    ----------
+    packet_id:
+        Unique, monotonically assigned by the traffic layer.
+    src, dst:
+        Flat processing-node identifiers (not router ids).
+    size:
+        Number of flits, >= 1.
+    create_time:
+        Cycle at which the packet was generated (latency epoch start).
+    eject_time:
+        Cycle at which the tail flit reached the destination node, or -1
+        while in flight.
+    """
+
+    __slots__ = ("packet_id", "src", "dst", "size", "create_time", "eject_time")
+
+    def __init__(self, packet_id: int, src: int, dst: int, size: int,
+                 create_time: int):
+        if size < 1:
+            raise ConfigError(f"packet size must be >= 1 flit, got {size!r}")
+        if src == dst:
+            raise ConfigError(f"packet src and dst must differ, both {src!r}")
+        self.packet_id = packet_id
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.create_time = create_time
+        self.eject_time = -1
+
+    def make_flits(self) -> list[Flit]:
+        """Materialise the packet's flit train (head first, tail last)."""
+        last = self.size - 1
+        return [
+            Flit(self, i, is_head=(i == 0), is_tail=(i == last))
+            for i in range(self.size)
+        ]
+
+    @property
+    def latency(self) -> int:
+        """Completed-packet latency in cycles.
+
+        Raises if the packet has not been ejected yet: asking for the
+        latency of an in-flight packet is always a bookkeeping bug.
+        """
+        if self.eject_time < 0:
+            raise ConfigError(
+                f"packet {self.packet_id} is still in flight; no latency yet"
+            )
+        return self.eject_time - self.create_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(id={self.packet_id}, {self.src}->{self.dst}, "
+            f"size={self.size}, t={self.create_time})"
+        )

@@ -1,0 +1,251 @@
+"""The 5-stage pipelined virtual-channel wormhole router (paper Fig. 4(b)).
+
+Each router has ``L`` local ports (injection inputs / ejection outputs to
+the processing nodes of its rack) plus four mesh ports.  The pipeline is
+the classic BW -> RC -> VA -> SA -> ST/LT of the PopNet simulator the paper
+builds on: a head flit that reaches the front of its virtual-channel (VC)
+buffer spends :attr:`Router.head_delay` cycles in route computation and
+allocation before competing for the switch; body flits inherit the route
+and VC and flow one per cycle behind it.
+
+Virtual channels: every input port's buffer space is divided among
+``num_vcs`` VCs.  A packet claims one downstream VC per hop (VC
+allocation) and holds it until its tail leaves, but the *link* serialiser
+is shared flit by flit — two packets heading over the same fiber interleave
+at flit granularity instead of blocking each other for a whole 48-flit
+packet.  Credits are per-VC.
+
+The router core runs at a fixed frequency while links run at their own
+(variable) rates — a flit only wins switch allocation when its output link
+can start serialising (``link.can_accept``) and a downstream credit exists,
+so slow or disabled links exert backpressure exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError, SimulationError
+from repro.network.arbiters import RoundRobinArbiter
+from repro.network.buffers import CreditCounter, InputBuffer
+from repro.network.flit import Flit
+from repro.network.links import Link
+from repro.network.routing import RoutingFunction
+
+
+class VirtualChannel:
+    """Per-VC state at an input port: buffer + wormhole route/VC latches."""
+
+    __slots__ = ("buffer", "route_out", "eligible_at", "out_vc")
+
+    def __init__(self, buffer: InputBuffer):
+        self.buffer = buffer
+        self.route_out = -1
+        self.eligible_at = 0.0
+        self.out_vc = -1
+
+
+class InputPort:
+    """An input port: ``num_vcs`` virtual channels plus upstream credits."""
+
+    __slots__ = ("vcs", "upstream_credits")
+
+    def __init__(self, num_vcs: int, vc_depth: int):
+        self.vcs = [VirtualChannel(InputBuffer(vc_depth))
+                    for _ in range(num_vcs)]
+        #: Per-VC credit counters held by whoever feeds this port (the
+        #: upstream router's output port, or the node for injection ports).
+        self.upstream_credits: list[CreditCounter] | None = None
+
+    @property
+    def occupancy(self) -> int:
+        """Total flits buffered across all VCs."""
+        return sum(vc.buffer.occupancy for vc in self.vcs)
+
+    def buffers(self) -> tuple[InputBuffer, ...]:
+        return tuple(vc.buffer for vc in self.vcs)
+
+
+class OutputPort:
+    """An output port: the link, downstream VC ownership and credits."""
+
+    __slots__ = ("link", "credits", "vc_owner", "arbiter")
+
+    def __init__(self, link: Link, credits: list[CreditCounter] | None,
+                 num_vcs: int, arbiter: RoundRobinArbiter):
+        self.link = link
+        #: Per-VC credits for the downstream input port; ``None`` for
+        #: ejection ports, whose node sinks consume flits unconditionally.
+        self.credits = credits
+        #: Which (input port, input VC) owns each downstream VC, or None.
+        self.vc_owner: list[tuple[int, int] | None] = [None] * num_vcs
+        self.arbiter = arbiter
+
+    def free_vc(self) -> int:
+        """Lowest-index unowned downstream VC, or -1 if none."""
+        for index, owner in enumerate(self.vc_owner):
+            if owner is None:
+                return index
+        return -1
+
+
+class Router:
+    """One communication router of the clustered system."""
+
+    __slots__ = (
+        "router_id", "x", "y", "mesh_width", "num_local", "num_ports",
+        "num_vcs", "inputs", "outputs", "route_fn", "head_delay",
+        "nodes_per_cluster", "_active",
+    )
+
+    def __init__(self, router_id: int, x: int, y: int, mesh_width: int,
+                 num_local: int, buffer_depth: int, num_vcs: int,
+                 head_delay: int, route_fn: RoutingFunction,
+                 nodes_per_cluster: int):
+        if num_local < 1:
+            raise ConfigError(f"num_local must be >= 1, got {num_local!r}")
+        if mesh_width < 1:
+            raise ConfigError(f"mesh_width must be >= 1, got {mesh_width!r}")
+        if num_vcs < 1:
+            raise ConfigError(f"num_vcs must be >= 1, got {num_vcs!r}")
+        if buffer_depth < num_vcs:
+            raise ConfigError(
+                f"buffer_depth {buffer_depth} cannot hold {num_vcs} VCs"
+            )
+        self.router_id = router_id
+        self.x = x
+        self.y = y
+        self.mesh_width = mesh_width
+        self.num_local = num_local
+        self.num_ports = num_local + 4
+        self.num_vcs = num_vcs
+        vc_depth = buffer_depth // num_vcs
+        self.inputs = [InputPort(num_vcs, vc_depth)
+                       for _ in range(self.num_ports)]
+        # Output ports are attached by the topology builder; missing mesh
+        # directions (edge routers) stay None and must never be routed to.
+        self.outputs: list[OutputPort | None] = [None] * self.num_ports
+        self.route_fn = route_fn
+        self.head_delay = head_delay
+        self.nodes_per_cluster = nodes_per_cluster
+        self._active: set[int] = set()
+
+    def attach_output(self, port: int, output: OutputPort) -> None:
+        """Wire an output port (done once by the topology builder)."""
+        if self.outputs[port] is not None:
+            raise ConfigError(
+                f"router {self.router_id} output {port} already attached"
+            )
+        self.outputs[port] = output
+
+    def receive_flit(self, port: int, flit: Flit, now: float) -> None:
+        """Accept a flit delivered by the input link of ``port``."""
+        if not 0 <= flit.vc < self.num_vcs:
+            raise SimulationError(
+                f"flit arrived on router {self.router_id} port {port} with "
+                f"VC {flit.vc} outside [0, {self.num_vcs})"
+            )
+        self.inputs[port].vcs[flit.vc].buffer.push(flit, now)
+        self._active.add(port)
+
+    def _route(self, flit: Flit) -> int:
+        """Compute the output port for a head flit (the RC stage)."""
+        dst = flit.packet.dst
+        dst_router, dst_local = divmod(dst, self.nodes_per_cluster)
+        if dst_router == self.router_id:
+            return dst_local
+        dst_x = dst_router % self.mesh_width
+        dst_y = dst_router // self.mesh_width
+        direction = self.route_fn(self.x, self.y, dst_x, dst_y)
+        if direction < 0:
+            raise SimulationError(
+                f"routing returned 'arrived' for a remote destination "
+                f"{dst!r} at router {self.router_id}"
+            )
+        return self.num_local + direction
+
+    def step(self, now: float) -> list[tuple[int, Flit]]:
+        """One allocation + traversal cycle.
+
+        Returns the (output port, flit) pairs forwarded this cycle — used
+        by tests; the flits are already on their links.
+        """
+        if not self._active:
+            return []
+        num_vcs = self.num_vcs
+        requests: dict[int, list[tuple[int, int]]] = {}
+        pressured: set[int] = set()
+        retired: list[int] = []
+        for i in self._active:
+            port = self.inputs[i]
+            any_buffered = False
+            for v, vc in enumerate(port.vcs):
+                buf = vc.buffer
+                if buf.is_empty:
+                    continue
+                any_buffered = True
+                if vc.route_out < 0:
+                    head = buf.head()
+                    if not head.is_head:
+                        raise SimulationError(
+                            "wormhole invariant broken: body flit at VC head "
+                            "with no latched route"
+                        )
+                    vc.route_out = self._route(head)
+                    if self.outputs[vc.route_out] is None:
+                        raise SimulationError(
+                            f"routing chose unattached output {vc.route_out} "
+                            f"at router {self.router_id}"
+                        )
+                    vc.eligible_at = now + self.head_delay
+                pressured.add(vc.route_out)
+                if now < vc.eligible_at:
+                    continue
+                op = self.outputs[vc.route_out]
+                if vc.out_vc < 0:
+                    # VC allocation: claim a free downstream VC.
+                    grant = op.free_vc()
+                    if grant < 0:
+                        continue
+                    op.vc_owner[grant] = (i, v)
+                    vc.out_vc = grant
+                if not op.link.can_accept(now):
+                    continue
+                if op.credits is not None and \
+                        not op.credits[vc.out_vc].can_send():
+                    continue
+                requests.setdefault(vc.route_out, []).append((i, v))
+            if not any_buffered:
+                retired.append(i)
+        for i in retired:
+            self._active.discard(i)
+        for out_idx in pressured:
+            self.outputs[out_idx].link.pressure_accum += 1.0
+
+        forwarded: list[tuple[int, Flit]] = []
+        for out_idx, reqs in requests.items():
+            op = self.outputs[out_idx]
+            if len(reqs) == 1:
+                winner_port, winner_vc = reqs[0]
+            else:
+                encoded = op.arbiter.grant(
+                    [p * num_vcs + v for p, v in reqs]
+                )
+                winner_port, winner_vc = divmod(encoded, num_vcs)
+            port = self.inputs[winner_port]
+            vc = port.vcs[winner_vc]
+            flit = vc.buffer.pop(now)
+            flit.vc = vc.out_vc
+            if op.credits is not None:
+                op.credits[vc.out_vc].consume()
+            if port.upstream_credits is not None:
+                port.upstream_credits[winner_vc].refill()
+            op.link.push(flit, now)
+            forwarded.append((out_idx, flit))
+            if flit.is_tail:
+                op.vc_owner[vc.out_vc] = None
+                vc.route_out = -1
+                vc.out_vc = -1
+            else:
+                vc.eligible_at = now + 1.0
+            if port.occupancy == 0:
+                self._active.discard(winner_port)
+        return forwarded

@@ -1,0 +1,103 @@
+"""Routing algorithms for the clustered 2-D mesh.
+
+The paper's inter-rack network is a general two-dimensional mesh; we use
+dimension-order (XY) routing as the deadlock-free default, with YX and a
+simple minimal-adaptive variant as design-space extensions.
+
+Port-numbering convention (shared with :mod:`repro.network.router`): a
+router with ``L`` local ports numbers them ``0 .. L-1`` (injection on the
+input side, ejection on the output side), followed by the four mesh
+directions ``L+EAST``, ``L+WEST``, ``L+NORTH``, ``L+SOUTH``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ConfigError
+
+EAST = 0
+WEST = 1
+NORTH = 2
+SOUTH = 3
+
+#: Human-readable direction names, indexed by direction constant.
+DIRECTION_NAMES = ("east", "west", "north", "south")
+
+#: Opposite of each direction (EAST<->WEST, NORTH<->SOUTH).
+OPPOSITE = (WEST, EAST, SOUTH, NORTH)
+
+#: Signature of a routing function: (src_x, src_y, dst_x, dst_y) -> direction
+#: constant, or -1 when the packet has arrived at its destination router.
+RoutingFunction = Callable[[int, int, int, int], int]
+
+
+def xy_route(src_x: int, src_y: int, dst_x: int, dst_y: int) -> int:
+    """Dimension-order routing: exhaust X hops before any Y hop."""
+    if dst_x > src_x:
+        return EAST
+    if dst_x < src_x:
+        return WEST
+    if dst_y > src_y:
+        return SOUTH
+    if dst_y < src_y:
+        return NORTH
+    return -1
+
+
+def yx_route(src_x: int, src_y: int, dst_x: int, dst_y: int) -> int:
+    """Dimension-order routing, Y first (also deadlock-free on a mesh)."""
+    if dst_y > src_y:
+        return SOUTH
+    if dst_y < src_y:
+        return NORTH
+    if dst_x > src_x:
+        return EAST
+    if dst_x < src_x:
+        return WEST
+    return -1
+
+
+def make_west_first_route() -> RoutingFunction:
+    """West-first turn-model routing (partially adaptive, deadlock-free).
+
+    All westward hops are taken first; once heading east the packet may
+    take X or Y hops in any order.  We implement the deterministic member
+    of the family: prefer the X dimension when both are productive.
+    """
+
+    def west_first(src_x: int, src_y: int, dst_x: int, dst_y: int) -> int:
+        if dst_x < src_x:
+            return WEST
+        if dst_x > src_x:
+            return EAST
+        if dst_y > src_y:
+            return SOUTH
+        if dst_y < src_y:
+            return NORTH
+        return -1
+
+    return west_first
+
+
+ROUTING_FUNCTIONS: dict[str, RoutingFunction] = {
+    "xy": xy_route,
+    "yx": yx_route,
+    "west_first": make_west_first_route(),
+}
+
+
+def get_routing_function(name: str) -> RoutingFunction:
+    """Look up a routing function by name, raising on unknown names."""
+    try:
+        return ROUTING_FUNCTIONS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown routing algorithm {name!r}; "
+            f"known: {sorted(ROUTING_FUNCTIONS)}"
+        ) from None
+
+
+def hop_count(src_x: int, src_y: int, dst_x: int, dst_y: int) -> int:
+    """Minimal mesh hop count between two routers (Manhattan distance)."""
+    return abs(dst_x - src_x) + abs(dst_y - src_y)

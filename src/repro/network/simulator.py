@@ -1,0 +1,182 @@
+"""The cycle-driven simulator core.
+
+Ties topology, traffic, routers and the power manager together.  One call
+to :meth:`Simulator.step` advances the whole system one router cycle, in a
+fixed phase order chosen so every component sees a consistent picture:
+
+1. **deliver** — flits whose link arrival time has passed enter downstream
+   input buffers (or node sinks);
+2. **route** — every router runs one switch-allocation/traversal cycle,
+   pushing winners onto their output links;
+3. **inject** — node boards push source-queue flits onto injection links;
+4. **generate** — the traffic source creates this cycle's new packets;
+5. **power** — the power manager advances transitions and, on window/epoch
+   boundaries, runs the policy controllers; power samples are taken every
+   ``sample_interval`` cycles.
+
+Determinism: given identical configs and seeds, runs are bit-identical —
+there is no wall-clock or unordered-set iteration in any decision path
+(the delivery loop iterates a sorted snapshot of the active-link set).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigError, SimulationError
+from repro.network.links import Link
+from repro.network.stats import StatsCollector
+from repro.network.topology import ClusteredMesh
+from repro.traffic.base import TrafficSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (cycle guard)
+    from repro.core.manager import NetworkPowerManager
+
+
+class Simulator:
+    """One simulated power-aware (or baseline) networked system."""
+
+    def __init__(self, config: SimulationConfig, traffic: TrafficSource):
+        if traffic.num_nodes != config.network.num_nodes:
+            raise ConfigError(
+                f"traffic source built for {traffic.num_nodes} nodes but the "
+                f"network has {config.network.num_nodes}"
+            )
+        self.config = config
+        self.traffic = traffic
+        self.stats = StatsCollector(config.warmup_cycles,
+                                    config.sample_interval)
+        self.network = ClusteredMesh(config.network, self.stats)
+        self.power: "NetworkPowerManager | None" = None
+        if config.power is not None:
+            # Imported here to break the package cycle: the power manager
+            # wraps network links, while the simulator wraps the manager.
+            from repro.core.manager import NetworkPowerManager
+
+            self.power = NetworkPowerManager(
+                self.network, config.power, config.network
+            )
+        self.cycle = 0
+        self._active_links: set[Link] = set()
+        for link in self.network.links:
+            link.registry = self._active_links
+        self._last_delivery_count = 0
+        self._last_delivery_cycle = 0
+
+    def step(self) -> None:
+        """Advance the system by one router cycle."""
+        now = self.cycle
+
+        # 1. Deliver link arrivals.  Snapshot + sort for determinism: the
+        #    set is mutated during iteration (links drain and new pushes in
+        #    phase 2/3 re-register for *later* cycles).
+        if self._active_links:
+            for link in sorted(self._active_links, key=_link_key):
+                arrivals = link.pop_arrivals(now)
+                if arrivals:
+                    deliver = link.deliver
+                    for flit in arrivals:
+                        deliver(flit, now)
+                if not link.has_in_flight:
+                    self._active_links.discard(link)
+
+        # 2. Router switch allocation + traversal.
+        for router in self.network.routers:
+            router.step(now)
+
+        # 3. Node injection.
+        for node in self.network.nodes:
+            if node.queue:
+                node.step(now)
+
+        # 4. New traffic.
+        for packet in self.traffic.generate(now):
+            self.stats.packet_created(packet, now)
+            self.network.nodes[packet.src].enqueue_packet(packet)
+
+        # 5. Power control.
+        power = self.power
+        if power is not None:
+            power.on_cycle(now)
+            if now % self.config.sample_interval == 0:
+                power.sample_power(now)
+
+        # 6. Stall watchdog (cheap: checked every 256 cycles).
+        limit = self.config.stall_limit_cycles
+        if limit and now % 256 == 0:
+            self._check_stall(now, limit)
+
+        self.cycle = now + 1
+
+    def _check_stall(self, now: int, limit: int) -> None:
+        delivered = self.stats.packets_delivered
+        if delivered != self._last_delivery_count:
+            self._last_delivery_count = delivered
+            self._last_delivery_cycle = now
+        elif self.stats.in_flight > 0 and \
+                now - self._last_delivery_cycle >= limit:
+            from repro.metrics.inspect import congestion_report
+
+            raise SimulationError(
+                f"no packet delivered for {now - self._last_delivery_cycle} "
+                f"cycles with {self.stats.in_flight} in flight — likely a "
+                f"flow-control bug.\n{congestion_report(self)}"
+            )
+
+    def run(self, cycles: int) -> None:
+        """Run ``cycles`` more cycles."""
+        if cycles < 0:
+            raise ConfigError(f"cycles must be >= 0, got {cycles!r}")
+        step = self.step
+        for _ in range(cycles):
+            step()
+
+    def run_until_drained(self, max_cycles: int,
+                          poll_interval: int = 512) -> bool:
+        """Run until the trace is replayed and all packets delivered.
+
+        Returns True if the network drained before ``max_cycles``.  Used by
+        trace experiments so latency statistics cover every packet.
+        """
+        if max_cycles < 1:
+            raise ConfigError("max_cycles must be >= 1")
+        deadline = self.cycle + max_cycles
+        while self.cycle < deadline:
+            self.step()
+            if self.cycle % poll_interval == 0 and self._is_drained():
+                return True
+        return self._is_drained()
+
+    def _is_drained(self) -> bool:
+        return (
+            self.traffic.exhausted(self.cycle)
+            and self.stats.in_flight == 0
+            and not self._active_links
+            and self.network.total_pending_flits == 0
+        )
+
+    def finalize(self) -> None:
+        """Flush power-accounting integrals at the end of a run."""
+        if self.power is not None:
+            self.power.finalize(self.cycle)
+
+    # -- results ----------------------------------------------------------------
+
+    def relative_power(self) -> float:
+        """Average power vs. the non-power-aware baseline (1.0 if baseline)."""
+        if self.power is None:
+            return 1.0
+        self.finalize()
+        return self.power.relative_power(self.cycle)
+
+    def summary(self) -> dict[str, float]:
+        """Headline metrics of the run so far."""
+        result = self.stats.summary(max(1, self.cycle))
+        result["relative_power"] = self.relative_power()
+        result["cycles"] = float(self.cycle)
+        return result
+
+
+def _link_key(link: Link) -> int:
+    return link.link_id

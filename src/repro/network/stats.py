@@ -1,0 +1,137 @@
+"""Latency/throughput statistics collection.
+
+Implements the metrics of paper Section 4.1:
+
+* **latency** — "the time from the creation of the first flit of the packet
+  till the ejection of its last flit from the network at the destination";
+* **throughput** — "the injection rate at which average network latency
+  exceeds twice the latency at zero network load" (the search lives in
+  :mod:`repro.metrics.latency`; this module provides the averages);
+* time series of injected/delivered packets for the Fig. 6(a)/Fig. 7
+  injection-rate plots.
+
+Packets created during the warm-up period are excluded from the averages but
+still simulated, so steady-state numbers are not polluted by cold-start
+transients.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+from repro.network.packet import Packet
+
+
+class StatsCollector:
+    """Accumulates packet-level statistics for one simulation run."""
+
+    def __init__(self, warmup_cycles: int = 0, sample_interval: int = 1000):
+        if warmup_cycles < 0:
+            raise ConfigError("warmup_cycles must be >= 0")
+        if sample_interval < 1:
+            raise ConfigError("sample_interval must be >= 1")
+        self.warmup_cycles = warmup_cycles
+        self.sample_interval = sample_interval
+        self.packets_created = 0
+        self.packets_delivered = 0
+        self.flits_delivered = 0
+        self.measured_delivered = 0
+        self.latency_sum = 0.0
+        self.latency_max = 0.0
+        self.latencies: list[float] = []
+        self.in_flight = 0
+        # Time series: one bucket per sample_interval of (created, delivered)
+        # counts and delivered-latency sums (for mean-latency-over-time).
+        self._created_series: list[int] = []
+        self._delivered_series: list[int] = []
+        self._latency_sum_series: list[float] = []
+
+    def _bucket(self, now: float) -> int:
+        return int(now // self.sample_interval)
+
+    def _grow(self, series: list[int], bucket: int) -> None:
+        while len(series) <= bucket:
+            series.append(0)
+
+    def packet_created(self, packet: Packet, now: float) -> None:
+        """Record a generated packet at cycle ``now``."""
+        self.packets_created += 1
+        self.in_flight += 1
+        bucket = self._bucket(now)
+        self._grow(self._created_series, bucket)
+        self._created_series[bucket] += 1
+
+    def packet_delivered(self, packet: Packet, now: float) -> None:
+        """Record a packet whose tail flit reached its destination node."""
+        packet.eject_time = int(now)
+        self.packets_delivered += 1
+        self.flits_delivered += packet.size
+        self.in_flight -= 1
+        bucket = self._bucket(now)
+        self._grow(self._delivered_series, bucket)
+        self._grow(self._latency_sum_series, bucket)
+        self._delivered_series[bucket] += 1
+        self._latency_sum_series[bucket] += now - packet.create_time
+        if packet.create_time >= self.warmup_cycles:
+            latency = now - packet.create_time
+            self.measured_delivered += 1
+            self.latency_sum += latency
+            self.latencies.append(latency)
+            if latency > self.latency_max:
+                self.latency_max = latency
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean measured packet latency, cycles (NaN with no packets)."""
+        if self.measured_delivered == 0:
+            return math.nan
+        return self.latency_sum / self.measured_delivered
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Latency percentile over measured packets (``fraction`` in [0,1])."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigError(f"fraction must lie in [0, 1], got {fraction!r}")
+        if not self.latencies:
+            return math.nan
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    def accepted_rate(self, total_cycles: int) -> float:
+        """Delivered packets per cycle over the whole run."""
+        if total_cycles <= 0:
+            raise ConfigError("total_cycles must be positive")
+        return self.packets_delivered / total_cycles
+
+    def injection_series(self) -> list[float]:
+        """Injected packets per cycle, one point per sample interval."""
+        return [c / self.sample_interval for c in self._created_series]
+
+    def delivery_series(self) -> list[float]:
+        """Delivered packets per cycle, one point per sample interval."""
+        return [d / self.sample_interval for d in self._delivered_series]
+
+    def latency_series(self) -> list[float]:
+        """Mean latency of packets delivered in each interval (NaN if none).
+
+        This is the latency-over-time view of Fig. 6(b)(c); intervals with
+        no deliveries yield NaN rather than a misleading zero.
+        """
+        return [
+            total / count if count else math.nan
+            for total, count in zip(self._latency_sum_series,
+                                    self._delivered_series)
+        ]
+
+    def summary(self, total_cycles: int) -> dict[str, float]:
+        """One-shot dictionary of the headline numbers."""
+        return {
+            "packets_created": float(self.packets_created),
+            "packets_delivered": float(self.packets_delivered),
+            "mean_latency": self.mean_latency,
+            "p95_latency": self.latency_percentile(0.95),
+            "max_latency": self.latency_max,
+            "accepted_rate": self.accepted_rate(total_cycles),
+            "in_flight": float(self.in_flight),
+        }

@@ -1,0 +1,260 @@
+"""Clustered 2-D mesh topology builder (paper Figs. 3-4).
+
+The system is a ``width x height`` mesh of racks.  Each rack houses
+``nodes_per_cluster`` processing-node boards and one router board; every
+board-to-board and rack-to-rack connection is a unidirectional
+opto-electronic fiber link:
+
+* **injection links** — node board -> router (one per node),
+* **ejection links** — router -> node board (one per node),
+* **mesh links** — router -> neighbouring router (two per adjacent pair,
+  one in each direction).
+
+The builder wires per-VC credits end to end: every input-port VC buffer has
+exactly one upstream credit counter, held by the router output port (mesh
+links) or the node (injection links) that feeds it.  Ejection links have no
+credits — node sinks always accept.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.config import NetworkConfig
+from repro.errors import ConfigError
+from repro.network.arbiters import MatrixArbiter, RoundRobinArbiter
+from repro.network.buffers import CreditCounter, InputBuffer
+from repro.network.flit import Flit
+from repro.network.links import EJECTION, INJECTION, MESH, Link
+from repro.network.packet import Packet
+from repro.network.router import OutputPort, Router
+from repro.network.routing import (
+    EAST,
+    NORTH,
+    OPPOSITE,
+    SOUTH,
+    WEST,
+    get_routing_function,
+)
+from repro.network.stats import StatsCollector
+
+#: (dx, dy) per direction constant, matching :mod:`repro.network.routing`.
+DIRECTION_OFFSETS = {EAST: (1, 0), WEST: (-1, 0), NORTH: (0, -1), SOUTH: (0, 1)}
+
+
+class Node:
+    """A processing-node board: an injection queue and an ejection sink.
+
+    The node assigns each outgoing packet to one of its injection link's
+    virtual channels (the least-loaded one with credits) and streams the
+    packet's flits in order on that VC.
+    """
+
+    __slots__ = ("node_id", "queue", "link", "credits", "stats", "_vc")
+
+    def __init__(self, node_id: int, stats: StatsCollector):
+        self.node_id = node_id
+        self.queue: deque[Flit] = deque()
+        self.link: Link | None = None
+        self.credits: list[CreditCounter] | None = None
+        self.stats = stats
+        self._vc = -1
+
+    def enqueue_packet(self, packet: Packet) -> None:
+        """Queue a freshly generated packet's flits for injection."""
+        self.queue.extend(packet.make_flits())
+
+    def step(self, now: float) -> None:
+        """Inject at most one flit into the rack's router this cycle."""
+        if not self.queue:
+            return
+        self.link.pressure_accum += 1.0
+        if not self.link.can_accept(now):
+            return
+        flit = self.queue[0]
+        if flit.is_head:
+            chosen, best = -1, 0
+            for index, counter in enumerate(self.credits):
+                available = counter.available
+                if available > best:
+                    chosen, best = index, available
+            if chosen < 0:
+                return
+            self._vc = chosen
+        credits = self.credits[self._vc]
+        if not credits.can_send():
+            return
+        credits.consume()
+        flit.vc = self._vc
+        self.link.push(self.queue.popleft(), now)
+
+    def receive_flit(self, flit: Flit, now: float) -> None:
+        """Sink an ejected flit; completes the packet on its tail."""
+        if flit.is_tail:
+            self.stats.packet_delivered(flit.packet, now)
+
+    @property
+    def pending_flits(self) -> int:
+        """Flits still waiting in the source queue."""
+        return len(self.queue)
+
+
+class ClusteredMesh:
+    """The fully wired network: routers, nodes and links."""
+
+    def __init__(self, config: NetworkConfig, stats: StatsCollector):
+        self.config = config
+        self.stats = stats
+        route_fn = get_routing_function(config.routing)
+        width, height = config.mesh_width, config.mesh_height
+        locals_ = config.nodes_per_cluster
+
+        self.routers: list[Router] = []
+        for y in range(height):
+            for x in range(width):
+                self.routers.append(
+                    Router(
+                        router_id=y * width + x,
+                        x=x,
+                        y=y,
+                        mesh_width=width,
+                        num_local=locals_,
+                        buffer_depth=config.buffer_depth,
+                        num_vcs=config.num_vcs,
+                        head_delay=config.head_pipeline_delay,
+                        route_fn=route_fn,
+                        nodes_per_cluster=locals_,
+                    )
+                )
+
+        self.nodes: list[Node] = [
+            Node(node_id, stats) for node_id in range(config.num_nodes)
+        ]
+        self.links: list[Link] = []
+        #: Downstream input-port VC buffers per link id (None for ejection
+        #: links) — the power manager reads these for the Bu statistic.
+        self.downstream_buffers: list[tuple[InputBuffer, ...] | None] = []
+
+        self._wire_local_links()
+        self._wire_mesh_links()
+
+    # -- construction helpers ------------------------------------------------
+
+    def _new_link(self, kind: str) -> Link:
+        link = Link(
+            link_id=len(self.links),
+            kind=kind,
+            propagation_cycles=self.config.link_propagation_cycles,
+        )
+        self.links.append(link)
+        self.downstream_buffers.append(None)
+        return link
+
+    def _new_arbiter(self, router: Router):
+        size = router.num_ports * self.config.num_vcs
+        if self.config.arbiter == "matrix":
+            return MatrixArbiter(size)
+        return RoundRobinArbiter(size)
+
+    def _vc_credits(self) -> list[CreditCounter]:
+        depth = self.config.buffer_depth // self.config.num_vcs
+        return [CreditCounter(depth) for _ in range(self.config.num_vcs)]
+
+    def _wire_local_links(self) -> None:
+        """Injection/ejection links between each router and its rack nodes."""
+        locals_ = self.config.nodes_per_cluster
+        for router in self.routers:
+            for local in range(locals_):
+                node = self.nodes[router.router_id * locals_ + local]
+
+                inject = self._new_link(INJECTION)
+                in_port = router.inputs[local]
+                inject.deliver = _make_router_sink(router, local)
+                credits = self._vc_credits()
+                in_port.upstream_credits = credits
+                node.link = inject
+                node.credits = credits
+                self.downstream_buffers[inject.link_id] = in_port.buffers()
+
+                eject = self._new_link(EJECTION)
+                eject.deliver = node.receive_flit
+                router.attach_output(
+                    local,
+                    OutputPort(
+                        eject, credits=None, num_vcs=self.config.num_vcs,
+                        arbiter=self._new_arbiter(router),
+                    ),
+                )
+
+    def _wire_mesh_links(self) -> None:
+        """Unidirectional links between adjacent routers, both ways."""
+        width, height = self.config.mesh_width, self.config.mesh_height
+        locals_ = self.config.nodes_per_cluster
+        for router in self.routers:
+            for direction, (dx, dy) in DIRECTION_OFFSETS.items():
+                nx, ny = router.x + dx, router.y + dy
+                if not (0 <= nx < width and 0 <= ny < height):
+                    continue
+                neighbour = self.routers[ny * width + nx]
+                link = self._new_link(MESH)
+                in_port_idx = locals_ + OPPOSITE[direction]
+                in_port = neighbour.inputs[in_port_idx]
+                link.deliver = _make_router_sink(neighbour, in_port_idx)
+                credits = self._vc_credits()
+                in_port.upstream_credits = credits
+                router.attach_output(
+                    locals_ + direction,
+                    OutputPort(
+                        link, credits=credits, num_vcs=self.config.num_vcs,
+                        arbiter=self._new_arbiter(router),
+                    ),
+                )
+                self.downstream_buffers[link.link_id] = in_port.buffers()
+
+    # -- queries -------------------------------------------------------------
+
+    def node_for(self, node_id: int) -> Node:
+        if not 0 <= node_id < len(self.nodes):
+            raise ConfigError(
+                f"node_id must be in [0, {len(self.nodes)}), got {node_id!r}"
+            )
+        return self.nodes[node_id]
+
+    def node_id(self, rack_x: int, rack_y: int, local: int) -> int:
+        """Flat node id for (rack column, rack row, node-within-rack).
+
+        Used by the hot-spot workload, whose paper description names
+        "node 4 in rack(3,5)".
+        """
+        width, height = self.config.mesh_width, self.config.mesh_height
+        locals_ = self.config.nodes_per_cluster
+        if not (0 <= rack_x < width and 0 <= rack_y < height):
+            raise ConfigError(
+                f"rack ({rack_x}, {rack_y}) outside {width}x{height} mesh"
+            )
+        if not 0 <= local < locals_:
+            raise ConfigError(
+                f"local index must be in [0, {locals_}), got {local!r}"
+            )
+        return (rack_y * width + rack_x) * locals_ + local
+
+    def links_of_kind(self, kind: str) -> list[Link]:
+        return [link for link in self.links if link.kind == kind]
+
+    @property
+    def total_pending_flits(self) -> int:
+        """Flits still queued at sources (drain check for trace runs)."""
+        return sum(node.pending_flits for node in self.nodes)
+
+
+def _make_router_sink(router: Router, port: int):
+    """Bind a delivery callback for a link feeding ``router``'s ``port``.
+
+    A module-level factory (not a lambda in a loop) so each closure captures
+    its own ``router``/``port`` pair.
+    """
+
+    def deliver(flit: Flit, now: float) -> None:
+        router.receive_flit(port, flit, now)
+
+    return deliver

@@ -1,0 +1,121 @@
+"""Topology self-checks.
+
+A mis-wired topology produces plausible-looking but wrong results (flits
+silently routed to the wrong rack, credits tracking the wrong buffer), so
+the builder's output can be audited with :func:`validate_topology` — used
+by tests, and cheap enough to run once at simulator construction in
+paranoid setups.
+"""
+
+from __future__ import annotations
+
+from repro.network.links import EJECTION, INJECTION, MESH
+from repro.network.routing import DIRECTION_NAMES, OPPOSITE
+from repro.network.topology import DIRECTION_OFFSETS, ClusteredMesh
+
+
+def validate_topology(mesh: ClusteredMesh) -> list[str]:
+    """Audit a built topology; returns a list of problems (empty = OK)."""
+    problems: list[str] = []
+    problems += _check_counts(mesh)
+    problems += _check_local_wiring(mesh)
+    problems += _check_mesh_wiring(mesh)
+    problems += _check_credit_identity(mesh)
+    return problems
+
+
+def _check_counts(mesh: ClusteredMesh) -> list[str]:
+    config = mesh.config
+    problems = []
+    expected_nodes = config.num_nodes
+    if len(mesh.nodes) != expected_nodes:
+        problems.append(
+            f"node count {len(mesh.nodes)} != expected {expected_nodes}"
+        )
+    injection = len(mesh.links_of_kind(INJECTION))
+    ejection = len(mesh.links_of_kind(EJECTION))
+    if injection != expected_nodes or ejection != expected_nodes:
+        problems.append(
+            f"local link counts ({injection} inj, {ejection} ej) != "
+            f"{expected_nodes} nodes"
+        )
+    w, h = config.mesh_width, config.mesh_height
+    expected_mesh = 2 * (2 * w * h - w - h)
+    actual_mesh = len(mesh.links_of_kind(MESH))
+    if actual_mesh != expected_mesh:
+        problems.append(
+            f"mesh link count {actual_mesh} != expected {expected_mesh}"
+        )
+    return problems
+
+
+def _check_local_wiring(mesh: ClusteredMesh) -> list[str]:
+    problems = []
+    for node in mesh.nodes:
+        if node.link is None or node.credits is None:
+            problems.append(f"node {node.node_id} has no injection wiring")
+            continue
+        if node.link.deliver is None:
+            problems.append(
+                f"node {node.node_id} injection link has no deliver target"
+            )
+    for link in mesh.links:
+        if link.deliver is None:
+            problems.append(f"link {link.link_id} ({link.kind}) undelivered")
+    return problems
+
+
+def _check_mesh_wiring(mesh: ClusteredMesh) -> list[str]:
+    """Every attached mesh output must lead to the geometric neighbour."""
+    problems = []
+    config = mesh.config
+    locals_ = config.nodes_per_cluster
+    for router in mesh.routers:
+        for direction, (dx, dy) in DIRECTION_OFFSETS.items():
+            port = locals_ + direction
+            output = router.outputs[port]
+            nx, ny = router.x + dx, router.y + dy
+            inside = 0 <= nx < config.mesh_width and \
+                0 <= ny < config.mesh_height
+            if output is None:
+                if inside:
+                    problems.append(
+                        f"router {router.router_id} missing "
+                        f"{DIRECTION_NAMES[direction]} output"
+                    )
+                continue
+            if not inside:
+                problems.append(
+                    f"router {router.router_id} has an off-mesh "
+                    f"{DIRECTION_NAMES[direction]} output"
+                )
+    return problems
+
+
+def _check_credit_identity(mesh: ClusteredMesh) -> list[str]:
+    """Each mesh output's credits must be the neighbour input's counters."""
+    problems = []
+    config = mesh.config
+    locals_ = config.nodes_per_cluster
+    width = config.mesh_width
+    for router in mesh.routers:
+        for direction, (dx, dy) in DIRECTION_OFFSETS.items():
+            port = locals_ + direction
+            output = router.outputs[port]
+            if output is None or output.credits is None:
+                continue
+            neighbour = mesh.routers[(router.y + dy) * width + (router.x + dx)]
+            in_port = neighbour.inputs[locals_ + OPPOSITE[direction]]
+            if output.credits is not in_port.upstream_credits:
+                problems.append(
+                    f"router {router.router_id} "
+                    f"{DIRECTION_NAMES[direction]} credits are not the "
+                    f"neighbour's upstream counters"
+                )
+            for counter in output.credits:
+                if counter.capacity != config.buffer_depth // config.num_vcs:
+                    problems.append(
+                        f"router {router.router_id} credit capacity "
+                        f"{counter.capacity} != per-VC depth"
+                    )
+    return problems

@@ -1,0 +1,74 @@
+"""Opto-electronic link component models (paper Section 2).
+
+Every component of the link of Fig. 1 is modelled here with its operating
+equations and power characteristics:
+
+* transmitters — :mod:`~repro.photonics.vcsel` (directly modulated VCSEL),
+  :mod:`~repro.photonics.modulator` (MQW modulator fed by an external
+  laser), and their cascaded-inverter :mod:`~repro.photonics.drivers`;
+* fiber plant — :mod:`~repro.photonics.laser` (external source, splitter
+  tree, VOAs) and :mod:`~repro.photonics.link_budget`;
+* receivers — :mod:`~repro.photonics.detector`,
+  :mod:`~repro.photonics.tia`, :mod:`~repro.photonics.cdr`;
+* the composed :mod:`~repro.photonics.power_model` reproducing Table 2.
+"""
+
+from repro.photonics.ber import (
+    Q_FOR_TARGET_BER,
+    ReceiverNoiseModel,
+    ber_from_q,
+    q_from_ber,
+)
+from repro.photonics.cdr import ClockDataRecovery, DEFAULT_RELOCK_CYCLES
+from repro.photonics.detector import Photodetector
+from repro.photonics.drivers import InverterChainDriver
+from repro.photonics.electrical import ElectricalLinkModel, compare_technologies
+from repro.photonics.laser import (
+    ExternalLaserSource,
+    OpticalSplitter,
+    SplitterTree,
+    VariableOpticalAttenuator,
+    VOA_RESPONSE_US,
+)
+from repro.photonics.link_budget import LinkBudget
+from repro.photonics.measured import MeasuredLinkPowerModel
+from repro.photonics.modulator import MqwModulator
+from repro.photonics.power_model import (
+    ComponentBudget,
+    LinkPowerModel,
+    PhysicsLinkModel,
+    ScalingTrend,
+    physics_table2,
+    vdd_for_bit_rate,
+)
+from repro.photonics.tia import TransimpedanceAmplifier
+from repro.photonics.vcsel import Vcsel
+
+__all__ = [
+    "ClockDataRecovery",
+    "ComponentBudget",
+    "DEFAULT_RELOCK_CYCLES",
+    "ElectricalLinkModel",
+    "ExternalLaserSource",
+    "InverterChainDriver",
+    "Q_FOR_TARGET_BER",
+    "ReceiverNoiseModel",
+    "ber_from_q",
+    "compare_technologies",
+    "q_from_ber",
+    "LinkBudget",
+    "LinkPowerModel",
+    "MeasuredLinkPowerModel",
+    "MqwModulator",
+    "OpticalSplitter",
+    "Photodetector",
+    "PhysicsLinkModel",
+    "ScalingTrend",
+    "SplitterTree",
+    "TransimpedanceAmplifier",
+    "VariableOpticalAttenuator",
+    "Vcsel",
+    "VOA_RESPONSE_US",
+    "physics_table2",
+    "vdd_for_bit_rate",
+]

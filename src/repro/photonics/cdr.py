@@ -1,0 +1,90 @@
+"""Clock and data recovery (CDR) model (paper Section 2.2.3).
+
+The CDR is a PLL-based circuit that re-times an internal clock to the
+incoming data and slices out digital bits.  PLL and clock buffers dominate
+its power, which is insensitive to the actual bit pattern and follows the
+switched-capacitance expression:
+
+* Eq. 9 — ``P = alpha3 * C_CDR * Vdd^2 * BR``.
+
+Dynamic power control: frequency and voltage scale together, so power tracks
+``Vdd^2 * BR``.  The catch is lock acquisition — after any bit-rate change
+the CDR must re-lock to the new rate, during which the link cannot carry
+data.  The paper conservatively disables the link for ``T_br`` (20 network
+cycles) on every frequency transition; that delay is surfaced here as
+:attr:`ClockDataRecovery.relock_cycles` and enforced by the link layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.photonics.constants import MAX_BIT_RATE, NOMINAL_VDD
+from repro.units import require_fraction, require_positive
+
+
+#: Link-disable time on a bit-rate transition, in network cycles (paper
+#: Section 4.1: "the link will be disabled for 20 network cycles after the
+#: bit-rate transitions to give the CDR time to relock").
+DEFAULT_RELOCK_CYCLES = 20
+
+
+@dataclass(frozen=True)
+class ClockDataRecovery:
+    """A PLL-based CDR stage.
+
+    Parameters
+    ----------
+    capacitance:
+        Effective switched capacitance ``C_CDR`` in farads.
+    activity:
+        ``alpha3`` — probability of charging/discharging that capacitance
+        per bit time.
+    relock_cycles:
+        Network cycles the link stays disabled after a bit-rate change while
+        the timing loop recaptures lock.
+    """
+
+    capacitance: float = 9.2593e-12
+    activity: float = 0.5
+    relock_cycles: int = DEFAULT_RELOCK_CYCLES
+
+    def __post_init__(self) -> None:
+        require_positive("capacitance", self.capacitance)
+        require_fraction("activity", self.activity)
+        if self.activity == 0.0:
+            raise ConfigError("activity must be > 0")
+        if self.relock_cycles < 0:
+            raise ConfigError(
+                f"relock_cycles must be non-negative, got {self.relock_cycles!r}"
+            )
+
+    @classmethod
+    def calibrated_to(
+        cls,
+        power: float,
+        *,
+        bit_rate: float = MAX_BIT_RATE,
+        vdd: float = NOMINAL_VDD,
+        activity: float = 0.5,
+        relock_cycles: int = DEFAULT_RELOCK_CYCLES,
+    ) -> "ClockDataRecovery":
+        """Build a CDR dissipating ``power`` watts at an operating point.
+
+        Solves Eq. 9 for the capacitance.  Table 2 calibration: 150 mW at
+        10 Gb/s / 1.8 V with alpha3 = 0.5 gives ~9.26 pF.
+        """
+        require_positive("power", power)
+        require_positive("bit_rate", bit_rate)
+        require_positive("vdd", vdd)
+        capacitance = power / (activity * vdd * vdd * bit_rate)
+        return cls(
+            capacitance=capacitance, activity=activity, relock_cycles=relock_cycles
+        )
+
+    def power(self, bit_rate: float, vdd: float = NOMINAL_VDD) -> float:
+        """Eq. 9: ``alpha3 * C_CDR * Vdd^2 * BR`` in watts."""
+        require_positive("bit_rate", bit_rate)
+        require_positive("vdd", vdd)
+        return self.activity * self.capacitance * vdd * vdd * bit_rate

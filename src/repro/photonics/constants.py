@@ -1,0 +1,37 @@
+"""Physical constants and technology parameters for the photonics models.
+
+Technology values follow the paper's assumptions: 0.18 um CMOS link
+circuitry, 1.55 um telecom wavelength, 10 Gb/s maximum bit rate with a
+1.8 V nominal supply.
+"""
+
+from __future__ import annotations
+
+# Fundamental constants (SI).
+ELECTRON_CHARGE = 1.602176634e-19
+"""Charge of an electron, coulombs (exact, 2019 SI)."""
+
+PLANCK_CONSTANT = 6.62607015e-34
+"""Planck constant, joule-seconds (exact, 2019 SI)."""
+
+SPEED_OF_LIGHT = 299792458.0
+"""Speed of light in vacuum, metres per second (exact)."""
+
+# Technology assumptions from the paper (Section 4.1).
+NOMINAL_VDD = 1.8
+"""Nominal supply voltage for 0.18 um CMOS, volts."""
+
+MIN_VDD = 0.9
+"""Lowest supply used by the paper's ladder (5 Gb/s point), volts."""
+
+MAX_BIT_RATE = 10e9
+"""Maximum link bit rate, bits per second (paper Section 4.1)."""
+
+TELECOM_WAVELENGTH = 1.55e-6
+"""Optical carrier wavelength, metres (1.55 um band, paper refs [18])."""
+
+RECEIVER_SENSITIVITY_10G = 25e-6
+"""Receiver sensitivity at 10 Gb/s, watts (paper Section 2.1.2: 25 uW)."""
+
+TARGET_BER = 1e-12
+"""Bit error rate targeted by inter-chassis links (paper Section 2.2.1)."""

@@ -1,0 +1,113 @@
+"""Photodetector model (paper Section 2.2.1).
+
+The photodetector converts the received optical bit stream into photocurrent.
+Correct operation at a target bit error rate requires a minimum received
+optical power — the *receiver sensitivity* ``Prec`` — which grows with bit
+rate (more bandwidth admits more noise).
+
+Eq. 6 gives the average dissipated power::
+
+    P = Prec * (q / h*nu) * Vbias * (CR + 1) / (CR - 1)
+
+where ``q/h*nu`` converts watts of light to amps of photocurrent (ideal
+responsivity), ``Vbias`` is the detector bias, and the contrast-ratio factor
+accounts for the uneven power carried by 1s and 0s.
+
+The paper applies **no dynamic power control** here: detector power is
+< 1 mW, negligible next to the TIA and CDR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.photonics.constants import (
+    ELECTRON_CHARGE,
+    MAX_BIT_RATE,
+    PLANCK_CONSTANT,
+    RECEIVER_SENSITIVITY_10G,
+    TELECOM_WAVELENGTH,
+)
+from repro.units import require_positive, wavelength_to_frequency
+
+
+@dataclass(frozen=True)
+class Photodetector:
+    """A PIN/photodiode receiver front-end.
+
+    Parameters
+    ----------
+    wavelength:
+        Optical carrier wavelength in metres (sets ``nu`` in Eq. 6).
+    bias_voltage:
+        Reverse bias across the detector, volts.
+    sensitivity_at_max:
+        Receiver sensitivity ``Prec`` at :data:`MAX_BIT_RATE`, watts.
+    quantum_efficiency:
+        Fraction of incident photons converted to carriers.
+    dark_current:
+        Leakage current with no light, amps (negligible in the power model
+        but reported for link-budget analysis).
+    """
+
+    wavelength: float = TELECOM_WAVELENGTH
+    bias_voltage: float = 3.0
+    sensitivity_at_max: float = RECEIVER_SENSITIVITY_10G
+    quantum_efficiency: float = 0.8
+    dark_current: float = 5e-9
+
+    def __post_init__(self) -> None:
+        require_positive("wavelength", self.wavelength)
+        require_positive("bias_voltage", self.bias_voltage)
+        require_positive("sensitivity_at_max", self.sensitivity_at_max)
+        require_positive("quantum_efficiency", self.quantum_efficiency)
+        require_positive("dark_current", self.dark_current)
+
+    @property
+    def optical_frequency(self) -> float:
+        """Carrier frequency ``nu`` in hertz."""
+        return wavelength_to_frequency(self.wavelength)
+
+    @property
+    def ideal_responsivity(self) -> float:
+        """``q / (h * nu)`` — amps of photocurrent per watt of light."""
+        return ELECTRON_CHARGE / (PLANCK_CONSTANT * self.optical_frequency)
+
+    @property
+    def responsivity(self) -> float:
+        """Actual responsivity including quantum efficiency, A/W."""
+        return self.ideal_responsivity * self.quantum_efficiency
+
+    def sensitivity(self, bit_rate: float) -> float:
+        """Receiver sensitivity ``Prec`` at a given bit rate, watts.
+
+        Sensitivity requirements grow with bit rate (paper Section 2.2.1:
+        "higher bit rates require higher receiver sensitivity to achieve the
+        same BER").  We model the requirement as proportional to bit rate —
+        the thermal-noise-limited behaviour of a TIA-based receiver whose
+        bandwidth tracks the data rate.
+        """
+        require_positive("bit_rate", bit_rate)
+        return self.sensitivity_at_max * bit_rate / MAX_BIT_RATE
+
+    def photocurrent(self, optical_power: float) -> float:
+        """Photocurrent generated for a given received power, amps."""
+        require_positive("optical_power", optical_power)
+        return self.responsivity * optical_power + self.dark_current
+
+    def dissipated_power(
+        self, bit_rate: float = MAX_BIT_RATE, contrast_ratio: float = 10.0
+    ) -> float:
+        """Eq. 6: average detector power dissipation, watts.
+
+        ``Prec * q/(h nu) * Vbias * (CR + 1)/(CR - 1)`` evaluated at the
+        sensitivity point for the operating bit rate.
+        """
+        require_positive("contrast_ratio", contrast_ratio)
+        if contrast_ratio <= 1.0:
+            raise ValueError(
+                f"contrast_ratio must exceed 1, got {contrast_ratio!r}"
+            )
+        received = self.sensitivity(bit_rate)
+        cr_factor = (contrast_ratio + 1.0) / (contrast_ratio - 1.0)
+        return received * self.ideal_responsivity * self.bias_voltage * cr_factor

@@ -1,0 +1,100 @@
+"""Cascaded-inverter driver model shared by VCSEL and modulator transmitters.
+
+Both electrical drivers in the paper (Fig. 2) are strings of cascaded
+inverters, each ``beta`` (3-4) times the size of the previous one, sized to
+drive a large output load (the VCSEL gate or the modulator capacitance).
+Their dynamic power is the usual switched-capacitance expression:
+
+* Eq. 3 (VCSEL driver)     ``P = alpha1 * C_LD * Vdd^2 * BR``
+* Eq. 5 (modulator driver) ``P = alpha2 * C_md * Vdd^2 * BR``
+
+Dynamic power control differs between the two uses (paper Section 2.3):
+
+* the VCSEL driver scales **both** bit rate and supply voltage
+  (``P ~ Vdd^2 * BR``);
+* the modulator driver keeps ``Vdd`` fixed to preserve the modulator's
+  contrast ratio, so only the bit rate scales (``P ~ BR``).
+
+That policy distinction lives in :mod:`repro.photonics.power_model`; this
+module is the raw circuit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.photonics.constants import MAX_BIT_RATE, NOMINAL_VDD
+from repro.units import require_fraction, require_positive
+
+
+@dataclass(frozen=True)
+class InverterChainDriver:
+    """A cascaded-inverter output driver.
+
+    Parameters
+    ----------
+    switched_capacitance:
+        Total switched capacitance in farads — the sum of the inverter-chain
+        internal capacitance and the load (VCSEL gate or modulator).
+    activity:
+        Switching activity ``alpha`` — the probability of a bit transition in
+        the serialised data stream (0.5 for random data).
+    taper:
+        Stage-size ratio ``beta`` of the chain, typically 3-4.
+    """
+
+    switched_capacitance: float
+    activity: float = 0.5
+    taper: float = 3.5
+
+    def __post_init__(self) -> None:
+        require_positive("switched_capacitance", self.switched_capacitance)
+        require_fraction("activity", self.activity)
+        if self.activity == 0.0:
+            raise ConfigError("activity must be > 0; a silent link has no driver")
+        if self.taper <= 1.0:
+            raise ConfigError(f"taper must exceed 1, got {self.taper!r}")
+
+    @classmethod
+    def calibrated_to(
+        cls,
+        power: float,
+        *,
+        bit_rate: float = MAX_BIT_RATE,
+        vdd: float = NOMINAL_VDD,
+        activity: float = 0.5,
+        taper: float = 3.5,
+    ) -> "InverterChainDriver":
+        """Build a driver dissipating ``power`` watts at an operating point.
+
+        Solves Eqs. 3/5 for the switched capacitance.  Table 2 calibration:
+        10 mW at 10 Gb/s / 1.8 V gives ~617 fF for the VCSEL driver and
+        40 mW gives ~2.47 pF for the modulator driver.
+        """
+        require_positive("power", power)
+        require_positive("bit_rate", bit_rate)
+        require_positive("vdd", vdd)
+        capacitance = power / (activity * vdd * vdd * bit_rate)
+        return cls(switched_capacitance=capacitance, activity=activity, taper=taper)
+
+    def power(self, bit_rate: float, vdd: float = NOMINAL_VDD) -> float:
+        """Eqs. 3/5: dynamic power ``alpha * C * Vdd^2 * BR`` in watts."""
+        require_positive("bit_rate", bit_rate)
+        require_positive("vdd", vdd)
+        return self.activity * self.switched_capacitance * vdd * vdd * bit_rate
+
+    def stage_count(self, input_capacitance: float) -> int:
+        """Number of inverter stages needed to drive the load.
+
+        The chain is sized geometrically: each stage is ``taper`` times the
+        previous one, so ``n = ceil(log_taper(C_load / C_in))`` stages bridge
+        from a minimum-size input gate to the full load.  At least one stage
+        is always present.
+        """
+        require_positive("input_capacitance", input_capacitance)
+        if input_capacitance >= self.switched_capacitance:
+            return 1
+        ratio = self.switched_capacitance / input_capacitance
+        return max(1, math.ceil(math.log(ratio, self.taper)))

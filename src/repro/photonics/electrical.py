@@ -1,0 +1,130 @@
+"""Electrical DVS link model — the prior art the paper builds on.
+
+The paper's power-aware architecture descends from dynamic-voltage-scaled
+*electrical* links (Shang, Peh, Jha, HPCA 2003 [24]; Kim & Horowitz's
+adaptive-supply serial links [12]).  This module models such a link so the
+opto-electronic system can be compared against its electrical ancestor —
+the comparison the introduction implies when it notes optical links are
+displacing electrical ones at these distances.
+
+An electrical serial link's power splits into:
+
+* a **driver/serialiser** term scaling as ``Vdd^2 * BR`` (switched
+  capacitance, like every CMOS stage);
+* a **termination/swing** term scaling as ``Vdd * BR`` (current-mode
+  signalling into a matched load);
+* a **receiver + CDR** term scaling as ``Vdd^2 * BR``.
+
+Unlike the opto link there is no constant laser bias and no externally
+powered light source — but the electrical channel's loss forces large
+swings at inter-chassis distances, which is what the default calibration
+reflects (total power comparable to the 290 mW opto link at 10 Gb/s, with
+a higher equalisation share at longer reach).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.photonics.constants import MAX_BIT_RATE, NOMINAL_VDD
+from repro.photonics.power_model import (
+    ComponentBudget,
+    LinkPowerModel,
+    ScalingTrend,
+)
+from repro.units import mw, require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class ElectricalLinkModel:
+    """A DVS-capable electrical serial link.
+
+    Parameters
+    ----------
+    driver_power:
+        Driver + serialiser power at the maximum operating point, watts.
+    termination_power:
+        Termination/swing power at the maximum operating point, watts.
+    receiver_power:
+        Receiver + CDR power at the maximum operating point, watts.
+    reach_loss_db:
+        Channel attenuation at Nyquist; adds equalisation power
+        proportional to the loss (a first-order FFE/DFE cost model).
+    equalisation_mw_per_db:
+        Equalisation power per dB of channel loss at the maximum rate.
+    """
+
+    driver_power: float = mw(70.0)
+    termination_power: float = mw(60.0)
+    receiver_power: float = mw(120.0)
+    reach_loss_db: float = 10.0
+    equalisation_mw_per_db: float = 4.0
+
+    def __post_init__(self) -> None:
+        require_positive("driver_power", self.driver_power)
+        require_positive("termination_power", self.termination_power)
+        require_positive("receiver_power", self.receiver_power)
+        require_non_negative("reach_loss_db", self.reach_loss_db)
+        require_non_negative("equalisation_mw_per_db",
+                             self.equalisation_mw_per_db)
+
+    @property
+    def equalisation_power(self) -> float:
+        """Equalisation power at the maximum operating point, watts."""
+        return mw(self.equalisation_mw_per_db) * self.reach_loss_db
+
+    def as_power_model(self) -> LinkPowerModel:
+        """Expose the electrical link through the shared model interface.
+
+        The returned :class:`LinkPowerModel` plugs into the same power
+        manager as the opto models, enabling apples-to-apples network
+        simulations.
+        """
+        return LinkPowerModel(
+            components=(
+                ComponentBudget("driver", self.driver_power,
+                                ScalingTrend.VDD2_BR),
+                ComponentBudget("termination", self.termination_power,
+                                ScalingTrend.VDD_BR),
+                ComponentBudget("equalisation", max(self.equalisation_power,
+                                                    1e-12),
+                                ScalingTrend.VDD_BR),
+                ComponentBudget("receiver_cdr", self.receiver_power,
+                                ScalingTrend.VDD2_BR),
+            ),
+            technology="electrical",
+        )
+
+    def power(self, bit_rate: float, vdd: float | None = None) -> float:
+        """Total link power at an operating point, watts."""
+        return self.as_power_model().power(bit_rate, vdd)
+
+    @property
+    def max_power(self) -> float:
+        return self.power(MAX_BIT_RATE, NOMINAL_VDD)
+
+
+def compare_technologies(bit_rates: tuple[float, ...] = (5e9, 7e9, 10e9)
+                         ) -> list[dict[str, float]]:
+    """Per-rate power of electrical vs VCSEL vs modulator links, watts.
+
+    The shape the comparison shows: the electrical link scales *better*
+    under DVS (every term carries a Vdd factor, no laser bias floor), but
+    its maximum-rate power grows with reach (equalisation), which is why
+    optics win at inter-chassis distances in the first place.
+    """
+    if not bit_rates:
+        raise ConfigError("need at least one bit rate to compare")
+    electrical = ElectricalLinkModel().as_power_model()
+    vcsel = LinkPowerModel.vcsel_link()
+    modulator = LinkPowerModel.modulator_link()
+    rows = []
+    for rate in bit_rates:
+        rows.append({
+            "bit_rate": rate,
+            "electrical": electrical.power(rate),
+            "vcsel": vcsel.power(rate),
+            "modulator": modulator.power(rate),
+        })
+    return rows

@@ -1,0 +1,184 @@
+"""External laser source, splitter tree and variable optical attenuators.
+
+Models the "light provider" of paper Fig. 3(b): a continuous-wave /
+mode-locked laser housed in its own chassis whose output is statically split
+— first 1:64 across racks, then 1:20 across the fibers within each rack —
+with a variable optical attenuator (VOA) per outgoing fiber so the router's
+power controller can set per-link optical power levels.
+
+Because the laser lives outside the system, its electrical power is excluded
+from the system power budget (paper Section 2.1.2); what matters here is the
+*optical* budget: how much light reaches each modulator after splitting
+losses, and how the VOAs quantise it into the paper's three power bands.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.units import db_to_ratio, ratio_to_db, require_positive
+
+#: VOA response time in microseconds (paper Section 3.2.2: "the long delay
+#: (around 100 us) required to switch between levels").
+VOA_RESPONSE_US = 100.0
+
+
+@dataclass(frozen=True)
+class OpticalSplitter:
+    """A static 1:N fused-fiber optical power splitter.
+
+    An ideal 1:N split divides power N ways (``10*log10(N)`` dB); real
+    couplers add excess insertion loss on top.  The paper quotes a maximum
+    total insertion loss of 13.6 dB for a 1:16 split — 12.04 dB ideal plus
+    ~1.55 dB excess — which we take as the default excess-loss budget.
+    """
+
+    ports: int
+    excess_loss_db: float = 1.55
+
+    def __post_init__(self) -> None:
+        if self.ports < 2:
+            raise ConfigError(f"a splitter needs >= 2 ports, got {self.ports!r}")
+        if self.excess_loss_db < 0.0:
+            raise ConfigError(
+                f"excess_loss_db must be non-negative, got {self.excess_loss_db!r}"
+            )
+
+    @property
+    def ideal_loss_db(self) -> float:
+        """Unavoidable splitting loss ``10*log10(N)`` in dB."""
+        return ratio_to_db(self.ports)
+
+    @property
+    def total_loss_db(self) -> float:
+        """Per-output insertion loss including excess, in dB."""
+        return self.ideal_loss_db + self.excess_loss_db
+
+    def output_power(self, input_power: float) -> float:
+        """Optical power on each output port, watts."""
+        require_positive("input_power", input_power)
+        return input_power / db_to_ratio(self.total_loss_db)
+
+
+@dataclass(frozen=True)
+class SplitterTree:
+    """A chain of splitters fanning one laser out to many fibers.
+
+    The paper's light provider splits 1:64 (to racks) then 1:20 (to the
+    fibers within a rack), so one laser feeds 1280 fibers.
+    """
+
+    stages: tuple[OpticalSplitter, ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ConfigError("a splitter tree needs at least one stage")
+
+    @classmethod
+    def paper_default(cls) -> "SplitterTree":
+        """The paper's 1:64 then 1:20 tree (Fig. 3(b))."""
+        return cls(stages=(OpticalSplitter(64), OpticalSplitter(20)))
+
+    @property
+    def fan_out(self) -> int:
+        """Total number of output fibers."""
+        return math.prod(stage.ports for stage in self.stages)
+
+    @property
+    def total_loss_db(self) -> float:
+        """End-to-end insertion loss from laser to any one fiber, dB."""
+        return sum(stage.total_loss_db for stage in self.stages)
+
+    def output_power(self, input_power: float) -> float:
+        """Optical power delivered on each leaf fiber, watts."""
+        require_positive("input_power", input_power)
+        power = input_power
+        for stage in self.stages:
+            power = stage.output_power(power)
+        return power
+
+
+@dataclass
+class VariableOpticalAttenuator:
+    """A VOA quantising a fiber's optical power into discrete levels.
+
+    The router-side laser controller commands a level index; the VOA takes
+    :data:`VOA_RESPONSE_US` to settle, during which the *old* level is still
+    in effect.  Settling is modelled by the caller supplying timestamps —
+    the VOA itself just tracks commanded/effective levels.
+
+    Parameters
+    ----------
+    attenuations_db:
+        Attenuation per level, most-attenuated first.  The paper's 3-level
+        scheme is Plow = 0.5 * Pmid = 0.25 * Phigh, i.e. (6.02, 3.01, 0) dB.
+    """
+
+    attenuations_db: tuple[float, ...] = (6.0206, 3.0103, 0.0)
+    level: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.attenuations_db:
+            raise ConfigError("a VOA needs at least one attenuation level")
+        if any(a < 0.0 for a in self.attenuations_db):
+            raise ConfigError("attenuations must be non-negative dB")
+        if list(self.attenuations_db) != sorted(self.attenuations_db, reverse=True):
+            raise ConfigError(
+                "attenuations_db must be sorted most-attenuated (lowest power) first"
+            )
+        self.level = len(self.attenuations_db) - 1
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.attenuations_db)
+
+    def set_level(self, level: int) -> None:
+        """Command an attenuation level (0 = lowest optical power)."""
+        if not 0 <= level < self.num_levels:
+            raise ConfigError(
+                f"level must be in [0, {self.num_levels}), got {level!r}"
+            )
+        self.level = level
+
+    def output_power(self, input_power: float, level: int | None = None) -> float:
+        """Optical power after attenuation at ``level`` (default: current)."""
+        require_positive("input_power", input_power)
+        index = self.level if level is None else level
+        if not 0 <= index < self.num_levels:
+            raise ConfigError(f"level must be in [0, {self.num_levels}), got {index!r}")
+        return input_power / db_to_ratio(self.attenuations_db[index])
+
+
+@dataclass(frozen=True)
+class ExternalLaserSource:
+    """The central mode-locked laser feeding the whole system.
+
+    Parameters
+    ----------
+    output_power:
+        Total emitted optical power, watts.  A typical mode-locked fiber
+        laser supports hundreds to thousands of links (paper refs [20, 21]).
+    tree:
+        The static splitter tree distributing the light.
+    """
+
+    output_power: float = 0.5
+    tree: SplitterTree = field(default_factory=SplitterTree.paper_default)
+
+    def __post_init__(self) -> None:
+        require_positive("output_power", self.output_power)
+
+    @property
+    def fibers(self) -> int:
+        """Number of leaf fibers fed by this laser."""
+        return self.tree.fan_out
+
+    def power_per_fiber(self) -> float:
+        """Unattenuated optical power on each leaf fiber, watts."""
+        return self.tree.output_power(self.output_power)
+
+    def power_at_level(self, voa: VariableOpticalAttenuator, level: int) -> float:
+        """Optical power delivered through ``voa`` set to ``level``, watts."""
+        return voa.output_power(self.power_per_fiber(), level)

@@ -1,0 +1,137 @@
+"""End-to-end optical link budget analysis.
+
+Ties the transmitter, fiber plant and receiver models together to answer the
+feasibility questions behind the paper's design choices:
+
+* does enough light survive the splitter tree + modulator to meet the
+  receiver sensitivity at a given bit rate?  (modulator-based links)
+* how much laser power does the external source need for N fibers?
+* what optical margin does each of the paper's three optical power bands
+  leave at the bit rates it must support?
+
+All powers are watts internally; dB helpers are provided for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.photonics.detector import Photodetector
+from repro.photonics.laser import ExternalLaserSource, VariableOpticalAttenuator
+from repro.photonics.modulator import MqwModulator
+from repro.units import ratio_to_db, require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Optical budget of one modulator-based link.
+
+    Parameters
+    ----------
+    source:
+        The external laser and its splitter tree.
+    modulator:
+        The MQW modulator at the transmitter.
+    detector:
+        The photodetector at the receiver.
+    fiber_loss_db:
+        Propagation + connector loss between modulator and detector, dB.
+    """
+
+    source: ExternalLaserSource = field(default_factory=ExternalLaserSource)
+    modulator: MqwModulator = field(default_factory=MqwModulator)
+    detector: Photodetector = field(default_factory=Photodetector)
+    fiber_loss_db: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_non_negative("fiber_loss_db", self.fiber_loss_db)
+
+    def received_power(self, attenuation_db: float = 0.0) -> float:
+        """Optical power reaching the detector for a 1-bit, watts.
+
+        ``attenuation_db`` is the VOA setting on this fiber.
+        """
+        require_non_negative("attenuation_db", attenuation_db)
+        at_modulator = self.source.power_per_fiber() / (
+            10.0 ** (attenuation_db / 10.0)
+        )
+        after_modulator = self.modulator.transmitted_on(at_modulator)
+        return after_modulator / (10.0 ** (self.fiber_loss_db / 10.0))
+
+    def margin_db(self, bit_rate: float, attenuation_db: float = 0.0) -> float:
+        """Optical margin over the receiver sensitivity, dB.
+
+        Positive margins mean the link closes at the target BER; negative
+        margins mean the light level is insufficient at this bit rate.
+        """
+        received = self.received_power(attenuation_db)
+        needed = self.detector.sensitivity(bit_rate)
+        return ratio_to_db(received / needed)
+
+    def closes(self, bit_rate: float, attenuation_db: float = 0.0) -> bool:
+        """Whether the link meets sensitivity at ``bit_rate``."""
+        return self.margin_db(bit_rate, attenuation_db) >= 0.0
+
+    def max_attenuation_db(self, bit_rate: float) -> float:
+        """Largest VOA attenuation that still closes the link, dB.
+
+        This is exactly the headroom the power-aware optical levels exploit:
+        at lower bit rates the sensitivity requirement drops, so more
+        attenuation (less delivered light, less absorbed power) is allowed.
+        Raises :class:`ConfigError` if the link cannot close even with zero
+        attenuation.
+        """
+        margin = self.margin_db(bit_rate, attenuation_db=0.0)
+        if margin < 0.0:
+            raise ConfigError(
+                f"link cannot close at {bit_rate!r} b/s even unattenuated "
+                f"(margin {margin:.2f} dB)"
+            )
+        return margin
+
+    def required_laser_power(self, bit_rate: float, margin_db: float = 3.0) -> float:
+        """Laser output power needed to close every fiber with margin, watts."""
+        require_non_negative("margin_db", margin_db)
+        require_positive("bit_rate", bit_rate)
+        needed_received = self.detector.sensitivity(bit_rate) * (
+            10.0 ** (margin_db / 10.0)
+        )
+        path_loss_db = (
+            self.source.tree.total_loss_db
+            + self.fiber_loss_db
+            - ratio_to_db(1.0 - self.modulator.insertion_loss)
+        )
+        return needed_received * (10.0 ** (path_loss_db / 10.0))
+
+    def band_report(
+        self,
+        voa: VariableOpticalAttenuator,
+        band_max_rates: tuple[float, ...],
+    ) -> list[dict[str, float]]:
+        """Margin per optical band at that band's maximum bit rate.
+
+        ``band_max_rates`` lists, per VOA level, the highest bit rate that
+        band must support (paper Section 3.2.2: Plow < 4 Gb/s, Pmid 4-6,
+        Phigh 6-10).  Returns one row per level with the received power,
+        required sensitivity and dB margin.
+        """
+        if len(band_max_rates) != voa.num_levels:
+            raise ConfigError(
+                "band_max_rates must have one entry per VOA level: "
+                f"{len(band_max_rates)} != {voa.num_levels}"
+            )
+        rows = []
+        for level, max_rate in enumerate(band_max_rates):
+            attenuation = voa.attenuations_db[level]
+            rows.append(
+                {
+                    "level": float(level),
+                    "attenuation_db": attenuation,
+                    "max_bit_rate": max_rate,
+                    "received_w": self.received_power(attenuation),
+                    "sensitivity_w": self.detector.sensitivity(max_rate),
+                    "margin_db": self.margin_db(max_rate, attenuation),
+                }
+            )
+        return rows

@@ -1,0 +1,103 @@
+"""Measured link power models (paper Section 5's next step).
+
+The paper closes by planning a 0.18 um test chip whose measured power
+curves would be "fed into our network system simulator, in place of
+current models".  :class:`MeasuredLinkPowerModel` is that plug-in point: a
+piecewise-linear power/bit-rate curve built from measurement samples that
+exposes the same interface as the analytic
+:class:`~repro.photonics.power_model.LinkPowerModel`, so the power manager
+accepts either.
+
+Measurements are (bit_rate, power) pairs at the operating points a
+prototype would be characterised at; queries between samples interpolate
+linearly, which is conservative for the convex Vdd^2*BR-dominated curves
+of the analytic models (chords lie above the curve).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import require_positive
+
+
+@dataclass(frozen=True)
+class MeasuredLinkPowerModel:
+    """A link power model backed by measurement samples.
+
+    Parameters
+    ----------
+    samples:
+        ``(bit_rate, power_watts)`` pairs, strictly ascending in bit rate,
+        at least two.  The highest sampled rate is the link's maximum.
+    technology:
+        Free-form label carried through to reports.
+    """
+
+    samples: tuple[tuple[float, float], ...]
+    technology: str = "measured"
+
+    def __post_init__(self) -> None:
+        if len(self.samples) < 2:
+            raise ConfigError(
+                f"need >= 2 measurement samples, got {len(self.samples)}"
+            )
+        rates = [rate for rate, _ in self.samples]
+        if rates != sorted(rates) or len(set(rates)) != len(rates):
+            raise ConfigError("sample bit rates must be strictly ascending")
+        for rate, power in self.samples:
+            require_positive("sample bit rate", rate)
+            require_positive("sample power", power)
+
+    @classmethod
+    def from_analytic(cls, model, rates: tuple[float, ...]) -> \
+            "MeasuredLinkPowerModel":
+        """Sample an analytic model (testing / sensitivity studies)."""
+        samples = tuple((rate, model.power(rate)) for rate in sorted(rates))
+        return cls(samples=samples, technology=f"{model.technology}-sampled")
+
+    @property
+    def max_bit_rate(self) -> float:
+        return self.samples[-1][0]
+
+    @property
+    def min_bit_rate(self) -> float:
+        return self.samples[0][0]
+
+    @property
+    def max_power(self) -> float:
+        """Power at the maximum sampled bit rate, watts."""
+        return self.power(self.max_bit_rate)
+
+    def power(self, bit_rate: float, vdd: float | None = None) -> float:
+        """Interpolated link power at ``bit_rate``, watts.
+
+        ``vdd`` is accepted for interface compatibility and ignored — a
+        measured curve already bakes in whatever supply the prototype used
+        at each rate.  Queries outside the sampled range are refused
+        rather than extrapolated.
+        """
+        if not self.min_bit_rate <= bit_rate <= self.max_bit_rate:
+            raise ConfigError(
+                f"bit rate {bit_rate!r} outside the measured range "
+                f"[{self.min_bit_rate!r}, {self.max_bit_rate!r}]"
+            )
+        rates = [rate for rate, _ in self.samples]
+        index = bisect.bisect_left(rates, bit_rate)
+        rate_hi, power_hi = self.samples[index]
+        if rate_hi == bit_rate:
+            return power_hi
+        rate_lo, power_lo = self.samples[index - 1]
+        fraction = (bit_rate - rate_lo) / (rate_hi - rate_lo)
+        return power_lo + fraction * (power_hi - power_lo)
+
+    def savings_fraction(self, bit_rate: float) -> float:
+        """Fractional power saving versus the maximum sampled rate."""
+        return 1.0 - self.power(bit_rate) / self.max_power
+
+    def component_powers(self, bit_rate: float,
+                         vdd: float | None = None) -> dict[str, float]:
+        """Single-entry breakdown (measurements are whole-link)."""
+        return {"link": self.power(bit_rate)}

@@ -1,0 +1,275 @@
+"""Composed per-link power model — paper Table 2.
+
+The network-level evaluation of the paper does not re-derive circuit physics
+every cycle; it uses each component's power at the maximum operating point
+(Table 2) and scales it by the component's trend as bit rate and supply
+voltage change:
+
+====================  ============  ==============
+Component             Power @10G    Scaling trend
+====================  ============  ==============
+VCSEL                 30 mW         ~ Vdd
+VCSEL driver          10 mW         ~ Vdd^2 * BR
+Modulator driver      40 mW         ~ BR (Vdd fixed)
+TIA                   100 mW        ~ Vdd * BR
+CDR                   150 mW        ~ Vdd^2 * BR
+====================  ============  ==============
+
+A VCSEL link is {VCSEL, VCSEL driver, TIA, CDR} = 290 mW at 10 Gb/s; a
+modulator link is {modulator driver, TIA, CDR} = 290 mW (the external laser
+is outside the system power budget).  The supply voltage scales linearly
+with bit rate (1.8 V at 10 Gb/s down to 0.9 V at 5 Gb/s), except for the
+modulator driver whose voltage is pinned to preserve contrast ratio.
+
+The detailed physics models in the sibling modules are calibrated to the
+same budget; :func:`physics_table2` cross-checks the two views.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.photonics.cdr import ClockDataRecovery
+from repro.photonics.constants import MAX_BIT_RATE, NOMINAL_VDD
+from repro.photonics.detector import Photodetector
+from repro.photonics.drivers import InverterChainDriver
+from repro.photonics.tia import TransimpedanceAmplifier
+from repro.photonics.vcsel import Vcsel
+from repro.units import mw, require_positive, to_mw
+
+
+class ScalingTrend(enum.Enum):
+    """How a component's power scales from its maximum operating point."""
+
+    CONSTANT = "constant"
+    VDD = "Vdd"
+    BR = "BR"
+    VDD_BR = "Vdd*BR"
+    VDD2_BR = "Vdd^2*BR"
+
+    def factor(self, bit_rate_fraction: float, vdd_fraction: float) -> float:
+        """Scaling factor for normalised (bit rate, Vdd) fractions in (0, 1]."""
+        if self is ScalingTrend.CONSTANT:
+            return 1.0
+        if self is ScalingTrend.VDD:
+            return vdd_fraction
+        if self is ScalingTrend.BR:
+            return bit_rate_fraction
+        if self is ScalingTrend.VDD_BR:
+            return vdd_fraction * bit_rate_fraction
+        return vdd_fraction * vdd_fraction * bit_rate_fraction
+
+
+@dataclass(frozen=True)
+class ComponentBudget:
+    """One Table 2 row: a component's peak power and scaling behaviour.
+
+    ``vdd_scales`` is False for components whose supply voltage is pinned at
+    nominal regardless of bit rate (the modulator driver).
+    """
+
+    name: str
+    power_at_max: float
+    trend: ScalingTrend
+    vdd_scales: bool = True
+
+    def __post_init__(self) -> None:
+        require_positive(f"{self.name} power_at_max", self.power_at_max)
+
+    def power(self, bit_rate: float, vdd: float) -> float:
+        """Power at an operating point, watts."""
+        require_positive("bit_rate", bit_rate)
+        require_positive("vdd", vdd)
+        effective_vdd = vdd if self.vdd_scales else NOMINAL_VDD
+        factor = self.trend.factor(bit_rate / MAX_BIT_RATE, effective_vdd / NOMINAL_VDD)
+        return self.power_at_max * factor
+
+
+def vdd_for_bit_rate(bit_rate: float, max_bit_rate: float = MAX_BIT_RATE) -> float:
+    """Supply voltage for a bit rate under the paper's linear scaling.
+
+    The paper assumes the required supply to the VCSEL driver, TIA and CDR
+    scales linearly with bit rate [12, 28]: 1.8 V at 10 Gb/s, 0.9 V at
+    5 Gb/s.
+    """
+    require_positive("bit_rate", bit_rate)
+    require_positive("max_bit_rate", max_bit_rate)
+    if bit_rate > max_bit_rate:
+        raise ConfigError(
+            f"bit_rate {bit_rate!r} exceeds max_bit_rate {max_bit_rate!r}"
+        )
+    return NOMINAL_VDD * bit_rate / max_bit_rate
+
+
+@dataclass(frozen=True)
+class LinkPowerModel:
+    """Power model of one unidirectional opto-electronic link.
+
+    Composes Table 2 component budgets; :meth:`power` evaluates the link's
+    total power at a bit rate, deriving the scaled supply voltage unless one
+    is given explicitly.
+    """
+
+    components: tuple[ComponentBudget, ...]
+    technology: str = "unspecified"
+    max_bit_rate: float = MAX_BIT_RATE
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ConfigError("a link power model needs at least one component")
+        require_positive("max_bit_rate", self.max_bit_rate)
+        names = [c.name for c in self.components]
+        if len(names) != len(set(names)):
+            raise ConfigError(f"duplicate component names: {names!r}")
+
+    @classmethod
+    def vcsel_link(cls, include_detector: bool = False) -> "LinkPowerModel":
+        """Table 2 budget for a VCSEL-based link (290 mW at 10 Gb/s).
+
+        ``include_detector`` adds the <1 mW photodetector that the paper
+        tracks but leaves out of Table 2's transmitter/receiver totals.
+        """
+        components = [
+            ComponentBudget("vcsel", mw(30.0), ScalingTrend.VDD),
+            ComponentBudget("vcsel_driver", mw(10.0), ScalingTrend.VDD2_BR),
+            ComponentBudget("tia", mw(100.0), ScalingTrend.VDD_BR),
+            ComponentBudget("cdr", mw(150.0), ScalingTrend.VDD2_BR),
+        ]
+        if include_detector:
+            components.append(
+                ComponentBudget("detector", mw(1.0), ScalingTrend.BR)
+            )
+        return cls(components=tuple(components), technology="vcsel")
+
+    @classmethod
+    def modulator_link(cls, include_detector: bool = False) -> "LinkPowerModel":
+        """Table 2 budget for an MQW-modulator link (290 mW at 10 Gb/s).
+
+        The modulator driver's supply voltage is pinned at nominal (paper
+        Section 2.3), so its power scales only with bit rate.  The external
+        laser's power is excluded from the system budget; the modulator's
+        own absorption (<1 mW) can be folded into the detector flag.
+        """
+        components = [
+            ComponentBudget(
+                "modulator_driver", mw(40.0), ScalingTrend.VDD2_BR, vdd_scales=False
+            ),
+            ComponentBudget("tia", mw(100.0), ScalingTrend.VDD_BR),
+            ComponentBudget("cdr", mw(150.0), ScalingTrend.VDD2_BR),
+        ]
+        if include_detector:
+            components.append(
+                ComponentBudget("detector", mw(1.0), ScalingTrend.BR)
+            )
+        return cls(components=tuple(components), technology="modulator")
+
+    @property
+    def max_power(self) -> float:
+        """Total link power at the maximum bit rate, watts."""
+        return self.power(self.max_bit_rate)
+
+    def power(self, bit_rate: float, vdd: float | None = None) -> float:
+        """Total link power at ``bit_rate``, watts.
+
+        When ``vdd`` is omitted, the paper's linear voltage/bit-rate scaling
+        is applied (components with pinned supplies ignore it either way).
+        """
+        supply = vdd_for_bit_rate(bit_rate, self.max_bit_rate) if vdd is None else vdd
+        return sum(c.power(bit_rate, supply) for c in self.components)
+
+    def component_powers(
+        self, bit_rate: float, vdd: float | None = None
+    ) -> dict[str, float]:
+        """Per-component power breakdown at an operating point, watts."""
+        supply = vdd_for_bit_rate(bit_rate, self.max_bit_rate) if vdd is None else vdd
+        return {c.name: c.power(bit_rate, supply) for c in self.components}
+
+    def savings_fraction(self, bit_rate: float) -> float:
+        """Fractional power saving versus running at the maximum bit rate."""
+        return 1.0 - self.power(bit_rate) / self.max_power
+
+    def table_rows(self) -> list[dict[str, str]]:
+        """Human-readable Table 2 rows (name, power in mW, trend)."""
+        return [
+            {
+                "component": c.name,
+                "power_mw": f"{to_mw(c.power_at_max):.1f}",
+                "trend": c.trend.value if c.vdd_scales else ScalingTrend.BR.value,
+            }
+            for c in self.components
+        ]
+
+
+@dataclass(frozen=True)
+class PhysicsLinkModel:
+    """Physics-equation view of the same link, for cross-checking Table 2.
+
+    Each component is the calibrated physics model from its own module;
+    :meth:`power` sums their equation-level power at an operating point.
+    The trend-based :class:`LinkPowerModel` and this model agree at every
+    (BR, Vdd) point by construction, because Eqs. 2, 3, 5, 8, 9 *are* the
+    scaling trends (a property test asserts this).
+    """
+
+    vcsel: Vcsel = field(
+        default_factory=lambda: Vcsel.calibrated_to(mw(30.0))
+    )
+    vcsel_driver: InverterChainDriver = field(
+        default_factory=lambda: InverterChainDriver.calibrated_to(mw(10.0))
+    )
+    modulator_driver: InverterChainDriver = field(
+        default_factory=lambda: InverterChainDriver.calibrated_to(mw(40.0))
+    )
+    tia: TransimpedanceAmplifier = field(
+        default_factory=lambda: TransimpedanceAmplifier.calibrated_to(mw(100.0))
+    )
+    cdr: ClockDataRecovery = field(
+        default_factory=lambda: ClockDataRecovery.calibrated_to(mw(150.0))
+    )
+    detector: Photodetector = field(default_factory=Photodetector)
+
+    def power(self, bit_rate: float, vdd: float | None = None, *,
+              technology: str = "vcsel") -> float:
+        """Equation-level link power at an operating point, watts."""
+        supply = vdd_for_bit_rate(bit_rate) if vdd is None else vdd
+        receiver = self.tia.power(bit_rate, supply) + self.cdr.power(bit_rate, supply)
+        if technology == "vcsel":
+            # Eq. 2 is affine in Vdd through Im; Table 2's "~Vdd" trend treats
+            # the whole VCSEL as proportional.  We report the proportional view
+            # here and keep the affine equation on the Vcsel class itself.
+            transmitter = (
+                self.vcsel.average_electrical_power(NOMINAL_VDD) * supply / NOMINAL_VDD
+                + self.vcsel_driver.power(bit_rate, supply)
+            )
+        elif technology == "modulator":
+            transmitter = self.modulator_driver.power(bit_rate, NOMINAL_VDD)
+        else:
+            raise ConfigError(
+                f"technology must be 'vcsel' or 'modulator', got {technology!r}"
+            )
+        return transmitter + receiver
+
+
+def physics_table2(technology: str = "vcsel") -> dict[str, float]:
+    """Per-component physics-model power at 10 Gb/s / 1.8 V, in mW.
+
+    Used by tests and the Table 2 benchmark to confirm the calibrated
+    physics equations land exactly on the paper's budget.
+    """
+    model = PhysicsLinkModel()
+    rows = {
+        "vcsel": to_mw(model.vcsel.average_electrical_power(NOMINAL_VDD)),
+        "vcsel_driver": to_mw(model.vcsel_driver.power(MAX_BIT_RATE, NOMINAL_VDD)),
+        "modulator_driver": to_mw(
+            model.modulator_driver.power(MAX_BIT_RATE, NOMINAL_VDD)
+        ),
+        "tia": to_mw(model.tia.power(MAX_BIT_RATE, NOMINAL_VDD)),
+        "cdr": to_mw(model.cdr.power(MAX_BIT_RATE, NOMINAL_VDD)),
+    }
+    if technology not in ("vcsel", "modulator"):
+        raise ConfigError(
+            f"technology must be 'vcsel' or 'modulator', got {technology!r}"
+        )
+    return rows

@@ -1,0 +1,96 @@
+"""Transimpedance amplifier (TIA) model (paper Section 2.2.2).
+
+The TIA is a common-source amplifier with a feedback resistance ``Rf`` that
+converts the detector's photocurrent ``Ip`` into a voltage swing
+``Ip * Rf``.  Its usable bandwidth is set by the bias current of the
+internal amplifier:
+
+* Eq. 7 — ``Ibias = c * BRmax`` for an implementation constant ``c``;
+* Eq. 8 — ``P = Ibias * Vdd = c * BRmax * Vdd`` (photocurrent and dark
+  current contributions are negligible next to the bias current).
+
+Dynamic power control: when the link bit rate scales down, the maximum
+bandwidth the TIA must support scales down by the same factor, so the bias
+current — and with it the supply voltage — can be reduced.  Power therefore
+scales as ``Vdd * BR``.  A side benefit: the output swing needed at a lower
+supply is smaller, so less photocurrent (less light) suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.photonics.constants import MAX_BIT_RATE, NOMINAL_VDD
+from repro.units import require_positive
+
+
+@dataclass(frozen=True)
+class TransimpedanceAmplifier:
+    """A TIA receiver stage.
+
+    Parameters
+    ----------
+    bias_constant:
+        ``c`` of Eq. 7 in amp-seconds per bit: bias current per unit of
+        supported bit rate.
+    feedback_resistance:
+        ``Rf`` in ohms; sets the current-to-voltage conversion gain.
+    """
+
+    bias_constant: float = 5.5556e-12
+    feedback_resistance: float = 5_000.0
+
+    def __post_init__(self) -> None:
+        require_positive("bias_constant", self.bias_constant)
+        require_positive("feedback_resistance", self.feedback_resistance)
+
+    @classmethod
+    def calibrated_to(
+        cls,
+        power: float,
+        *,
+        bit_rate: float = MAX_BIT_RATE,
+        vdd: float = NOMINAL_VDD,
+        feedback_resistance: float = 5_000.0,
+    ) -> "TransimpedanceAmplifier":
+        """Build a TIA dissipating ``power`` watts at an operating point.
+
+        Solves Eq. 8 for ``c``.  Table 2 calibration: 100 mW at
+        10 Gb/s / 1.8 V gives c ~ 5.56 pA*s/bit.
+        """
+        require_positive("power", power)
+        require_positive("bit_rate", bit_rate)
+        require_positive("vdd", vdd)
+        return cls(
+            bias_constant=power / (bit_rate * vdd),
+            feedback_resistance=feedback_resistance,
+        )
+
+    def bias_current(self, max_bit_rate: float) -> float:
+        """Eq. 7: bias current needed to support ``max_bit_rate``, amps."""
+        require_positive("max_bit_rate", max_bit_rate)
+        return self.bias_constant * max_bit_rate
+
+    def power(self, bit_rate: float, vdd: float = NOMINAL_VDD) -> float:
+        """Eq. 8: ``c * BR * Vdd`` in watts.
+
+        In the power-aware link the supported maximum bandwidth is tuned to
+        the current bit rate, so ``BRmax == bit_rate`` here.
+        """
+        require_positive("vdd", vdd)
+        return self.bias_current(bit_rate) * vdd
+
+    def output_swing(self, photocurrent: float) -> float:
+        """Output voltage swing ``Ip * Rf`` for a given photocurrent, volts."""
+        require_positive("photocurrent", photocurrent)
+        return photocurrent * self.feedback_resistance
+
+    def required_photocurrent(self, swing: float) -> float:
+        """Photocurrent needed to produce ``swing`` volts at the output.
+
+        With ``Rf`` fixed, a lower supply voltage needs a smaller swing and
+        therefore less photocurrent — the light-level saving the paper notes
+        for voltage-scaled receivers.
+        """
+        require_positive("swing", swing)
+        return swing / self.feedback_resistance

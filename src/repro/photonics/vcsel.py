@@ -1,0 +1,147 @@
+"""Vertical-cavity surface-emitting laser (VCSEL) model.
+
+Implements the transmitter option of paper Section 2.1.1: a directly
+modulated VCSEL.  The device is biased slightly above its threshold current
+``Ith`` so stimulated emission stays stable at high bit rates; the driver
+adds a modulation current ``Im`` on top of the bias for 1-bits.
+
+Equations reproduced:
+
+* Eq. 1 — emitted optical power ``Pe = S * (I - Ith)`` above threshold.
+* Eq. 2 — average electrical power ``P = (Ibias + Im/2) * Vbias`` assuming
+  equiprobable 1s and 0s.
+
+Dynamic power control: the modulation current delivered by the driver scales
+almost linearly with the driver supply voltage, so scaling ``Vdd`` with bit
+rate scales both the VCSEL's electrical power and its optical output while
+preserving the contrast ratio (paper Section 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.photonics.constants import NOMINAL_VDD
+from repro.units import require_positive
+
+
+@dataclass(frozen=True)
+class Vcsel:
+    """A directly modulated VCSEL and its drive-current operating point.
+
+    Parameters
+    ----------
+    threshold_current:
+        Lasing threshold ``Ith`` in amps.  Oxide-aperture-confined devices
+        reach hundreds of micro-amps (paper Section 2.3).
+    slope_efficiency:
+        Conversion slope ``S`` in watts per amp (Eq. 1).
+    bias_current:
+        Constant bias ``Ibias`` in amps; must be at or above threshold so the
+        device never drops out of stimulated emission.
+    modulation_current:
+        Modulation swing ``Im`` in amps delivered for a 1-bit when the driver
+        runs at :data:`~repro.photonics.constants.NOMINAL_VDD`.
+    bias_voltage:
+        Supply voltage ``Vbias`` across the VCSEL in volts.
+    """
+
+    threshold_current: float = 0.5e-3
+    slope_efficiency: float = 0.3
+    bias_current: float = 1.0e-3
+    modulation_current: float = 31.3e-3
+    bias_voltage: float = NOMINAL_VDD
+
+    def __post_init__(self) -> None:
+        require_positive("threshold_current", self.threshold_current)
+        require_positive("slope_efficiency", self.slope_efficiency)
+        require_positive("bias_current", self.bias_current)
+        require_positive("modulation_current", self.modulation_current)
+        require_positive("bias_voltage", self.bias_voltage)
+        if self.bias_current < self.threshold_current:
+            raise ConfigError(
+                "bias_current must be >= threshold_current so the VCSEL stays "
+                f"stimulated: got Ibias={self.bias_current!r} < "
+                f"Ith={self.threshold_current!r}"
+            )
+
+    @classmethod
+    def calibrated_to(
+        cls,
+        electrical_power: float,
+        *,
+        threshold_current: float = 0.5e-3,
+        slope_efficiency: float = 0.3,
+        bias_current: float = 1.0e-3,
+        bias_voltage: float = NOMINAL_VDD,
+    ) -> "Vcsel":
+        """Build a VCSEL whose Eq. 2 average power equals ``electrical_power``.
+
+        Solves Eq. 2 for the modulation current, which is the free parameter
+        once the bias point is fixed.  Used to calibrate the physics model to
+        Table 2's 30 mW budget entry.
+        """
+        require_positive("electrical_power", electrical_power)
+        modulation = 2.0 * (electrical_power / bias_voltage - bias_current)
+        if modulation <= 0.0:
+            raise ConfigError(
+                f"target power {electrical_power!r} W is below the bias-only "
+                f"floor {bias_current * bias_voltage!r} W"
+            )
+        return cls(
+            threshold_current=threshold_current,
+            slope_efficiency=slope_efficiency,
+            bias_current=bias_current,
+            modulation_current=modulation,
+            bias_voltage=bias_voltage,
+        )
+
+    def modulation_current_at(self, vdd: float) -> float:
+        """Modulation current delivered when the driver supply is ``vdd``.
+
+        The driver's output current scales approximately linearly with its
+        supply voltage (paper Section 3.2.2), so halving ``Vdd`` halves
+        ``Im`` — and, through Eq. 1, roughly halves the optical swing.
+        """
+        require_positive("vdd", vdd)
+        return self.modulation_current * vdd / NOMINAL_VDD
+
+    def emitted_power(self, drive_current: float) -> float:
+        """Eq. 1: emitted optical power for a given drive current, watts.
+
+        Below threshold the device emits (approximately) nothing; the linear
+        regime applies above threshold.
+        """
+        if drive_current <= self.threshold_current:
+            return 0.0
+        return self.slope_efficiency * (drive_current - self.threshold_current)
+
+    def optical_one_level(self, vdd: float = NOMINAL_VDD) -> float:
+        """Optical output power for a 1-bit, watts."""
+        return self.emitted_power(self.bias_current + self.modulation_current_at(vdd))
+
+    def optical_zero_level(self, vdd: float = NOMINAL_VDD) -> float:
+        """Optical output power for a 0-bit, watts (bias-only drive)."""
+        return self.emitted_power(self.bias_current)
+
+    def contrast_ratio(self, vdd: float = NOMINAL_VDD) -> float:
+        """Optical contrast ratio (1-level over 0-level).
+
+        Returns ``inf`` when the bias point sits exactly at threshold (zero
+        0-level emission).
+        """
+        zero = self.optical_zero_level(vdd)
+        one = self.optical_one_level(vdd)
+        if zero == 0.0:
+            return float("inf")
+        return one / zero
+
+    def average_electrical_power(self, vdd: float = NOMINAL_VDD) -> float:
+        """Eq. 2: average electrical power for equiprobable bits, watts.
+
+        ``P = (Ibias + Im/2) * Vbias`` with ``Im`` scaled to the driver
+        supply ``vdd``.
+        """
+        average_current = self.bias_current + self.modulation_current_at(vdd) / 2.0
+        return average_current * self.bias_voltage

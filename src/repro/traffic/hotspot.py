@@ -1,0 +1,135 @@
+"""Time-varying hot-spot traffic (paper Section 4.2, workload 2).
+
+"Packets are injected at different injection rates at different phases of
+the simulation (temporal variance), and node 4 in rack(3,5) accepts four
+times the traffic injected into others (spatial variance)."
+
+The trace is a piecewise-constant injection-rate schedule (Fig. 6(a) shows
+step changes of varying magnitude) with destination probabilities skewed so
+one node receives ``hotspot_weight`` times its uniform share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.traffic.base import DEFAULT_PACKET_SIZE, PoissonSource
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One constant-rate segment of the schedule."""
+
+    start_cycle: int
+    injection_rate: float
+
+    def __post_init__(self) -> None:
+        if self.start_cycle < 0:
+            raise ConfigError("phase start_cycle must be >= 0")
+        if self.injection_rate < 0.0:
+            raise ConfigError("phase injection_rate must be >= 0")
+
+
+def paper_like_schedule(scale: int = 1) -> tuple[Phase, ...]:
+    """A schedule shaped like Fig. 6(a), compressible by ``scale``.
+
+    Fig. 6(a) shows the injection rate stepping through small moves and one
+    large jump (the jump between 1.0e6 and 1.1e6 cycles triggers an optical
+    power-level change in the 3-level modulator system).  ``scale`` divides
+    every phase length so scaled-down simulations keep the same shape.
+    """
+    if scale < 1:
+        raise ConfigError(f"scale must be >= 1, got {scale!r}")
+    base = [
+        (0, 1.0),
+        (200_000, 1.6),
+        (400_000, 1.2),
+        (600_000, 2.0),
+        (800_000, 1.4),
+        (1_000_000, 4.2),   # the big jump that forces an optical transition
+        (1_100_000, 4.6),   # small move within the top optical band
+        (1_300_000, 4.0),
+        (1_500_000, 1.2),
+        (1_700_000, 0.6),
+    ]
+    return tuple(Phase(start // scale, rate) for start, rate in base)
+
+
+class HotspotTraffic(PoissonSource):
+    """Phased injection with a single hot destination.
+
+    Parameters
+    ----------
+    num_nodes:
+        Processing nodes in the system.
+    phases:
+        The piecewise-constant schedule, sorted by start cycle; the first
+        phase must start at cycle 0.
+    hotspot_node:
+        The node receiving extra traffic (paper: node 4 in rack(3,5)).
+    hotspot_weight:
+        How many uniform shares the hot node receives (paper: 4).
+    """
+
+    def __init__(self, num_nodes: int, phases: tuple[Phase, ...],
+                 hotspot_node: int, hotspot_weight: float = 4.0,
+                 packet_size: int = DEFAULT_PACKET_SIZE, seed: int = 1):
+        super().__init__(num_nodes, injection_rate=phases[0].injection_rate
+                         if phases else 0.0,
+                         packet_size=packet_size, seed=seed)
+        if not phases:
+            raise ConfigError("need at least one phase")
+        starts = [p.start_cycle for p in phases]
+        if starts != sorted(starts):
+            raise ConfigError("phases must be sorted by start_cycle")
+        if starts[0] != 0:
+            raise ConfigError("the first phase must start at cycle 0")
+        if len(set(starts)) != len(starts):
+            raise ConfigError("phase start cycles must be distinct")
+        if not 0 <= hotspot_node < num_nodes:
+            raise ConfigError(
+                f"hotspot_node must be in [0, {num_nodes}), got {hotspot_node!r}"
+            )
+        if hotspot_weight < 1.0:
+            raise ConfigError(
+                f"hotspot_weight must be >= 1, got {hotspot_weight!r}"
+            )
+        self.phases = phases
+        self.hotspot_node = hotspot_node
+        self.hotspot_weight = hotspot_weight
+        self._phase_index = 0
+        # Probability that any one packet targets the hot node: the hot node
+        # holds `weight` shares among (num_nodes - 1 + weight) total.
+        self._hot_probability = hotspot_weight / (num_nodes - 1.0 + hotspot_weight)
+
+    def _rate_at(self, now: int) -> float:
+        phases = self.phases
+        index = self._phase_index
+        while index + 1 < len(phases) and now >= phases[index + 1].start_cycle:
+            index += 1
+        self._phase_index = index
+        return phases[index].injection_rate
+
+    def _pick_pair(self, now: int) -> tuple[int, int]:
+        if self.rng.random() < self._hot_probability:
+            dst = self.hotspot_node
+        else:
+            # Uniform over the cold nodes.
+            dst = int(self.rng.integers(self.num_nodes - 1))
+            if dst >= self.hotspot_node:
+                dst += 1
+        src = int(self.rng.integers(self.num_nodes - 1))
+        if src >= dst:
+            src += 1
+        return src, dst
+
+    def current_phase(self, now: int) -> Phase:
+        """The schedule segment in force at cycle ``now``."""
+        active = self.phases[0]
+        for phase in self.phases:
+            if phase.start_cycle <= now:
+                active = phase
+            else:
+                break
+        return active

@@ -1,0 +1,91 @@
+"""On/off (bursty) traffic source — a self-similar-traffic building block.
+
+The paper motivates power-aware networks with the "substantial temporal
+and spatial variance" of real traffic and cites the classic self-similar
+Ethernet study [14].  This source gives each node an independent two-state
+(ON/OFF) modulated Poisson process: geometrically distributed dwell times
+in each state, injection only while ON.  Aggregating many such sources
+produces the long-range-dependent burstiness that exercises the policy far
+harder than plain Poisson traffic — a design-space extension beyond the
+paper's three workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.network.packet import Packet
+from repro.traffic.base import DEFAULT_PACKET_SIZE, TrafficSource
+
+
+class OnOffTraffic(TrafficSource):
+    """Per-node ON/OFF modulated uniform traffic.
+
+    Parameters
+    ----------
+    num_nodes:
+        Processing nodes in the system.
+    injection_rate:
+        *Long-run average* packets per cycle, network-wide; the ON-state
+        rate is ``injection_rate / duty_cycle`` so the average holds.
+    duty_cycle:
+        Fraction of time a node spends ON, in (0, 1].
+    mean_burst_cycles:
+        Mean dwell time in the ON state (geometric); the OFF dwell is
+        derived from the duty cycle.
+    packet_size:
+        Flits per packet.
+    """
+
+    def __init__(self, num_nodes: int, injection_rate: float,
+                 duty_cycle: float = 0.2, mean_burst_cycles: float = 400.0,
+                 packet_size: int = DEFAULT_PACKET_SIZE, seed: int = 1):
+        super().__init__(num_nodes, seed)
+        if injection_rate < 0.0:
+            raise ConfigError("injection_rate must be >= 0")
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ConfigError(
+                f"duty_cycle must lie in (0, 1], got {duty_cycle!r}"
+            )
+        if mean_burst_cycles < 1.0:
+            raise ConfigError("mean_burst_cycles must be >= 1")
+        if packet_size < 1:
+            raise ConfigError("packet_size must be >= 1")
+        self.injection_rate = injection_rate
+        self.duty_cycle = duty_cycle
+        self.mean_burst_cycles = mean_burst_cycles
+        self.packet_size = packet_size
+        #: Per-node ON-state packet rate.
+        self.on_rate = injection_rate / duty_cycle / num_nodes
+        mean_off = mean_burst_cycles * (1.0 - duty_cycle) / duty_cycle
+        self._p_on_to_off = 1.0 / mean_burst_cycles
+        self._p_off_to_on = 1.0 / max(1.0, mean_off)
+        self._on = np.zeros(num_nodes, dtype=bool)
+        # Start each node in its stationary state.
+        self._on |= self.rng.random(num_nodes) < duty_cycle
+
+    def on_fraction(self) -> float:
+        """Fraction of nodes currently in the ON state."""
+        return float(self._on.mean())
+
+    def generate(self, now: int) -> list[Packet]:
+        rng = self.rng
+        # State transitions for every node, vectorised.
+        draws = rng.random(self.num_nodes)
+        turning_off = self._on & (draws < self._p_on_to_off)
+        turning_on = ~self._on & (draws < self._p_off_to_on)
+        self._on ^= turning_off | turning_on
+
+        on_nodes = np.nonzero(self._on)[0]
+        if on_nodes.size == 0 or self.on_rate <= 0.0:
+            return []
+        counts = rng.poisson(self.on_rate, size=on_nodes.size)
+        packets: list[Packet] = []
+        for node, count in zip(on_nodes, counts):
+            for _ in range(int(count)):
+                dst = self._random_destination(int(node))
+                packets.append(
+                    self._make_packet(int(node), dst, self.packet_size, now)
+                )
+        return packets

@@ -1,0 +1,84 @@
+"""Permutation traffic patterns (design-space extension).
+
+Classic adversarial patterns used throughout the interconnection-network
+literature; not part of the paper's evaluation, but useful for exercising
+the simulator (they stress specific mesh links, creating the strong spatial
+variance that a power-aware network exploits).  Each pattern maps a source
+node to a fixed destination node.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ConfigError
+from repro.traffic.base import DEFAULT_PACKET_SIZE, PoissonSource
+
+PermutationFunction = Callable[[int, int], int]
+
+
+def bit_complement(src: int, num_nodes: int) -> int:
+    """Destination = bitwise complement of the source id."""
+    return (num_nodes - 1) ^ src
+
+
+def bit_reverse(src: int, num_nodes: int) -> int:
+    """Destination = bit-reversed source id (num_nodes must be 2^k)."""
+    bits = (num_nodes - 1).bit_length()
+    out = 0
+    for i in range(bits):
+        if src & (1 << i):
+            out |= 1 << (bits - 1 - i)
+    return out
+
+
+def transpose(src: int, num_nodes: int) -> int:
+    """Destination = source id with its upper/lower bit halves swapped."""
+    bits = (num_nodes - 1).bit_length()
+    if bits % 2:
+        raise ConfigError(
+            f"transpose needs an even number of id bits, got {bits}"
+        )
+    half = bits // 2
+    low = src & ((1 << half) - 1)
+    high = src >> half
+    return (low << half) | high
+
+
+PERMUTATIONS: dict[str, PermutationFunction] = {
+    "bit_complement": bit_complement,
+    "bit_reverse": bit_reverse,
+    "transpose": transpose,
+}
+
+
+class PermutationTraffic(PoissonSource):
+    """Constant-rate traffic under a fixed permutation pattern."""
+
+    def __init__(self, num_nodes: int, injection_rate: float,
+                 pattern: str = "bit_complement",
+                 packet_size: int = DEFAULT_PACKET_SIZE, seed: int = 1):
+        super().__init__(num_nodes, injection_rate, packet_size, seed)
+        if num_nodes & (num_nodes - 1):
+            raise ConfigError(
+                f"permutation patterns need a power-of-two node count, "
+                f"got {num_nodes!r}"
+            )
+        if pattern not in PERMUTATIONS:
+            raise ConfigError(
+                f"unknown pattern {pattern!r}; known: {sorted(PERMUTATIONS)}"
+            )
+        self.pattern = pattern
+        self._function = PERMUTATIONS[pattern]
+        # Nodes whose image is themselves can never send under the pattern.
+        self._senders = [
+            n for n in range(num_nodes) if self._function(n, num_nodes) != n
+        ]
+        if not self._senders:
+            raise ConfigError(
+                f"pattern {pattern!r} is the identity on {num_nodes} nodes"
+            )
+
+    def _pick_pair(self, now: int) -> tuple[int, int]:
+        src = self._senders[int(self.rng.integers(len(self._senders)))]
+        return src, self._function(src, self.num_nodes)

@@ -1,0 +1,35 @@
+"""Uniform random traffic (paper Section 4.2, workload 1).
+
+"Each node has equal probability of sending to any other node, at a constant
+injection rate."  Its lack of temporal variance makes it the worst case for
+the power-aware policy — there are no idle phases to exploit — so the paper
+uses it to stress the control policy (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from repro.traffic.base import DEFAULT_PACKET_SIZE, PoissonSource
+
+
+class UniformRandomTraffic(PoissonSource):
+    """Constant-rate uniform random source-destination traffic.
+
+    Parameters
+    ----------
+    num_nodes:
+        Processing nodes in the system.
+    injection_rate:
+        Network-wide mean packets per cycle (the paper sweeps 1.25 - 5+).
+    packet_size:
+        Flits per packet.
+    seed:
+        RNG seed for reproducible runs.
+    """
+
+    def __init__(self, num_nodes: int, injection_rate: float,
+                 packet_size: int = DEFAULT_PACKET_SIZE, seed: int = 1):
+        super().__init__(num_nodes, injection_rate, packet_size, seed)
+
+    def _pick_pair(self, now: int) -> tuple[int, int]:
+        src = int(self.rng.integers(self.num_nodes))
+        return src, self._random_destination(src)

@@ -1,0 +1,108 @@
+"""Unit helpers used throughout the package.
+
+The photonics models of the paper mix electrical units (volts, amps, watts),
+optical units (dBm, dB insertion loss) and data-rate units (Gb/s).  Keeping
+the conversions in one small module avoids scattered magic constants.
+
+Internal convention
+-------------------
+* power: **watts** (helpers provided for mW and dBm),
+* current: amps, voltage: volts, capacitance: farads,
+* bit rate: **bits per second** (helpers for Gb/s),
+* time: seconds at the physics layer, **router cycles** inside the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+GIGA = 1e9
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+
+
+def gbps(value: float) -> float:
+    """Convert a bit rate expressed in Gb/s to bits per second."""
+    return value * GIGA
+
+
+def to_gbps(bits_per_second: float) -> float:
+    """Convert a bit rate in bits per second to Gb/s."""
+    return bits_per_second / GIGA
+
+
+def mw(value: float) -> float:
+    """Convert milliwatts to watts."""
+    return value * MILLI
+
+
+def to_mw(watts: float) -> float:
+    """Convert watts to milliwatts."""
+    return watts / MILLI
+
+
+def uw(value: float) -> float:
+    """Convert microwatts to watts."""
+    return value * MICRO
+
+
+def db_to_ratio(db_value: float) -> float:
+    """Convert a gain/loss in dB to a linear power ratio.
+
+    A positive dB value is a gain (>1 ratio); losses are negative.
+    """
+    return 10.0 ** (db_value / 10.0)
+
+
+def ratio_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB.  The ratio must be positive."""
+    if ratio <= 0.0:
+        raise ConfigError(f"power ratio must be positive, got {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert optical power in dBm to watts (0 dBm = 1 mW)."""
+    return MILLI * db_to_ratio(dbm)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert optical power in watts to dBm."""
+    if watts <= 0.0:
+        raise ConfigError(f"optical power must be positive, got {watts!r}")
+    return ratio_to_db(watts / MILLI)
+
+
+def wavelength_to_frequency(wavelength_m: float) -> float:
+    """Return the optical frequency (Hz) for a vacuum wavelength in metres."""
+    from repro.photonics.constants import SPEED_OF_LIGHT
+
+    if wavelength_m <= 0.0:
+        raise ConfigError(f"wavelength must be positive, got {wavelength_m!r}")
+    return SPEED_OF_LIGHT / wavelength_m
+
+
+def require_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is a positive finite number and return it."""
+    if not math.isfinite(value) or value <= 0.0:
+        raise ConfigError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def require_non_negative(name: str, value: float) -> float:
+    """Validate that ``value`` is a non-negative finite number and return it."""
+    if not math.isfinite(value) or value < 0.0:
+        raise ConfigError(f"{name} must be a non-negative finite number, got {value!r}")
+    return value
+
+
+def require_fraction(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must lie in [0, 1], got {value!r}")
+    return value

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite.
+
+Keep simulation fixtures tiny: most tests need a 2x2 or 3x3 mesh with a
+couple of nodes per cluster, which steps in microseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    NetworkConfig,
+    PolicyConfig,
+    PowerAwareConfig,
+    SimulationConfig,
+    TransitionConfig,
+)
+
+
+@pytest.fixture
+def tiny_network() -> NetworkConfig:
+    """2x2 mesh, 2 nodes per rack, small buffers — steps very fast."""
+    return NetworkConfig(mesh_width=2, mesh_height=2, nodes_per_cluster=2,
+                         buffer_depth=8, num_vcs=2)
+
+
+@pytest.fixture
+def small_network_config() -> NetworkConfig:
+    """3x3 mesh with paper-like router parameters."""
+    return NetworkConfig(mesh_width=3, mesh_height=3, nodes_per_cluster=4)
+
+
+@pytest.fixture
+def fast_policy() -> PolicyConfig:
+    """A short window so policy behaviour shows in brief runs."""
+    return PolicyConfig(window_cycles=100)
+
+
+@pytest.fixture
+def fast_transitions() -> TransitionConfig:
+    """Transition delays scaled to the short test windows."""
+    return TransitionConfig(
+        bit_rate_transition_cycles=2,
+        voltage_transition_cycles=10,
+        optical_transition_cycles=500,
+        laser_epoch_cycles=1000,
+    )
+
+
+@pytest.fixture
+def tiny_power(fast_policy, fast_transitions) -> PowerAwareConfig:
+    return PowerAwareConfig(policy=fast_policy, transitions=fast_transitions)
+
+
+@pytest.fixture
+def tiny_sim_config(tiny_network, tiny_power) -> SimulationConfig:
+    return SimulationConfig(network=tiny_network, power=tiny_power,
+                            sample_interval=100)
+
+
+@pytest.fixture
+def tiny_baseline_config(tiny_network) -> SimulationConfig:
+    return SimulationConfig(network=tiny_network, power=None,
+                            sample_interval=100)

@@ -1,0 +1,53 @@
+"""Integration test at the paper's full system size.
+
+One short run of the actual 8x8x8 (512-node, 1248-link) configuration —
+slow relative to the rest of the suite (~15 s) but it guards against
+anything that only breaks at scale (port counts, edge routers, the full
+link population under the power manager).
+"""
+
+import pytest
+
+from repro.config import NetworkConfig, SimulationConfig
+from repro.network.simulator import Simulator
+from repro.network.validation import validate_topology
+from repro.traffic.uniform import UniformRandomTraffic
+
+
+@pytest.fixture(scope="module")
+def paper_sim():
+    config = SimulationConfig(sample_interval=1000)   # all paper defaults
+    traffic = UniformRandomTraffic(config.network.num_nodes, 1.25, seed=11)
+    sim = Simulator(config, traffic)
+    sim.run(6000)
+    return sim
+
+
+class TestPaperScale:
+    def test_dimensions(self, paper_sim):
+        network = paper_sim.network
+        assert len(network.routers) == 64
+        assert len(network.nodes) == 512
+        assert len(network.links) == 512 + 512 + 224
+
+    def test_topology_validates(self, paper_sim):
+        assert validate_topology(paper_sim.network) == []
+
+    def test_traffic_flows(self, paper_sim):
+        stats = paper_sim.stats
+        assert stats.packets_created > 6000  # ~1.25/cycle
+        assert stats.packets_delivered > 0.9 * stats.packets_created
+
+    def test_power_descends_from_full(self, paper_sim):
+        assert paper_sim.relative_power() < 0.9
+
+    def test_every_link_has_a_controller(self, paper_sim):
+        assert len(paper_sim.power.links) == 1248
+        observed = {pal.windows_observed for pal in paper_sim.power.links}
+        # All links share window boundaries: identical observation counts.
+        assert len(observed) == 1
+
+    def test_latency_reasonable_at_light_load(self, paper_sim):
+        # Zero-load is ~30 cycles for 5-flit packets on 8x8; light load
+        # with the policy active should stay within a few multiples.
+        assert paper_sim.stats.mean_latency < 150.0

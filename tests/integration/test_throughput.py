@@ -1,0 +1,61 @@
+"""Integration tests for the saturation-throughput measurement.
+
+These exercise the Fig. 5(g) claims with real (short) simulations: the
+power-aware 5-10 Gb/s network keeps most of the baseline's throughput,
+while a statically slow network loses a large share of it.
+"""
+
+import pytest
+
+from repro.experiments.configs import (
+    get_scale,
+    power_config,
+    static_rate_config,
+    uniform_saturation_packets,
+)
+from repro.experiments.throughput import latency_probe, measure_throughput
+
+
+@pytest.fixture(scope="module")
+def scale():
+    return get_scale("smoke")
+
+
+@pytest.fixture(scope="module")
+def throughputs(scale):
+    cycles = 5000
+    return {
+        "baseline": measure_throughput(scale, None, cycles=cycles,
+                                       max_iterations=5),
+        "pa_5_10": measure_throughput(scale, power_config(scale),
+                                      cycles=cycles, max_iterations=5),
+        "static_3.3": measure_throughput(
+            scale, static_rate_config(scale, 3.3e9), cycles=cycles,
+            max_iterations=5),
+    }
+
+
+class TestThroughput:
+    def test_baseline_reaches_most_of_theoretical(self, scale, throughputs):
+        ceiling = uniform_saturation_packets(scale.network)
+        assert throughputs["baseline"] > 0.5 * ceiling
+
+    def test_power_aware_keeps_most_throughput(self, throughputs):
+        assert throughputs["pa_5_10"] > 0.6 * throughputs["baseline"]
+
+    def test_static_slow_network_loses_throughput(self, throughputs):
+        # A 3.3 Gb/s network has ~1/3 the link bandwidth; its saturation
+        # point must sit well below the baseline's.
+        assert throughputs["static_3.3"] < 0.7 * throughputs["baseline"]
+
+    def test_ordering(self, throughputs):
+        assert throughputs["static_3.3"] <= throughputs["pa_5_10"] + 0.2
+        assert throughputs["pa_5_10"] <= throughputs["baseline"] + 0.2
+
+
+class TestProbe:
+    def test_probe_latency_increases_with_rate(self, scale):
+        probe = latency_probe(scale, None, cycles=4000)
+        light = probe(0.2)
+        heavy = probe(2.2)
+        assert light < heavy

@@ -1,0 +1,63 @@
+"""Integration: trace archive round-trip through the simulator.
+
+Generating a synthetic trace, archiving it to disk, and replaying the file
+must produce the *identical* simulation as replaying the in-memory records
+(this is the reproducibility contract behind shipping traces with the
+repository).
+"""
+
+from repro.config import NetworkConfig, SimulationConfig
+from repro.network.simulator import Simulator
+from repro.traffic.splash import generate_splash_trace
+from repro.traffic.trace import (
+    TraceReplaySource,
+    read_trace_file,
+    write_trace_file,
+)
+
+
+def run_with(records, network):
+    config = SimulationConfig(network=network, power=None,
+                              sample_interval=500)
+    sim = Simulator(config, TraceReplaySource(network.num_nodes, records))
+    sim.run_until_drained(100_000)
+    return sim.summary()
+
+
+def test_file_roundtrip_is_simulation_identical(tmp_path):
+    network = NetworkConfig(mesh_width=2, mesh_height=2,
+                            nodes_per_cluster=4, buffer_depth=8, num_vcs=2)
+    records = generate_splash_trace("lu", network.num_nodes, 4000, seed=9,
+                                    intensity=0.3)
+    assert records, "trace generation produced no records"
+
+    path = tmp_path / "lu.trace"
+    write_trace_file(records, path)
+    reloaded = read_trace_file(path)
+    assert reloaded == records
+
+    direct = run_with(records, network)
+    replayed = run_with(reloaded, network)
+    assert direct == replayed
+
+
+def test_trace_can_be_replayed_through_power_aware_network(tmp_path):
+    from repro.config import PolicyConfig, PowerAwareConfig, TransitionConfig
+
+    network = NetworkConfig(mesh_width=2, mesh_height=2,
+                            nodes_per_cluster=4, buffer_depth=8, num_vcs=2)
+    records = generate_splash_trace("radix", network.num_nodes, 4000,
+                                    seed=4, intensity=0.3)
+    power = PowerAwareConfig(
+        policy=PolicyConfig(window_cycles=100),
+        transitions=TransitionConfig(
+            bit_rate_transition_cycles=2, voltage_transition_cycles=10,
+            optical_transition_cycles=300, laser_epoch_cycles=600,
+        ),
+    )
+    config = SimulationConfig(network=network, power=power,
+                              sample_interval=500)
+    sim = Simulator(config, TraceReplaySource(network.num_nodes, records))
+    assert sim.run_until_drained(100_000)
+    assert sim.stats.packets_delivered == len(records)
+    assert sim.relative_power() < 1.0

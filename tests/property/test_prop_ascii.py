@@ -1,0 +1,70 @@
+"""Property tests: the text renderers never crash and keep their shape."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.ascii import SPARK_CHARS, format_table, sparkline
+
+finite_series = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=0, max_size=300,
+)
+maybe_nan_series = st.lists(
+    st.one_of(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.just(math.nan),
+    ),
+    min_size=0, max_size=300,
+)
+
+
+class TestSparklineProperties:
+    @given(maybe_nan_series, st.integers(min_value=1, max_value=120))
+    @settings(max_examples=200)
+    def test_never_crashes_and_respects_width(self, values, width):
+        line = sparkline(values, width=width)
+        assert len(line) <= max(width, len("(no data)"))
+
+    @given(finite_series)
+    @settings(max_examples=200)
+    def test_only_ramp_characters(self, values):
+        line = sparkline(values)
+        if line == "(no data)":
+            return
+        assert set(line) <= set(SPARK_CHARS)
+
+    @given(finite_series)
+    @settings(max_examples=100)
+    def test_extremes_present(self, values):
+        if not values:
+            return
+        line = sparkline(values, width=len(values))
+        if len(set(values)) == 1:
+            assert set(line) == {SPARK_CHARS[0]}
+        else:
+            # When every value is rendered (no resampling), the max maps
+            # to the darkest character.
+            assert SPARK_CHARS[-1] in line
+
+
+table_rows = st.lists(
+    st.lists(
+        st.one_of(st.integers(min_value=-10**6, max_value=10**6),
+                  st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+                  st.text(alphabet="abcXYZ -", max_size=12)),
+        min_size=2, max_size=2,
+    ),
+    min_size=0, max_size=30,
+)
+
+
+class TestTableProperties:
+    @given(table_rows)
+    @settings(max_examples=200)
+    def test_all_lines_equal_width(self, rows):
+        text = format_table(["first", "second"], rows)
+        lines = text.splitlines()
+        assert len(lines) == 2 + len(rows)
+        assert len({len(line) for line in lines}) == 1

@@ -1,0 +1,107 @@
+"""Property tests: whole-network invariants under random small workloads.
+
+Each example builds a random tiny network and random trace, runs it to
+drain, and checks the global invariants that must hold for *any* input:
+every packet is delivered exactly once, in full, with its flits in order,
+and the network ends empty.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    NetworkConfig,
+    PolicyConfig,
+    PowerAwareConfig,
+    SimulationConfig,
+    TransitionConfig,
+)
+from repro.network.simulator import Simulator
+from repro.traffic.trace import TraceRecord, TraceReplaySource
+
+
+@st.composite
+def network_and_trace(draw):
+    width = draw(st.integers(min_value=1, max_value=3))
+    height = draw(st.integers(min_value=1, max_value=3))
+    locals_ = draw(st.integers(min_value=1, max_value=3))
+    num_nodes = width * height * locals_
+    if num_nodes < 2:
+        locals_ = 2
+        num_nodes = width * height * locals_
+    num_vcs = draw(st.sampled_from([1, 2, 4]))
+    network = NetworkConfig(
+        mesh_width=width, mesh_height=height, nodes_per_cluster=locals_,
+        buffer_depth=8, num_vcs=num_vcs,
+    )
+    n_packets = draw(st.integers(min_value=0, max_value=25))
+    cycles = sorted(draw(st.lists(
+        st.integers(min_value=0, max_value=300),
+        min_size=n_packets, max_size=n_packets)))
+    records = []
+    for cycle in cycles:
+        src = draw(st.integers(min_value=0, max_value=num_nodes - 1))
+        dst = draw(st.integers(min_value=0, max_value=num_nodes - 2))
+        if dst >= src:
+            dst += 1
+        size = draw(st.integers(min_value=1, max_value=12))
+        records.append(TraceRecord(cycle, src, dst, size))
+    power_aware = draw(st.booleans())
+    return network, records, power_aware
+
+
+def build_sim(network, records, power_aware):
+    power = None
+    if power_aware:
+        power = PowerAwareConfig(
+            policy=PolicyConfig(window_cycles=60, history_windows=2),
+            transitions=TransitionConfig(
+                bit_rate_transition_cycles=2, voltage_transition_cycles=6,
+                optical_transition_cycles=200, laser_epoch_cycles=400,
+            ),
+        )
+    config = SimulationConfig(network=network, power=power,
+                              sample_interval=100)
+    traffic = TraceReplaySource(network.num_nodes, records)
+    return Simulator(config, traffic)
+
+
+class TestDeliveryInvariants:
+    @given(network_and_trace())
+    @settings(max_examples=60, deadline=None)
+    def test_every_packet_delivered_and_network_drains(self, example):
+        network, records, power_aware = example
+        sim = build_sim(network, records, power_aware)
+        drained = sim.run_until_drained(60_000, poll_interval=32)
+        assert drained
+        assert sim.stats.packets_delivered == len(records)
+        assert sim.stats.in_flight == 0
+        assert sim.network.total_pending_flits == 0
+        buffered = sum(ip.occupancy for r in sim.network.routers
+                       for ip in r.inputs)
+        assert buffered == 0
+
+    @given(network_and_trace())
+    @settings(max_examples=40, deadline=None)
+    def test_latencies_at_least_zero_load_bound(self, example):
+        network, records, power_aware = example
+        sim = build_sim(network, records, power_aware)
+        sim.run_until_drained(60_000, poll_interval=32)
+        # Any packet needs at least: injection link + ejection link
+        # (2 * (service + propagation)) plus one router pipeline.
+        minimum = 2 * (1.0 + network.link_propagation_cycles) \
+            + network.head_pipeline_delay
+        for latency in sim.stats.latencies:
+            assert latency >= minimum - 1e-9
+
+    @given(network_and_trace())
+    @settings(max_examples=30, deadline=None)
+    def test_power_accounting_bounded(self, example):
+        network, records, power_aware = example
+        sim = build_sim(network, records, power_aware)
+        sim.run_until_drained(60_000, poll_interval=32)
+        relative = sim.relative_power()
+        if power_aware:
+            assert 0.15 < relative <= 1.0 + 1e-9
+        else:
+            assert relative == 1.0

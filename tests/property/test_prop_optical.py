@@ -1,0 +1,100 @@
+"""Property tests: the optical power controller under random schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TransitionConfig
+from repro.core.laser_policy import OpticalPowerController
+from repro.core.levels import OpticalBands
+
+BANDS = OpticalBands.paper_three_level()
+T_OPT = 100
+
+rates = st.floats(min_value=0.5e9, max_value=10e9, allow_nan=False)
+
+
+@st.composite
+def optical_schedules(draw):
+    initial = draw(st.integers(min_value=0, max_value=BANDS.top_band))
+    ops = draw(st.lists(
+        st.tuples(
+            st.sampled_from(["note", "request", "epoch"]),
+            rates,
+            st.integers(min_value=1, max_value=300),
+        ),
+        min_size=0, max_size=40,
+    ))
+    return initial, ops
+
+
+def make_controller(initial):
+    config = TransitionConfig(optical_transition_cycles=T_OPT,
+                              laser_epoch_cycles=500)
+    return OpticalPowerController(BANDS, config, initial_band=initial)
+
+
+class TestOpticalProperties:
+    @given(optical_schedules())
+    @settings(max_examples=200)
+    def test_band_always_in_range(self, schedule):
+        initial, ops = schedule
+        controller = make_controller(initial)
+        now = 0.0
+        for op, rate, gap in ops:
+            now += gap
+            if op == "note":
+                controller.note_rate(rate)
+            elif op == "request":
+                controller.request_increase(rate, now)
+            else:
+                controller.on_epoch(now)
+            assert 0 <= controller.band <= BANDS.top_band
+            assert controller.band <= controller.pending_band <= \
+                BANDS.top_band
+
+    @given(optical_schedules())
+    @settings(max_examples=200)
+    def test_request_eventually_supports_rate(self, schedule):
+        initial, ops = schedule
+        controller = make_controller(initial)
+        now = 0.0
+        for op, rate, gap in ops:
+            now += gap
+            if op == "note":
+                controller.note_rate(rate)
+            elif op == "request":
+                controller.request_increase(rate, now)
+                # After the settle time, and absent any Pdec epoch, the
+                # rate must be supported.
+                assert controller.can_support(rate, now + T_OPT)
+            else:
+                controller.on_epoch(now)
+
+    @given(optical_schedules())
+    @settings(max_examples=200)
+    def test_counters_consistent(self, schedule):
+        initial, ops = schedule
+        controller = make_controller(initial)
+        now = 0.0
+        for op, rate, gap in ops:
+            now += gap
+            if op == "note":
+                controller.note_rate(rate)
+            elif op == "request":
+                controller.request_increase(rate, now)
+            else:
+                controller.on_epoch(now)
+        # Decreases step one band each; a single Pinc request can climb
+        # several bands at once, so the bound is in band units.
+        assert controller.decreases <= \
+            initial + controller.increases * BANDS.top_band
+        assert controller.band >= 0
+
+    @given(rates, rates)
+    @settings(max_examples=100)
+    def test_support_monotone_in_band(self, r1, r2):
+        low, high = sorted((r1, r2))
+        for band in range(BANDS.num_bands):
+            controller = make_controller(band)
+            if controller.can_support(high, 0.0):
+                assert controller.can_support(low, 0.0)

@@ -1,0 +1,118 @@
+"""Property tests: policy controller and ladder/band invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PolicyConfig
+from repro.core.levels import BitRateLadder, OpticalBands
+from repro.core.policy import HOLD, STEP_DOWN, STEP_UP, LinkPolicyController
+
+samples = st.tuples(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+
+class TestPolicyProperties:
+    @given(st.lists(samples, min_size=1, max_size=50))
+    @settings(max_examples=200)
+    def test_decisions_always_valid(self, observations):
+        controller = LinkPolicyController(PolicyConfig())
+        for lu, bu in observations:
+            assert controller.observe(lu, bu) in (STEP_DOWN, HOLD, STEP_UP)
+
+    @given(st.lists(samples, min_size=1, max_size=50))
+    @settings(max_examples=200)
+    def test_averaged_utilisation_bounded(self, observations):
+        controller = LinkPolicyController(PolicyConfig())
+        for lu, bu in observations:
+            controller.observe(lu, bu)
+            assert 0.0 <= controller.averaged_utilisation <= 1.0
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=100)
+    def test_saturated_link_never_steps_down(self, bu):
+        controller = LinkPolicyController(PolicyConfig(history_windows=1))
+        assert controller.observe(1.0, bu) != STEP_DOWN
+
+    @given(st.floats(min_value=0.0, max_value=0.39, allow_nan=False))
+    @settings(max_examples=100)
+    def test_idle_link_never_steps_up_uncongested(self, lu):
+        controller = LinkPolicyController(PolicyConfig(history_windows=1))
+        assert controller.observe(lu, 0.0) != STEP_UP
+
+    @given(st.lists(samples, min_size=1, max_size=30))
+    @settings(max_examples=100)
+    def test_decision_counters_sum(self, observations):
+        controller = LinkPolicyController(PolicyConfig())
+        for lu, bu in observations:
+            controller.observe(lu, bu)
+        assert sum(controller.decisions.values()) == len(observations)
+
+
+ladder_params = st.tuples(
+    st.floats(min_value=1e9, max_value=9e9, allow_nan=False),
+    st.floats(min_value=9.1e9, max_value=40e9, allow_nan=False),
+    st.integers(min_value=2, max_value=12),
+)
+
+
+class TestLadderProperties:
+    @given(ladder_params)
+    @settings(max_examples=200)
+    def test_linear_ladder_invariants(self, params):
+        low, high, levels = params
+        ladder = BitRateLadder.linear(low, high, levels)
+        assert ladder.num_levels == levels
+        assert ladder.min_rate == low
+        assert ladder.max_rate == high
+        rates = list(ladder.rates)
+        assert rates == sorted(rates)
+        steps = [b - a for a, b in zip(rates, rates[1:])]
+        assert max(steps) - min(steps) < 1e-3  # even spacing
+
+    @given(ladder_params, st.integers(min_value=-5, max_value=20))
+    @settings(max_examples=200)
+    def test_clamp_always_in_range(self, params, level):
+        ladder = BitRateLadder.linear(*params)
+        assert 0 <= ladder.clamp(level) <= ladder.top_level
+
+    @given(ladder_params,
+           st.floats(min_value=0.5e9, max_value=50e9, allow_nan=False))
+    @settings(max_examples=200)
+    def test_level_for_rate_is_sufficient_or_top(self, params, rate):
+        ladder = BitRateLadder.linear(*params)
+        level = ladder.level_for_rate(rate)
+        if rate <= ladder.max_rate:
+            assert ladder.rate(level) >= rate - 1e-6
+            if level > 0:
+                assert ladder.rate(level - 1) < rate
+        else:
+            assert level == ladder.top_level
+
+    @given(ladder_params)
+    @settings(max_examples=100)
+    def test_vdd_monotone_in_level(self, params):
+        ladder = BitRateLadder.linear(*params)
+        vdds = [ladder.vdd(i) for i in range(ladder.num_levels)]
+        assert vdds == sorted(vdds)
+
+
+class TestBandProperties:
+    @given(st.floats(min_value=0.1e9, max_value=10e9, allow_nan=False))
+    @settings(max_examples=200)
+    def test_band_supports_rate(self, rate):
+        bands = OpticalBands.paper_three_level()
+        band = bands.band_for_rate(rate)
+        assert 0 <= band <= bands.top_band
+        # The band's nominal upper rate must cover the requested rate.
+        uppers = list(bands.upper_rates) + [10e9]
+        assert rate <= uppers[band] + 1e-6
+
+    @given(st.floats(min_value=0.1e9, max_value=10e9, allow_nan=False),
+           st.floats(min_value=0.1e9, max_value=10e9, allow_nan=False))
+    @settings(max_examples=200)
+    def test_band_monotone_in_rate(self, r1, r2):
+        bands = OpticalBands.paper_three_level()
+        low, high = sorted((r1, r2))
+        assert bands.band_for_rate(low) <= bands.band_for_rate(high)

@@ -1,0 +1,103 @@
+"""Property tests: power-model invariants across the operating envelope."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.photonics.cdr import ClockDataRecovery
+from repro.photonics.drivers import InverterChainDriver
+from repro.photonics.power_model import (
+    LinkPowerModel,
+    PhysicsLinkModel,
+    vdd_for_bit_rate,
+)
+from repro.photonics.tia import TransimpedanceAmplifier
+from repro.photonics.vcsel import Vcsel
+from repro.units import mw
+
+bit_rates = st.floats(min_value=1e9, max_value=10e9, allow_nan=False)
+vdds = st.floats(min_value=0.3, max_value=1.8, allow_nan=False)
+
+
+class TestComponentInvariants:
+    @given(bit_rates, vdds)
+    @settings(max_examples=200)
+    def test_all_component_powers_positive(self, bit_rate, vdd):
+        driver = InverterChainDriver.calibrated_to(mw(10.0))
+        tia = TransimpedanceAmplifier.calibrated_to(mw(100.0))
+        cdr = ClockDataRecovery.calibrated_to(mw(150.0))
+        for component in (driver, tia, cdr):
+            assert component.power(bit_rate, vdd) > 0.0
+
+    @given(bit_rates, bit_rates)
+    @settings(max_examples=200)
+    def test_driver_power_monotone_in_rate(self, r1, r2):
+        driver = InverterChainDriver.calibrated_to(mw(10.0))
+        low, high = sorted((r1, r2))
+        assert driver.power(low) <= driver.power(high) + 1e-18
+
+    @given(vdds)
+    @settings(max_examples=100)
+    def test_vcsel_power_never_below_bias_floor(self, vdd):
+        vcsel = Vcsel.calibrated_to(mw(30.0))
+        floor = vcsel.bias_current * vcsel.bias_voltage
+        assert vcsel.average_electrical_power(vdd) >= floor
+
+    @given(vdds)
+    @settings(max_examples=100)
+    def test_vcsel_contrast_stays_above_one(self, vdd):
+        vcsel = Vcsel.calibrated_to(mw(30.0))
+        assert vcsel.contrast_ratio(vdd) > 1.0
+
+
+class TestLinkModelInvariants:
+    @given(bit_rates)
+    @settings(max_examples=200)
+    def test_power_bounded_by_endpoints(self, bit_rate):
+        for model in (LinkPowerModel.vcsel_link(),
+                      LinkPowerModel.modulator_link()):
+            power = model.power(bit_rate)
+            assert 0.0 < power <= model.max_power + 1e-12
+
+    @given(bit_rates, bit_rates)
+    @settings(max_examples=200)
+    def test_power_monotone_in_bit_rate(self, r1, r2):
+        low, high = sorted((r1, r2))
+        for model in (LinkPowerModel.vcsel_link(),
+                      LinkPowerModel.modulator_link()):
+            assert model.power(low) <= model.power(high) + 1e-12
+
+    @given(bit_rates)
+    @settings(max_examples=200)
+    def test_savings_fraction_in_unit_interval(self, bit_rate):
+        model = LinkPowerModel.vcsel_link()
+        saving = model.savings_fraction(bit_rate)
+        assert 0.0 - 1e-12 <= saving < 1.0
+
+    @given(bit_rates)
+    @settings(max_examples=200)
+    def test_vcsel_never_above_modulator_under_shared_vdd_scaling(
+            self, bit_rate):
+        # The VCSEL transmitter scales with voltage while the modulator
+        # driver cannot — so at any reduced rate VCSEL wins (Fig. 6(d)).
+        vcsel = LinkPowerModel.vcsel_link().power(bit_rate)
+        modulator = LinkPowerModel.modulator_link().power(bit_rate)
+        assert vcsel <= modulator + 1e-12
+
+    @given(bit_rates)
+    @settings(max_examples=100)
+    def test_physics_and_trend_views_agree_everywhere(self, bit_rate):
+        physics = PhysicsLinkModel()
+        assert physics.power(bit_rate, technology="vcsel") == pytest.approx(
+            LinkPowerModel.vcsel_link().power(bit_rate), rel=1e-9
+        )
+        assert physics.power(bit_rate, technology="modulator") == \
+            pytest.approx(LinkPowerModel.modulator_link().power(bit_rate),
+                          rel=1e-9)
+
+    @given(bit_rates)
+    @settings(max_examples=100)
+    def test_vdd_scaling_linear_and_bounded(self, bit_rate):
+        vdd = vdd_for_bit_rate(bit_rate)
+        assert 0.0 < vdd <= 1.8
+        assert vdd == pytest.approx(1.8 * bit_rate / 10e9)

@@ -1,0 +1,104 @@
+"""Unit tests for the external laser source controller (Section 3.3)."""
+
+import pytest
+
+from repro.config import TransitionConfig
+from repro.core.laser_policy import OpticalPowerController
+from repro.core.levels import OpticalBands
+from repro.errors import LinkStateError
+
+T_OPT = 500
+
+
+def make_controller(initial_band=None) -> OpticalPowerController:
+    config = TransitionConfig(optical_transition_cycles=T_OPT,
+                              laser_epoch_cycles=1000)
+    return OpticalPowerController(OpticalBands.paper_three_level(), config,
+                                  initial_band=initial_band)
+
+
+class TestInitialState:
+    def test_starts_at_top_band(self):
+        assert make_controller().band == 2
+
+    def test_explicit_band(self):
+        assert make_controller(initial_band=0).band == 0
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(LinkStateError):
+            make_controller(initial_band=5)
+
+
+class TestIncrease:
+    def test_pinc_settles_after_voa_delay(self):
+        controller = make_controller(initial_band=0)
+        controller.request_increase(10e9, now=100.0)
+        assert controller.in_transition
+        assert not controller.can_support(10e9, now=100.0 + T_OPT - 1)
+        assert controller.can_support(10e9, now=100.0 + T_OPT)
+        assert controller.band == 2
+
+    def test_idempotent_requests(self):
+        controller = make_controller(initial_band=0)
+        controller.request_increase(10e9, now=0.0)
+        controller.request_increase(10e9, now=50.0)
+        assert controller.increases == 1
+        # The settle clock was not pushed back by the duplicate.
+        assert controller.ready_at == T_OPT
+
+    def test_request_for_current_band_is_noop(self):
+        controller = make_controller()
+        controller.request_increase(10e9, now=0.0)
+        assert controller.increases == 0
+        assert not controller.in_transition
+
+
+class TestSupport:
+    def test_low_band_supports_low_rates_only(self):
+        controller = make_controller(initial_band=0)
+        assert controller.can_support(3.3e9, now=0.0)
+        assert not controller.can_support(5e9, now=0.0)
+        assert not controller.can_support(10e9, now=0.0)
+
+    def test_top_band_supports_everything(self):
+        controller = make_controller()
+        for rate in (3.3e9, 5e9, 10e9):
+            assert controller.can_support(rate, now=0.0)
+
+
+class TestEpochDecrease:
+    def test_pdec_after_quiet_epoch(self):
+        controller = make_controller()
+        controller.note_rate(3.3e9)   # whole epoch fits in band 0
+        controller.on_epoch(now=1000.0)
+        # Only one band per epoch (the paper halves the power per Pdec).
+        assert controller.band == 1
+        assert controller.decreases == 1
+
+    def test_no_pdec_when_band_needed(self):
+        controller = make_controller()
+        controller.note_rate(3.3e9)
+        controller.note_rate(10e9)
+        controller.on_epoch(now=1000.0)
+        assert controller.band == 2
+
+    def test_usage_resets_each_epoch(self):
+        controller = make_controller()
+        controller.note_rate(10e9)
+        controller.on_epoch(now=1000.0)
+        controller.note_rate(3.3e9)
+        controller.on_epoch(now=2000.0)
+        assert controller.band == 1
+
+    def test_no_pdec_below_bottom(self):
+        controller = make_controller(initial_band=0)
+        controller.note_rate(3.3e9)
+        controller.on_epoch(now=1000.0)
+        assert controller.band == 0
+
+    def test_no_pdec_while_increase_pending(self):
+        controller = make_controller(initial_band=0)
+        controller.request_increase(10e9, now=900.0)
+        controller.on_epoch(now=1000.0)  # before the VOA settles
+        assert controller.pending_band == 2
+        assert controller.decreases == 0

@@ -1,0 +1,195 @@
+"""Unit tests for the network-wide power manager."""
+
+import pytest
+
+from repro.config import (
+    MODULATOR,
+    NetworkConfig,
+    PolicyConfig,
+    PowerAwareConfig,
+    TransitionConfig,
+    VCSEL,
+)
+from repro.core.manager import (
+    NetworkPowerManager,
+    ladder_from_config,
+    power_model_from_config,
+)
+from repro.errors import ConfigError
+from repro.network.stats import StatsCollector
+from repro.network.topology import ClusteredMesh
+
+
+def make_manager(technology=VCSEL, optical_levels=1, window=100):
+    network = NetworkConfig(mesh_width=2, mesh_height=2, nodes_per_cluster=2,
+                            buffer_depth=8, num_vcs=2)
+    topology = ClusteredMesh(network, StatsCollector())
+    power = PowerAwareConfig(
+        technology=technology,
+        optical_levels=optical_levels,
+        policy=PolicyConfig(window_cycles=window, history_windows=1),
+        transitions=TransitionConfig(
+            bit_rate_transition_cycles=2, voltage_transition_cycles=10,
+            optical_transition_cycles=300, laser_epoch_cycles=400,
+        ),
+    )
+    return NetworkPowerManager(topology, power, network), topology
+
+
+class TestConfigHelpers:
+    def test_ladder_from_config(self):
+        ladder = ladder_from_config(PowerAwareConfig())
+        assert ladder.num_levels == 6
+        assert ladder.max_rate == 10e9
+
+    def test_power_model_selection(self):
+        assert power_model_from_config(
+            PowerAwareConfig(technology=VCSEL)).technology == "vcsel"
+        assert power_model_from_config(
+            PowerAwareConfig(technology=MODULATOR)).technology == "modulator"
+
+
+class TestConstruction:
+    def test_one_power_link_per_fiber(self):
+        manager, topology = make_manager()
+        assert len(manager.links) == len(topology.links)
+
+    def test_vcsel_never_gets_optical_controller(self):
+        manager, _ = make_manager(technology=VCSEL)
+        assert all(pal.optical is None for pal in manager.links)
+
+    def test_modulator_three_levels_gets_controllers(self):
+        manager, _ = make_manager(technology=MODULATOR, optical_levels=3)
+        assert all(pal.optical is not None for pal in manager.links)
+
+    def test_modulator_single_level_has_no_controllers(self):
+        manager, _ = make_manager(technology=MODULATOR, optical_levels=1)
+        assert all(pal.optical is None for pal in manager.links)
+
+    def test_unsupported_optical_level_count(self):
+        with pytest.raises(ConfigError):
+            make_manager(technology=MODULATOR, optical_levels=2)
+
+
+class TestDriving:
+    def test_idle_network_scales_down_over_windows(self):
+        manager, _ = make_manager(window=50)
+        for now in range(1, 2000):
+            manager.on_cycle(now)
+        histogram = manager.level_histogram()
+        assert histogram[0] == len(manager.links)
+
+    def test_power_decreases_from_baseline(self):
+        manager, _ = make_manager(window=50)
+        for now in range(1, 2000):
+            manager.on_cycle(now)
+        manager.finalize(2000)
+        assert manager.relative_power(2000) < 1.0
+
+    def test_relative_power_one_when_pinned(self):
+        # A manager whose window never fires keeps all links at max.
+        manager, _ = make_manager(window=10_000)
+        for now in range(1, 100):
+            manager.on_cycle(now)
+        manager.finalize(100)
+        assert manager.relative_power(100) == pytest.approx(1.0)
+
+    def test_minimum_relative_power_matches_model(self):
+        manager, _ = make_manager(window=50)
+        for now in range(1, 4000):
+            manager.on_cycle(now)
+        manager.finalize(4000)
+        floor = manager.power_model.power(5e9) / manager.power_model.max_power
+        # Long idle run converges to the 5 Gb/s floor (plus the descent
+        # transient at the start).
+        assert manager.relative_power(4000) == pytest.approx(floor, abs=0.05)
+
+    def test_power_series_sampling(self):
+        manager, _ = make_manager()
+        manager.sample_power(0)
+        manager.sample_power(100)
+        assert len(manager.power_series) == 2
+        assert manager.power_series[0][1] == pytest.approx(
+            manager.baseline_power()
+        )
+
+    def test_transition_totals_accumulate(self):
+        manager, _ = make_manager(window=50)
+        for now in range(1, 1000):
+            manager.on_cycle(now)
+        totals = manager.transition_totals()
+        assert totals["down"] > 0
+        assert totals["up"] == 0  # idle network never climbs
+
+    def test_average_power_requires_positive_cycles(self):
+        manager, _ = make_manager()
+        with pytest.raises(ConfigError):
+            manager.average_power(0)
+
+
+class TestReporting:
+    def test_link_report_rows(self):
+        manager, topology = make_manager(window=50)
+        for now in range(1, 500):
+            manager.on_cycle(now)
+        manager.finalize(500)
+        rows = manager.link_report(500)
+        assert len(rows) == len(topology.links)
+        kinds = {row["kind"] for row in rows}
+        assert kinds == {"injection", "ejection", "mesh"}
+        for row in rows:
+            assert row["avg_power_w"] > 0.0
+            assert 0 <= row["level"] <= manager.ladder.top_level
+
+    def test_energy_by_kind_sums_to_total(self):
+        manager, _ = make_manager(window=50)
+        for now in range(1, 500):
+            manager.on_cycle(now)
+        manager.finalize(500)
+        by_kind = manager.energy_by_kind(500)
+        assert sum(by_kind.values()) == pytest.approx(
+            manager.average_power(500)
+        )
+
+    def test_report_requires_positive_cycles(self):
+        manager, _ = make_manager()
+        with pytest.raises(ConfigError):
+            manager.link_report(0)
+        with pytest.raises(ConfigError):
+            manager.energy_by_kind(-1)
+
+
+class TestModelReplacement:
+    def test_replace_before_run(self):
+        from repro.photonics.measured import MeasuredLinkPowerModel
+
+        manager, _ = make_manager()
+        measured = MeasuredLinkPowerModel(samples=(
+            (5e9, 0.055), (10e9, 0.280),
+        ))
+        manager.replace_power_model(measured)
+        assert manager.power_model is measured
+        for pal in manager.links:
+            assert pal.level_powers[-1] == pytest.approx(0.280)
+            assert pal.level_powers[0] == pytest.approx(0.055)
+
+    def test_replace_after_energy_accrued_refused(self):
+        from repro.photonics.electrical import ElectricalLinkModel
+
+        manager, _ = make_manager(window=50)
+        for now in range(1, 200):
+            manager.on_cycle(now)
+        manager.finalize(200)
+        with pytest.raises(ConfigError):
+            manager.replace_power_model(
+                ElectricalLinkModel().as_power_model())
+
+    def test_baseline_power_follows_replacement(self):
+        from repro.photonics.electrical import ElectricalLinkModel
+
+        manager, _ = make_manager()
+        model = ElectricalLinkModel().as_power_model()
+        manager.replace_power_model(model)
+        assert manager.baseline_power() == pytest.approx(
+            len(manager.links) * model.max_power
+        )

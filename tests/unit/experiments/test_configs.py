@@ -1,0 +1,101 @@
+"""Unit tests for experiment scales and reference rates."""
+
+import pytest
+
+from repro.config import NetworkConfig, VCSEL
+from repro.errors import ConfigError
+from repro.experiments.configs import (
+    SCALES,
+    get_scale,
+    power_config,
+    reference_rates,
+    static_rate_config,
+    uniform_saturation_packets,
+)
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert set(SCALES) == {"smoke", "bench", "paper"}
+
+    def test_get_scale(self):
+        assert get_scale("paper").network.num_nodes == 512
+        with pytest.raises(ConfigError):
+            get_scale("galactic")
+
+    def test_scaled_transitions_keep_paper_ratios(self):
+        for name in ("smoke", "bench", "paper"):
+            scale = get_scale(name)
+            transitions = scale.transitions()
+            # Tw : Tv : Tbr stays 1000 : 100 : 20.
+            ratio = scale.policy_window_cycles / 1000.0
+            assert transitions.voltage_transition_cycles == round(100 * ratio)
+            assert transitions.bit_rate_transition_cycles == round(20 * ratio)
+
+    def test_paper_scale_is_exact(self):
+        transitions = get_scale("paper").transitions()
+        assert transitions.voltage_transition_cycles == 100
+        assert transitions.bit_rate_transition_cycles == 20
+        assert transitions.optical_transition_cycles == 62_500
+
+    def test_scaled_racks_stay_at_eight_nodes(self):
+        # The node-to-mesh-link ratio governs policy behaviour; scaled
+        # presets must not thin the racks.
+        for name in ("smoke", "bench"):
+            assert get_scale(name).network.nodes_per_cluster == 8
+
+
+class TestPowerConfigs:
+    def test_power_config_uses_scale_policy_window(self):
+        scale = get_scale("smoke")
+        config = power_config(scale)
+        assert config.policy.window_cycles == scale.policy_window_cycles
+
+    def test_ideal_transitions_flag(self):
+        scale = get_scale("smoke")
+        config = power_config(scale, ideal_transitions=True)
+        assert config.transitions.bit_rate_transition_cycles == 0
+        assert config.transitions.voltage_transition_cycles == 0
+
+    def test_static_rate_config_is_one_level(self):
+        scale = get_scale("smoke")
+        config = static_rate_config(scale, 3.3e9)
+        assert config.num_levels == 1
+        assert config.min_bit_rate == config.max_bit_rate == 3.3e9
+
+    def test_technology_passthrough(self):
+        scale = get_scale("smoke")
+        assert power_config(scale, technology=VCSEL).technology == VCSEL
+
+
+class TestReferenceRates:
+    def test_paper_scale_rates_match_paper(self):
+        rates = reference_rates(NetworkConfig())
+        # 8x8 with 5-flit packets: theoretical saturation 6.4 pkt/cycle;
+        # the paper's operating points were 1.25 / 3.3 / 5.
+        assert rates["light"] == pytest.approx(1.25, abs=0.01)
+        assert rates["medium"] == pytest.approx(2.88, abs=0.01)
+        assert rates["heavy"] == pytest.approx(4.16, abs=0.01)
+
+    def test_ordering(self):
+        rates = reference_rates(NetworkConfig(mesh_width=4, mesh_height=4))
+        assert rates["light"] < rates["medium"] < rates["heavy"]
+
+    def test_saturation_estimate(self):
+        # Bisection bound: 4 * min(w, h) flits/cycle.
+        assert uniform_saturation_packets(NetworkConfig(), 5) == \
+            pytest.approx(6.4)
+        assert uniform_saturation_packets(
+            NetworkConfig(mesh_width=4, mesh_height=4), 5
+        ) == pytest.approx(3.2)
+
+
+class TestBaselinePower:
+    def test_baseline_link_power_matches_topology(self):
+        from repro.experiments.configs import baseline_link_power
+
+        scale = get_scale("smoke")
+        config = power_config(scale)
+        watts = baseline_link_power(scale, config)
+        # smoke: 4x4x8 -> 128 inj + 128 ej + 48 mesh = 304 links x 290 mW.
+        assert watts == pytest.approx(304 * 0.290)

@@ -1,0 +1,70 @@
+"""Unit tests for the experiment runner and the report renderer."""
+
+import pytest
+
+from repro.experiments import report
+from repro.experiments.configs import get_scale, power_config
+from repro.experiments.fig5 import uniform_factory
+from repro.experiments.runner import (
+    build_simulator,
+    collect_result,
+    run_pair,
+    run_simulation,
+)
+
+
+class TestRunner:
+    def test_build_simulator_wires_traffic(self):
+        scale = get_scale("smoke")
+        sim = build_simulator(scale.network, None, uniform_factory(0.2),
+                              seed=4, warmup_cycles=100, sample_interval=100)
+        assert sim.traffic.injection_rate == 0.2
+        assert sim.config.warmup_cycles == 100
+
+    def test_collect_result_baseline_fields(self):
+        scale = get_scale("smoke")
+        sim = build_simulator(scale.network, None, uniform_factory(0.2),
+                              seed=4, warmup_cycles=0, sample_interval=100)
+        sim.run(1200)
+        result = collect_result(sim, "unit")
+        assert result.label == "unit"
+        assert result.cycles == 1200
+        assert result.relative_power == 1.0
+        assert result.transitions_up == 0
+        assert result.power_series == ()
+
+    def test_run_simulation_respects_cycle_override(self):
+        scale = get_scale("smoke")
+        result = run_simulation(scale, None, uniform_factory(0.1),
+                                label="short", cycles=700)
+        assert result.cycles == 700
+
+    def test_run_pair_same_traffic_both_sides(self):
+        scale = get_scale("smoke")
+        aware, baseline, normalised = run_pair(
+            scale, power_config(scale), uniform_factory(0.15),
+            label="pair", cycles=5000,
+        )
+        # Identical seeds -> identical packet populations.
+        assert aware.packets_created == baseline.packets_created
+        assert normalised.power_ratio == pytest.approx(aware.relative_power)
+        assert baseline.relative_power == 1.0
+
+
+class TestReportRendering:
+    def test_markdown_table(self):
+        text = report.markdown_table(["a", "b"], [["1", "2"], ["3", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[3] == "| 3 | 4 |"
+
+    def test_fmt_handles_nan(self):
+        assert report._fmt(float("nan")) == "nan"
+        assert report._fmt(1.23456) == "1.235"
+
+    def test_render_table2_reports_ok(self):
+        text = report.render_table2()
+        assert "Table 2" in text
+        assert "Cross-check vs paper: OK" in text
+        assert "| vcsel | 30.0 | Vdd |" in text

@@ -1,0 +1,33 @@
+"""Unit tests for the Table 2 harness — the paper cross-check must be exact."""
+
+import pytest
+
+from repro.experiments import table2
+
+
+class TestTable2:
+    def test_verification_is_clean(self):
+        assert table2.verify_against_paper() == []
+
+    def test_trend_rows_cover_all_components(self):
+        names = [r["component"] for r in table2.trend_model_rows()]
+        assert names == ["vcsel", "vcsel_driver", "modulator_driver",
+                         "tia", "cdr"]
+
+    def test_physics_rows_match_paper(self):
+        rows = table2.physics_model_rows()
+        for name, (paper_mw, _) in table2.PAPER_TABLE2.items():
+            assert rows[name] == pytest.approx(paper_mw)
+
+    def test_link_totals(self):
+        totals = table2.link_totals()
+        assert totals["vcsel_at_10g_mw"] == pytest.approx(290.0)
+        assert totals["modulator_at_10g_mw"] == pytest.approx(290.0)
+        assert totals["vcsel_savings_at_5g"] == pytest.approx(0.793, abs=0.01)
+
+    def test_vcsel_beats_modulator_at_reduced_rate(self):
+        # The paper's Fig. 6(d) claim, visible already in the models: at
+        # 5 Gb/s the VCSEL link dissipates less because its transmitter
+        # scales with voltage too.
+        totals = table2.link_totals()
+        assert totals["vcsel_at_5g_mw"] < totals["modulator_at_5g_mw"]

@@ -1,0 +1,90 @@
+"""Unit tests for the plain-text rendering helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.ascii import (
+    SPARK_CHARS,
+    format_table,
+    histogram_bar,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_constant_series(self):
+        line = sparkline([1.0, 1.0, 1.0])
+        assert len(line) == 3
+        assert set(line) == {SPARK_CHARS[0]}
+
+    def test_min_and_max_map_to_ends(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == SPARK_CHARS[0]
+        assert line[1] == SPARK_CHARS[-1]
+
+    def test_nan_renders_as_space(self):
+        line = sparkline([0.0, math.nan, 1.0])
+        assert line[1] == " "
+
+    def test_empty_series(self):
+        assert sparkline([]) == "(no data)"
+        assert sparkline([math.nan, math.nan]) == "(no data)"
+
+    def test_resampling_to_width(self):
+        line = sparkline(list(range(1000)), width=50)
+        assert len(line) <= 50
+
+    def test_monotone_series_monotone_chars(self):
+        line = sparkline([float(i) for i in range(10)])
+        indices = [SPARK_CHARS.index(c) for c in line]
+        assert indices == sorted(indices)
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigError):
+            sparkline([1.0], width=0)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_nan_cell(self):
+        text = format_table(["x"], [[math.nan]])
+        assert "nan" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ConfigError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigError):
+            format_table([], [])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestHistogramBar:
+    def test_bars_proportional(self):
+        lines = histogram_bar([1, 2, 4])
+        assert lines[2].count("#") == 40
+        assert lines[0].count("#") == 10
+
+    def test_zero_counts(self):
+        lines = histogram_bar([0, 0])
+        assert all("#" not in line for line in lines)
+
+    def test_counts_echoed(self):
+        lines = histogram_bar([3, 7])
+        assert lines[0].endswith("3")
+        assert lines[1].endswith("7")

@@ -1,0 +1,78 @@
+"""Unit tests for the mesh heatmap renderers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.heatmap import (
+    mesh_utilisation_table,
+    rack_level_heatmap,
+    rack_occupancy_heatmap,
+)
+from repro.network.simulator import Simulator
+from repro.traffic.uniform import UniformRandomTraffic
+
+
+def make_sim(config, rate=0.4, seed=2):
+    traffic = UniformRandomTraffic(config.network.num_nodes, rate, seed=seed)
+    return Simulator(config, traffic)
+
+
+class TestOccupancyHeatmap:
+    def test_grid_dimensions(self, tiny_baseline_config):
+        sim = make_sim(tiny_baseline_config)
+        sim.run(300)
+        lines = rack_occupancy_heatmap(sim).splitlines()
+        network = tiny_baseline_config.network
+        assert len(lines) == network.mesh_height + 1  # grid + legend
+        assert all(len(line) == network.mesh_width
+                   for line in lines[:-1])
+
+    def test_idle_network_uniform_grid(self, tiny_baseline_config):
+        sim = make_sim(tiny_baseline_config, rate=0.0)
+        sim.run(100)
+        lines = rack_occupancy_heatmap(sim).splitlines()[:-1]
+        assert len({c for line in lines for c in line}) == 1
+
+
+class TestLevelHeatmap:
+    def test_requires_power_aware(self, tiny_baseline_config):
+        sim = make_sim(tiny_baseline_config)
+        with pytest.raises(ConfigError):
+            rack_level_heatmap(sim)
+
+    def test_idle_network_reaches_low_digits(self, tiny_sim_config):
+        sim = make_sim(tiny_sim_config, rate=0.0)
+        sim.run(4000)
+        lines = rack_level_heatmap(sim).splitlines()
+        digits = {c for line in lines[:-1] for c in line}
+        assert digits == {"0"}
+
+    def test_fresh_network_starts_high(self, tiny_sim_config):
+        sim = make_sim(tiny_sim_config, rate=0.0)
+        sim.run(1)
+        lines = rack_level_heatmap(sim).splitlines()
+        digits = {c for line in lines[:-1] for c in line}
+        assert digits == {"9"}
+
+
+class TestUtilisationTable:
+    def test_sorted_busiest_first(self, tiny_baseline_config):
+        sim = make_sim(tiny_baseline_config, rate=1.0)
+        for link in sim.network.links:
+            link.busy_accum = 0.0
+        sim.run(500)
+        rows = mesh_utilisation_table(sim, window=500.0)
+        fractions = [float(row.split(": ")[1]) for row in rows]
+        assert fractions == sorted(fractions, reverse=True)
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+
+    def test_row_count_matches_mesh_links(self, tiny_baseline_config):
+        sim = make_sim(tiny_baseline_config)
+        rows = mesh_utilisation_table(sim, window=100.0)
+        # 2x2 mesh: 8 unidirectional inter-router links.
+        assert len(rows) == 8
+
+    def test_window_validation(self, tiny_baseline_config):
+        sim = make_sim(tiny_baseline_config)
+        with pytest.raises(ConfigError):
+            mesh_utilisation_table(sim, window=0.0)

@@ -1,0 +1,88 @@
+"""Unit tests for the live-simulation introspection helpers."""
+
+from repro.metrics.inspect import (
+    buffer_occupancy_map,
+    congestion_report,
+    level_map,
+    source_backlog_map,
+)
+from repro.network.simulator import Simulator
+from repro.traffic.uniform import UniformRandomTraffic
+
+
+def make_sim(config, rate=0.4, seed=3):
+    traffic = UniformRandomTraffic(config.network.num_nodes, rate, seed=seed)
+    return Simulator(config, traffic)
+
+
+class TestSnapshots:
+    def test_idle_network_has_empty_maps(self, tiny_baseline_config):
+        sim = make_sim(tiny_baseline_config, rate=0.0)
+        sim.run(200)
+        assert buffer_occupancy_map(sim) == {}
+        assert source_backlog_map(sim) == []
+
+    def test_loaded_network_shows_occupancy(self, tiny_sim_config):
+        sim = make_sim(tiny_sim_config, rate=1.2)
+        sim.run(400)
+        # With sustained load something must be buffered or queued.
+        occupied = buffer_occupancy_map(sim)
+        backlog = source_backlog_map(sim)
+        assert occupied or backlog or sim.stats.in_flight == 0
+
+    def test_level_map_empty_for_baseline(self, tiny_baseline_config):
+        sim = make_sim(tiny_baseline_config)
+        sim.run(100)
+        assert level_map(sim) == {}
+
+    def test_level_map_counts_all_links(self, tiny_sim_config):
+        sim = make_sim(tiny_sim_config, rate=0.1)
+        sim.run(600)
+        levels = level_map(sim)
+        counted = sum(sum(counter.values()) for counter in levels.values())
+        assert counted == len(sim.power.links)
+
+    def test_congestion_report_is_text(self, tiny_sim_config):
+        sim = make_sim(tiny_sim_config, rate=0.5)
+        sim.run(500)
+        report = congestion_report(sim)
+        assert f"cycle {sim.cycle}" in report
+        assert "link levels" in report
+
+    def test_backlog_sorted_descending(self, tiny_baseline_config):
+        sim = make_sim(tiny_baseline_config, rate=2.0)
+        sim.run(300)
+        backlog = source_backlog_map(sim, top=5)
+        sizes = [flits for _, flits in backlog]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestStallWatchdog:
+    def test_healthy_run_never_trips(self, tiny_network):
+        from dataclasses import replace
+
+        from repro.config import SimulationConfig
+
+        config = SimulationConfig(network=tiny_network, power=None,
+                                  stall_limit_cycles=2000)
+        sim = make_sim(config, rate=0.3)
+        sim.run(5000)  # must not raise
+        assert sim.stats.packets_delivered > 0
+
+    def test_artificial_stall_detected(self, tiny_network):
+        import pytest
+
+        from repro.config import SimulationConfig
+        from repro.errors import SimulationError
+
+        config = SimulationConfig(network=tiny_network, power=None,
+                                  stall_limit_cycles=512)
+        sim = make_sim(config, rate=0.3)
+        sim.run(600)
+        # Simulate a wedged network: disable every link far into the
+        # future so nothing can move while packets are in flight.
+        assert sim.stats.in_flight > 0 or sim.network.total_pending_flits > 0
+        for link in sim.network.links:
+            link.disable_for(sim.cycle, 10_000_000)
+        with pytest.raises(SimulationError, match="no packet delivered"):
+            sim.run(3000)

@@ -1,0 +1,78 @@
+"""Unit tests for result serialisation."""
+
+import io
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.io import (
+    load_results,
+    load_results_file,
+    normalised_from_dict,
+    normalised_to_dict,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+    save_results_file,
+)
+from repro.metrics.summary import NormalisedResult, RunResult
+
+
+def make_result(label="x") -> RunResult:
+    return RunResult(
+        label=label, cycles=5000, packets_created=100, packets_delivered=98,
+        mean_latency=42.5, p95_latency=70.0, max_latency=120.0,
+        relative_power=0.31, accepted_rate=0.02,
+        transitions_up=3, transitions_down=17,
+        power_series=((0, 10.0), (1000, 4.5)),
+        injection_series=(0.1, 0.2, 0.15),
+        level_histogram=(5, 0, 0, 0, 0, 1),
+    )
+
+
+class TestRunResultRoundTrip:
+    def test_dict_round_trip(self):
+        original = make_result()
+        assert result_from_dict(result_to_dict(original)) == original
+
+    def test_json_round_trip(self):
+        results = {"a": make_result("a"), "b": make_result("b")}
+        stream = io.StringIO()
+        save_results(results, stream)
+        stream.seek(0)
+        assert load_results(stream) == results
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "results.json"
+        results = {"run": make_result()}
+        save_results_file(results, path)
+        assert load_results_file(path) == results
+
+    def test_nan_latency_survives(self):
+        nan_result = RunResult(
+            label="nan", cycles=10, packets_created=0, packets_delivered=0,
+            mean_latency=math.nan, p95_latency=math.nan, max_latency=0.0,
+            relative_power=1.0, accepted_rate=0.0,
+        )
+        restored = result_from_dict(result_to_dict(nan_result))
+        assert math.isnan(restored.mean_latency)
+
+    def test_unknown_schema_rejected(self):
+        payload = result_to_dict(make_result())
+        payload["schema_version"] = 99
+        with pytest.raises(ConfigError):
+            result_from_dict(payload)
+
+
+class TestNormalisedRoundTrip:
+    def test_round_trip(self):
+        original = NormalisedResult("fft", 1.5, 0.25, 100.0, 150.0)
+        assert normalised_from_dict(normalised_to_dict(original)) == original
+
+    def test_schema_checked(self):
+        payload = normalised_to_dict(
+            NormalisedResult("x", 1.0, 0.5, 10.0, 10.0))
+        payload["schema_version"] = 0
+        with pytest.raises(ConfigError):
+            normalised_from_dict(payload)

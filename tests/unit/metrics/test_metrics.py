@@ -1,0 +1,139 @@
+"""Unit tests for the metrics package."""
+
+import math
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.errors import ConfigError
+from repro.metrics.energy import (
+    average_power_watts,
+    normalise_power_series,
+    series_mean,
+    smooth_series,
+    watt_cycles_to_joules,
+)
+from repro.metrics.latency import (
+    find_throughput,
+    mean_hop_count,
+    zero_load_latency,
+)
+from repro.metrics.summary import NormalisedResult, RunResult, normalise
+
+
+def make_result(latency=100.0, power=0.3, label="x") -> RunResult:
+    return RunResult(
+        label=label, cycles=1000, packets_created=100, packets_delivered=100,
+        mean_latency=latency, p95_latency=latency * 1.5,
+        max_latency=latency * 3, relative_power=power, accepted_rate=0.1,
+    )
+
+
+class TestEnergyHelpers:
+    def test_watt_cycles_to_joules(self):
+        network = NetworkConfig()
+        # 625e6 watt-cycles at 625 MHz = 1 joule.
+        assert watt_cycles_to_joules(625e6, network) == pytest.approx(1.0)
+
+    def test_average_power(self):
+        assert average_power_watts(100.0, 50.0) == pytest.approx(2.0)
+        with pytest.raises(ConfigError):
+            average_power_watts(1.0, 0.0)
+
+    def test_normalise_power_series(self):
+        series = [(0, 10.0), (100, 5.0)]
+        assert normalise_power_series(series, 10.0) == [(0, 1.0), (100, 0.5)]
+        with pytest.raises(ConfigError):
+            normalise_power_series(series, 0.0)
+
+    def test_smooth_series_flattens_spike(self):
+        series = [(i, 1.0) for i in range(9)]
+        series[4] = (4, 10.0)
+        smoothed = smooth_series(series, window=3)
+        assert smoothed[4][1] == pytest.approx(4.0)
+        assert smoothed[0][1] == pytest.approx(1.0)
+
+    def test_smooth_window_one_is_identity(self):
+        series = [(0, 1.0), (1, 5.0)]
+        assert smooth_series(series, window=1) == series
+
+    def test_series_mean(self):
+        assert series_mean([(0, 1.0), (1, 3.0)]) == pytest.approx(2.0)
+        with pytest.raises(ConfigError):
+            series_mean([])
+
+
+class TestLatencyHelpers:
+    def test_mean_hop_count_8x8(self):
+        # (w^2-1)/(3w) per dimension = 63/24 = 2.625; two dims = 5.25.
+        assert mean_hop_count(NetworkConfig()) == pytest.approx(5.25)
+
+    def test_zero_load_latency_grows_with_packet_size(self):
+        network = NetworkConfig()
+        assert zero_load_latency(network, 48) > zero_load_latency(network, 5)
+
+    def test_zero_load_latency_grows_with_service_time(self):
+        network = NetworkConfig()
+        assert zero_load_latency(network, 5, service_time=2.0) > \
+            zero_load_latency(network, 5, service_time=1.0)
+
+    def test_find_throughput_bisection(self):
+        # A synthetic latency curve exploding at rate 2.0.
+        def latency(rate):
+            return 50.0 if rate < 2.0 else 1e9
+
+        found = find_throughput(latency, zero_load=50.0, low=0.1, high=4.0,
+                                tolerance=0.01)
+        assert found == pytest.approx(2.0, abs=0.05)
+
+    def test_find_throughput_all_saturated(self):
+        found = find_throughput(lambda r: 1e9, zero_load=50.0,
+                                low=0.5, high=4.0)
+        assert found == 0.5
+
+    def test_find_throughput_never_saturates(self):
+        found = find_throughput(lambda r: 10.0, zero_load=50.0,
+                                low=0.5, high=4.0)
+        assert found == 4.0
+
+    def test_find_throughput_handles_nan(self):
+        def latency(rate):
+            return 50.0 if rate < 1.0 else math.nan
+
+        found = find_throughput(latency, zero_load=50.0, low=0.1, high=4.0)
+        assert found < 1.05
+
+
+class TestNormalisation:
+    def test_normalise_ratios(self):
+        aware = make_result(latency=150.0, power=0.25)
+        baseline = make_result(latency=100.0, power=1.0, label="base")
+        result = normalise(aware, baseline)
+        assert result.latency_ratio == pytest.approx(1.5)
+        assert result.power_ratio == pytest.approx(0.25)
+        assert result.power_latency_product == pytest.approx(0.375)
+
+    def test_baseline_must_be_non_power_aware(self):
+        aware = make_result(power=0.25)
+        fake_baseline = make_result(power=0.5)
+        with pytest.raises(ConfigError):
+            normalise(aware, fake_baseline)
+
+    def test_baseline_latency_must_be_usable(self):
+        aware = make_result()
+        bad = make_result(latency=math.nan, power=1.0)
+        with pytest.raises(ConfigError):
+            normalise(aware, bad)
+
+    def test_run_result_plp(self):
+        result = make_result(latency=200.0, power=0.5)
+        assert result.power_latency_product == pytest.approx(100.0)
+
+    def test_delivery_fraction(self):
+        result = make_result()
+        assert result.delivery_fraction == 1.0
+
+    def test_as_dict(self):
+        n = NormalisedResult("x", 1.5, 0.25, 100.0, 150.0)
+        d = n.as_dict()
+        assert d["power_latency_product"] == pytest.approx(0.375)

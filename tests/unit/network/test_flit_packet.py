@@ -1,0 +1,51 @@
+"""Unit tests for flits and packets."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.packet import Packet
+
+
+class TestPacket:
+    def test_make_flits_roles(self):
+        packet = Packet(1, src=0, dst=3, size=4, create_time=10)
+        flits = packet.make_flits()
+        assert len(flits) == 4
+        assert flits[0].is_head and not flits[0].is_tail
+        assert flits[-1].is_tail and not flits[-1].is_head
+        assert all(not f.is_head and not f.is_tail for f in flits[1:-1])
+
+    def test_single_flit_is_head_and_tail(self):
+        packet = Packet(1, src=0, dst=1, size=1, create_time=0)
+        (flit,) = packet.make_flits()
+        assert flit.is_head and flit.is_tail
+
+    def test_flit_indices_ordered(self):
+        packet = Packet(1, src=0, dst=1, size=5, create_time=0)
+        assert [f.index for f in packet.make_flits()] == [0, 1, 2, 3, 4]
+
+    def test_flits_reference_packet(self):
+        packet = Packet(7, src=0, dst=1, size=2, create_time=0)
+        assert all(f.packet is packet for f in packet.make_flits())
+
+    def test_default_vc_zero(self):
+        packet = Packet(1, src=0, dst=1, size=1, create_time=0)
+        assert packet.make_flits()[0].vc == 0
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigError):
+            Packet(1, src=0, dst=1, size=0, create_time=0)
+
+    def test_self_send_rejected(self):
+        with pytest.raises(ConfigError):
+            Packet(1, src=3, dst=3, size=1, create_time=0)
+
+    def test_latency_of_in_flight_packet_raises(self):
+        packet = Packet(1, src=0, dst=1, size=1, create_time=5)
+        with pytest.raises(ConfigError):
+            _ = packet.latency
+
+    def test_latency_after_ejection(self):
+        packet = Packet(1, src=0, dst=1, size=1, create_time=5)
+        packet.eject_time = 42
+        assert packet.latency == 37

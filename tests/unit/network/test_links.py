@@ -1,0 +1,136 @@
+"""Unit tests for the variable-bit-rate link transport."""
+
+import pytest
+
+from repro.errors import ConfigError, LinkStateError
+from repro.network.links import INJECTION, MESH, Link
+from repro.network.packet import Packet
+
+
+def make_flits(n: int):
+    return Packet(1, src=0, dst=1, size=n, create_time=0).make_flits()
+
+
+def make_link(service_time=1.0, propagation=1.0) -> Link:
+    return Link(0, MESH, propagation_cycles=propagation,
+                service_time=service_time)
+
+
+class TestSerialisation:
+    def test_flit_arrives_after_service_plus_propagation(self):
+        link = make_link(service_time=2.0, propagation=1.0)
+        (flit,) = make_flits(1)
+        link.push(flit, 10.0)
+        assert link.pop_arrivals(12.9) == []
+        assert link.pop_arrivals(13.0) == [flit]
+
+    def test_back_to_back_spacing(self):
+        link = make_link(service_time=2.0, propagation=0.0)
+        flits = make_flits(2)
+        link.push(flits[0], 0.0)
+        assert not link.can_accept(1.0)
+        assert link.can_accept(2.0)
+        link.push(flits[1], 2.0)
+        assert link.pop_arrivals(2.0) == [flits[0]]
+        assert link.pop_arrivals(4.0) == [flits[1]]
+
+    def test_push_while_busy_raises(self):
+        link = make_link(service_time=2.0)
+        flits = make_flits(2)
+        link.push(flits[0], 0.0)
+        with pytest.raises(LinkStateError):
+            link.push(flits[1], 1.0)
+
+    def test_arrivals_in_order(self):
+        link = make_link(service_time=1.0, propagation=2.0)
+        flits = make_flits(3)
+        for i, flit in enumerate(flits):
+            link.push(flit, float(i))
+        assert link.pop_arrivals(100.0) == flits
+
+
+class TestRateChange:
+    def test_faster_rate_shortens_service(self):
+        link = make_link(service_time=2.0, propagation=0.0)
+        flits = make_flits(2)
+        link.push(flits[0], 0.0)
+        link.set_service_time(1.0)
+        link.push(flits[1], 2.0)
+        # Second flit serialised in 1 cycle at the new rate.
+        assert link.free_at == pytest.approx(3.0)
+
+    def test_in_flight_keeps_old_timing(self):
+        link = make_link(service_time=2.0, propagation=1.0)
+        (flit,) = make_flits(1)
+        link.push(flit, 0.0)
+        link.set_service_time(1.0)
+        assert link.pop_arrivals(2.9) == []
+        assert link.pop_arrivals(3.0) == [flit]
+
+    def test_invalid_service_time_rejected(self):
+        with pytest.raises(ConfigError):
+            make_link().set_service_time(0.0)
+
+
+class TestDisable:
+    def test_disabled_link_refuses(self):
+        link = make_link()
+        link.disable_for(10.0, 20.0)
+        assert not link.can_accept(29.9)
+        assert link.can_accept(30.0)
+
+    def test_disable_never_shrinks(self):
+        link = make_link()
+        link.disable_for(0.0, 50.0)
+        link.disable_for(10.0, 10.0)
+        assert link.disabled_until == 50.0
+
+    def test_push_while_disabled_raises(self):
+        link = make_link()
+        link.disable_for(0.0, 5.0)
+        (flit,) = make_flits(1)
+        with pytest.raises(LinkStateError):
+            link.push(flit, 2.0)
+
+
+class TestCounters:
+    def test_busy_time_accumulates_service(self):
+        link = make_link(service_time=2.0, propagation=0.0)
+        flits = make_flits(3)
+        for i, flit in enumerate(flits):
+            link.push(flit, i * 2.0)
+        assert link.take_busy_time() == pytest.approx(6.0)
+        assert link.take_busy_time() == 0.0  # reset on read
+
+    def test_pressure_independent_of_busy(self):
+        link = make_link()
+        link.pressure_accum += 5.0
+        assert link.take_pressure_time() == 5.0
+        assert link.take_pressure_time() == 0.0
+
+    def test_flits_carried(self):
+        link = make_link(service_time=1.0)
+        for i, flit in enumerate(make_flits(4)):
+            link.push(flit, float(i))
+        assert link.flits_carried == 4
+
+
+class TestRegistry:
+    def test_registry_tracks_in_flight(self):
+        active: set[Link] = set()
+        link = make_link()
+        link.registry = active
+        (flit,) = make_flits(1)
+        link.push(flit, 0.0)
+        assert link in active
+        # The simulator removes drained links itself; registry only adds.
+        link.pop_arrivals(100.0)
+        assert not link.has_in_flight
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            Link(0, "wireless")
+
+    def test_kinds_exposed(self):
+        assert make_link().kind == MESH
+        assert Link(1, INJECTION).kind == INJECTION

@@ -1,0 +1,98 @@
+"""Unit tests for mesh routing functions."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.routing import (
+    EAST,
+    NORTH,
+    OPPOSITE,
+    SOUTH,
+    WEST,
+    get_routing_function,
+    hop_count,
+    xy_route,
+    yx_route,
+)
+
+
+class TestXy:
+    def test_x_before_y(self):
+        assert xy_route(0, 0, 2, 2) == EAST
+        assert xy_route(3, 0, 2, 2) == WEST
+
+    def test_y_after_x_done(self):
+        assert xy_route(2, 0, 2, 2) == SOUTH
+        assert xy_route(2, 3, 2, 2) == NORTH
+
+    def test_arrived(self):
+        assert xy_route(2, 2, 2, 2) == -1
+
+    def test_full_path_reaches_destination(self):
+        x, y = 0, 3
+        dst = (3, 0)
+        offsets = {EAST: (1, 0), WEST: (-1, 0), NORTH: (0, -1), SOUTH: (0, 1)}
+        for _ in range(10):
+            d = xy_route(x, y, *dst)
+            if d < 0:
+                break
+            dx, dy = offsets[d]
+            x, y = x + dx, y + dy
+        assert (x, y) == dst
+
+    def test_path_length_is_minimal(self):
+        x, y, dst = 0, 0, (3, 2)
+        hops = 0
+        offsets = {EAST: (1, 0), WEST: (-1, 0), NORTH: (0, -1), SOUTH: (0, 1)}
+        while True:
+            d = xy_route(x, y, *dst)
+            if d < 0:
+                break
+            dx, dy = offsets[d]
+            x, y = x + dx, y + dy
+            hops += 1
+        assert hops == hop_count(0, 0, *dst) == 5
+
+
+class TestYx:
+    def test_y_before_x(self):
+        assert yx_route(0, 0, 2, 2) == SOUTH
+        assert yx_route(0, 3, 2, 2) == NORTH
+
+    def test_x_after_y_done(self):
+        assert yx_route(0, 2, 2, 2) == EAST
+
+    def test_arrived(self):
+        assert yx_route(1, 1, 1, 1) == -1
+
+
+class TestWestFirst:
+    def test_west_taken_first(self):
+        west_first = get_routing_function("west_first")
+        assert west_first(3, 0, 1, 2) == WEST
+
+    def test_east_region_prefers_x(self):
+        west_first = get_routing_function("west_first")
+        assert west_first(0, 0, 2, 2) == EAST
+
+
+class TestRegistry:
+    def test_known_names(self):
+        for name in ("xy", "yx", "west_first"):
+            assert callable(get_routing_function(name))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            get_routing_function("adaptive-magic")
+
+
+class TestHelpers:
+    def test_opposites(self):
+        assert OPPOSITE[EAST] == WEST
+        assert OPPOSITE[WEST] == EAST
+        assert OPPOSITE[NORTH] == SOUTH
+        assert OPPOSITE[SOUTH] == NORTH
+
+    def test_hop_count_manhattan(self):
+        assert hop_count(0, 0, 3, 4) == 7
+        assert hop_count(2, 2, 2, 2) == 0

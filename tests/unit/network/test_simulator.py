@@ -1,0 +1,138 @@
+"""Unit tests for the cycle-driven simulator core."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigError
+from repro.network.packet import Packet
+from repro.network.simulator import Simulator
+from repro.traffic.base import TrafficSource
+from repro.traffic.trace import TraceRecord, TraceReplaySource
+from repro.traffic.uniform import UniformRandomTraffic
+
+
+class SilentTraffic(TrafficSource):
+    """A source that never generates."""
+
+    def generate(self, now):
+        return []
+
+    def exhausted(self, now):
+        return True
+
+
+class OneShotTraffic(TrafficSource):
+    """Injects one configurable packet at cycle 0."""
+
+    def __init__(self, num_nodes, src, dst, size):
+        super().__init__(num_nodes)
+        self._pending = [(src, dst, size)]
+
+    def generate(self, now):
+        if not self._pending:
+            return []
+        src, dst, size = self._pending.pop()
+        return [self._make_packet(src, dst, size, now)]
+
+    def exhausted(self, now):
+        return not self._pending
+
+
+class TestConstruction:
+    def test_traffic_node_count_must_match(self, tiny_sim_config):
+        wrong = UniformRandomTraffic(999, 0.1)
+        with pytest.raises(ConfigError):
+            Simulator(tiny_sim_config, wrong)
+
+    def test_baseline_has_no_power_manager(self, tiny_baseline_config):
+        sim = Simulator(tiny_baseline_config,
+                        SilentTraffic(tiny_baseline_config.network.num_nodes))
+        assert sim.power is None
+        assert sim.relative_power() == 1.0
+
+    def test_power_aware_has_manager(self, tiny_sim_config):
+        sim = Simulator(tiny_sim_config,
+                        SilentTraffic(tiny_sim_config.network.num_nodes))
+        assert sim.power is not None
+
+
+class TestDelivery:
+    def test_single_packet_delivered(self, tiny_baseline_config):
+        nodes = tiny_baseline_config.network.num_nodes
+        sim = Simulator(tiny_baseline_config,
+                        OneShotTraffic(nodes, src=0, dst=nodes - 1, size=3))
+        sim.run(200)
+        assert sim.stats.packets_delivered == 1
+
+    def test_zero_load_latency_close_to_model(self, tiny_baseline_config):
+        # One packet crossing the full diagonal of the 2x2 mesh.
+        nodes = tiny_baseline_config.network.num_nodes
+        sim = Simulator(tiny_baseline_config,
+                        OneShotTraffic(nodes, src=0, dst=nodes - 1, size=1))
+        sim.run(100)
+        # 2 mesh hops: 3 routers x 3 pipeline + 4 links x 2 = 17 cycles.
+        assert sim.stats.mean_latency == pytest.approx(17.0, abs=2.0)
+
+    def test_idle_step_is_cheap_and_safe(self, tiny_baseline_config):
+        sim = Simulator(tiny_baseline_config,
+                        SilentTraffic(tiny_baseline_config.network.num_nodes))
+        sim.run(100)
+        assert sim.cycle == 100
+        assert sim.stats.packets_created == 0
+
+    def test_negative_cycles_rejected(self, tiny_baseline_config):
+        sim = Simulator(tiny_baseline_config,
+                        SilentTraffic(tiny_baseline_config.network.num_nodes))
+        with pytest.raises(ConfigError):
+            sim.run(-1)
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_runs(self, tiny_sim_config):
+        def run():
+            traffic = UniformRandomTraffic(
+                tiny_sim_config.network.num_nodes, 0.3, seed=42)
+            sim = Simulator(tiny_sim_config, traffic)
+            sim.run(2000)
+            return sim.summary()
+
+        assert run() == run()
+
+    def test_different_seeds_differ(self, tiny_sim_config):
+        def run(seed):
+            traffic = UniformRandomTraffic(
+                tiny_sim_config.network.num_nodes, 0.3, seed=seed)
+            sim = Simulator(tiny_sim_config, traffic)
+            sim.run(2000)
+            return sim.summary()
+
+        assert run(1) != run(2)
+
+
+class TestDrain:
+    def test_run_until_drained(self, tiny_baseline_config):
+        nodes = tiny_baseline_config.network.num_nodes
+        records = [TraceRecord(0, 0, 1, 4), TraceRecord(10, 2, 5, 4)]
+        sim = Simulator(tiny_baseline_config,
+                        TraceReplaySource(nodes, records))
+        assert sim.run_until_drained(5000, poll_interval=16)
+        assert sim.stats.packets_delivered == 2
+        assert sim.stats.in_flight == 0
+
+    def test_drain_timeout_returns_false(self, tiny_baseline_config):
+        nodes = tiny_baseline_config.network.num_nodes
+        records = [TraceRecord(0, 0, nodes - 1, 8)]
+        sim = Simulator(tiny_baseline_config,
+                        TraceReplaySource(nodes, records))
+        assert not sim.run_until_drained(3)
+
+
+class TestSummary:
+    def test_summary_includes_power(self, tiny_sim_config):
+        traffic = UniformRandomTraffic(
+            tiny_sim_config.network.num_nodes, 0.2, seed=1)
+        sim = Simulator(tiny_sim_config, traffic)
+        sim.run(1000)
+        summary = sim.summary()
+        assert 0.0 < summary["relative_power"] <= 1.0
+        assert summary["cycles"] == 1000.0

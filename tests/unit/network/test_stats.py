@@ -1,0 +1,120 @@
+"""Unit tests for the statistics collector."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.network.packet import Packet
+from repro.network.stats import StatsCollector
+
+
+def deliver(stats: StatsCollector, create: int, eject: int, pid: int = 0,
+            size: int = 1):
+    packet = Packet(pid, src=0, dst=1, size=size, create_time=create)
+    stats.packet_created(packet, create)
+    stats.packet_delivered(packet, eject)
+    return packet
+
+
+class TestLatency:
+    def test_mean_latency(self):
+        stats = StatsCollector()
+        deliver(stats, 0, 10, 1)
+        deliver(stats, 0, 30, 2)
+        assert stats.mean_latency == pytest.approx(20.0)
+
+    def test_mean_nan_with_no_packets(self):
+        assert math.isnan(StatsCollector().mean_latency)
+
+    def test_warmup_excludes_early_packets(self):
+        stats = StatsCollector(warmup_cycles=100)
+        deliver(stats, 10, 500, 1)     # created during warmup -> excluded
+        deliver(stats, 200, 210, 2)
+        assert stats.mean_latency == pytest.approx(10.0)
+        assert stats.measured_delivered == 1
+        assert stats.packets_delivered == 2  # raw count keeps everything
+
+    def test_max_latency(self):
+        stats = StatsCollector()
+        deliver(stats, 0, 5, 1)
+        deliver(stats, 0, 50, 2)
+        assert stats.latency_max == 50
+
+    def test_percentiles(self):
+        stats = StatsCollector()
+        for i in range(1, 101):
+            deliver(stats, 0, i, i)
+        assert stats.latency_percentile(0.0) == 1
+        assert stats.latency_percentile(1.0) == 100
+        assert 49 <= stats.latency_percentile(0.5) <= 51
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ConfigError):
+            StatsCollector().latency_percentile(1.5)
+
+    def test_eject_time_written_back(self):
+        stats = StatsCollector()
+        packet = deliver(stats, 3, 17, 1)
+        assert packet.latency == 14
+
+
+class TestCounts:
+    def test_in_flight_tracking(self):
+        stats = StatsCollector()
+        packet = Packet(1, src=0, dst=1, size=1, create_time=0)
+        stats.packet_created(packet, 0)
+        assert stats.in_flight == 1
+        stats.packet_delivered(packet, 5)
+        assert stats.in_flight == 0
+
+    def test_flits_delivered(self):
+        stats = StatsCollector()
+        deliver(stats, 0, 10, 1, size=5)
+        assert stats.flits_delivered == 5
+
+    def test_accepted_rate(self):
+        stats = StatsCollector()
+        for i in range(10):
+            deliver(stats, 0, 5, i)
+        assert stats.accepted_rate(100) == pytest.approx(0.1)
+
+    def test_accepted_rate_rejects_zero_cycles(self):
+        with pytest.raises(ConfigError):
+            StatsCollector().accepted_rate(0)
+
+
+class TestSeries:
+    def test_injection_series_buckets(self):
+        stats = StatsCollector(sample_interval=10)
+        for t in (0, 5, 9, 15):
+            packet = Packet(t, src=0, dst=1, size=1, create_time=t)
+            stats.packet_created(packet, t)
+        series = stats.injection_series()
+        assert series[0] == pytest.approx(0.3)
+        assert series[1] == pytest.approx(0.1)
+
+    def test_latency_series_mean_per_bucket(self):
+        stats = StatsCollector(sample_interval=10)
+        deliver(stats, 0, 5, 1)   # bucket 0, latency 5
+        deliver(stats, 0, 9, 2)   # bucket 0, latency 9
+        deliver(stats, 10, 15, 3)  # bucket 1, latency 5
+        series = stats.latency_series()
+        assert series[0] == pytest.approx(7.0)
+        assert series[1] == pytest.approx(5.0)
+
+    def test_latency_series_nan_for_empty_bucket(self):
+        stats = StatsCollector(sample_interval=10)
+        deliver(stats, 0, 25, 1)  # delivery in bucket 2
+        series = stats.latency_series()
+        assert math.isnan(series[0]) and math.isnan(series[1])
+        assert series[2] == pytest.approx(25.0)
+
+    def test_summary_keys(self):
+        stats = StatsCollector()
+        deliver(stats, 0, 10, 1)
+        summary = stats.summary(100)
+        for key in ("packets_created", "packets_delivered", "mean_latency",
+                    "p95_latency", "max_latency", "accepted_rate",
+                    "in_flight"):
+            assert key in summary

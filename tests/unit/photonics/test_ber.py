@@ -1,0 +1,113 @@
+"""Unit tests for the receiver BER model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.photonics.ber import (
+    Q_FOR_TARGET_BER,
+    ReceiverNoiseModel,
+    ber_from_q,
+    q_from_ber,
+)
+from repro.photonics.constants import (
+    MAX_BIT_RATE,
+    RECEIVER_SENSITIVITY_10G,
+    TARGET_BER,
+)
+
+
+class TestQBerConversions:
+    def test_q7_is_1e12(self):
+        assert ber_from_q(Q_FOR_TARGET_BER) == pytest.approx(1e-12, rel=0.01)
+
+    def test_q0_is_half(self):
+        assert ber_from_q(0.0) == pytest.approx(0.5)
+
+    def test_q6_is_1e9(self):
+        assert ber_from_q(5.9978) == pytest.approx(1e-9, rel=0.05)
+
+    def test_monotone_decreasing(self):
+        qs = [0.0, 2.0, 4.0, 6.0, 8.0]
+        bers = [ber_from_q(q) for q in qs]
+        assert bers == sorted(bers, reverse=True)
+
+    def test_q_from_ber_roundtrip(self):
+        for target in (1e-6, 1e-9, 1e-12, 1e-15):
+            assert ber_from_q(q_from_ber(target)) == \
+                pytest.approx(target, rel=1e-3)
+
+    def test_q_from_ber_bounds(self):
+        with pytest.raises(ConfigError):
+            q_from_ber(0.0)
+        with pytest.raises(ConfigError):
+            q_from_ber(0.6)
+
+    def test_negative_q_rejected(self):
+        with pytest.raises(ConfigError):
+            ber_from_q(-1.0)
+
+
+class TestReceiverModel:
+    @pytest.fixture
+    def model(self) -> ReceiverNoiseModel:
+        return ReceiverNoiseModel()
+
+    def test_calibration_point(self, model):
+        """At (25 uW, 10 Gb/s) the link exactly meets 1e-12."""
+        ber = model.ber(RECEIVER_SENSITIVITY_10G, MAX_BIT_RATE)
+        assert ber == pytest.approx(TARGET_BER, rel=0.05)
+
+    def test_more_light_lower_ber(self, model):
+        dim = model.ber(20e-6, MAX_BIT_RATE)
+        bright = model.ber(40e-6, MAX_BIT_RATE)
+        assert bright < dim
+
+    def test_lower_rate_lower_ber(self, model):
+        fast = model.ber(RECEIVER_SENSITIVITY_10G, 10e9)
+        slow = model.ber(RECEIVER_SENSITIVITY_10G, 5e9)
+        assert slow < fast
+
+    def test_meets_target_at_sensitivity(self, model):
+        assert model.meets_target(RECEIVER_SENSITIVITY_10G * 1.01,
+                                  MAX_BIT_RATE)
+        assert not model.meets_target(RECEIVER_SENSITIVITY_10G * 0.5,
+                                      MAX_BIT_RATE)
+
+    def test_required_power_roundtrip(self, model):
+        needed = model.required_power(MAX_BIT_RATE)
+        assert needed == pytest.approx(RECEIVER_SENSITIVITY_10G, rel=0.01)
+        assert model.ber(needed, MAX_BIT_RATE) == \
+            pytest.approx(TARGET_BER, rel=0.05)
+
+    def test_required_power_scales_sublinearly(self, model):
+        """Thermal noise ~ sqrt(BR): halving the rate needs ~1/sqrt(2)
+        the light — the detector's linear sensitivity model is therefore
+        conservative (requires more than strictly necessary)."""
+        full = model.required_power(10e9)
+        half = model.required_power(5e9)
+        assert half == pytest.approx(full / math.sqrt(2.0), rel=0.01)
+        assert half >= full / 2.0   # linear model is the lower bound
+
+    def test_paper_banding_needs_4db_margin(self, model):
+        """Feasibility of the Plow = 0.5 Pmid = 0.25 Phigh banding.
+
+        Under sqrt(BR) thermal noise, required power at a band's top rate
+        falls slower than the halving steps, so the top band needs ~4 dB
+        of optical margin for every band to close at its own maximum —
+        and with that margin, all three do.  (The linear-sensitivity model
+        used by the simulator is more conservative still.)
+        """
+        thin = RECEIVER_SENSITIVITY_10G * 1.2      # only ~0.8 dB margin
+        assert model.meets_target(thin, 10e9)
+        assert not model.meets_target(thin / 4, 4e9)   # Plow cannot close
+
+        p_high = RECEIVER_SENSITIVITY_10G * 2.6    # ~4.1 dB margin
+        assert model.meets_target(p_high, 10e9)         # Phigh at 10G
+        assert model.meets_target(p_high / 2, 6e9)      # Pmid at its top
+        assert model.meets_target(p_high / 4, 4e9)      # Plow at its top
+
+    def test_contrast_ratio_validation(self):
+        with pytest.raises(ConfigError):
+            ReceiverNoiseModel(contrast_ratio=1.0)

@@ -1,0 +1,47 @@
+"""Unit tests for the clock-and-data-recovery model (paper Eq. 9)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.photonics.cdr import DEFAULT_RELOCK_CYCLES, ClockDataRecovery
+from repro.photonics.constants import MAX_BIT_RATE, NOMINAL_VDD
+from repro.units import mw
+
+
+@pytest.fixture
+def cdr() -> ClockDataRecovery:
+    return ClockDataRecovery.calibrated_to(mw(150.0))
+
+
+class TestCalibration:
+    def test_hits_table2_budget(self, cdr):
+        assert cdr.power(MAX_BIT_RATE, NOMINAL_VDD) == pytest.approx(mw(150.0))
+
+    def test_default_relock_is_paper_value(self, cdr):
+        assert cdr.relock_cycles == DEFAULT_RELOCK_CYCLES == 20
+
+
+class TestEquation9:
+    def test_vdd2_br_trend(self, cdr):
+        assert cdr.power(5e9, 0.9) == pytest.approx(cdr.power(10e9, 1.8) / 8)
+
+    def test_linear_in_bit_rate(self, cdr):
+        assert cdr.power(2.5e9) == pytest.approx(cdr.power(10e9) / 4)
+
+    def test_quadratic_in_vdd(self, cdr):
+        assert cdr.power(10e9, 0.9) == pytest.approx(cdr.power(10e9, 1.8) / 4)
+
+
+class TestValidation:
+    def test_negative_relock_rejected(self):
+        with pytest.raises(ConfigError):
+            ClockDataRecovery(relock_cycles=-1)
+
+    def test_zero_activity_rejected(self):
+        with pytest.raises(ConfigError):
+            ClockDataRecovery(activity=0.0)
+
+    def test_zero_relock_allowed_for_ideal_studies(self):
+        # Fig. 6(b) zeroes the transition delays.
+        ideal = ClockDataRecovery(relock_cycles=0)
+        assert ideal.relock_cycles == 0

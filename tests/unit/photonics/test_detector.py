@@ -1,0 +1,62 @@
+"""Unit tests for the photodetector model (paper Eq. 6)."""
+
+import pytest
+
+from repro.photonics.constants import MAX_BIT_RATE, RECEIVER_SENSITIVITY_10G
+from repro.photonics.detector import Photodetector
+
+
+@pytest.fixture
+def detector() -> Photodetector:
+    return Photodetector()
+
+
+class TestResponsivity:
+    def test_ideal_responsivity_at_1550nm(self, detector):
+        # q/(h*nu) at 1.55 um is ~1.25 A/W.
+        assert detector.ideal_responsivity == pytest.approx(1.25, rel=0.01)
+
+    def test_actual_below_ideal(self, detector):
+        assert detector.responsivity < detector.ideal_responsivity
+
+    def test_photocurrent_includes_dark_current(self, detector):
+        base = detector.photocurrent(25e-6)
+        assert base > detector.responsivity * 25e-6
+
+
+class TestSensitivity:
+    def test_paper_value_at_10g(self, detector):
+        assert detector.sensitivity(MAX_BIT_RATE) == \
+            pytest.approx(RECEIVER_SENSITIVITY_10G)
+
+    def test_sensitivity_scales_with_bit_rate(self, detector):
+        # Lower bit rates tolerate less light (paper Section 2.2.1).
+        assert detector.sensitivity(5e9) == pytest.approx(
+            RECEIVER_SENSITIVITY_10G / 2
+        )
+
+    def test_sensitivity_monotonic(self, detector):
+        rates = [2e9, 5e9, 8e9, 10e9]
+        values = [detector.sensitivity(r) for r in rates]
+        assert values == sorted(values)
+
+
+class TestEquation6:
+    def test_dissipation_below_one_milliwatt(self, detector):
+        # Paper: "the photodetector's power dissipation is much lower than
+        # other components (<1 mW), no additional power control".
+        assert detector.dissipated_power() < 1e-3
+
+    def test_dissipation_grows_near_unity_contrast(self, detector):
+        # (CR+1)/(CR-1) explodes as CR -> 1.
+        assert detector.dissipated_power(contrast_ratio=1.5) > \
+            detector.dissipated_power(contrast_ratio=10.0)
+
+    def test_contrast_ratio_of_one_rejected(self, detector):
+        with pytest.raises(ValueError):
+            detector.dissipated_power(contrast_ratio=1.0)
+
+    def test_dissipation_scales_with_bit_rate(self, detector):
+        assert detector.dissipated_power(5e9) == pytest.approx(
+            detector.dissipated_power(10e9) / 2
+        )

@@ -1,0 +1,72 @@
+"""Unit tests for the cascaded-inverter driver (paper Eqs. 3 and 5)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.photonics.constants import MAX_BIT_RATE, NOMINAL_VDD
+from repro.photonics.drivers import InverterChainDriver
+from repro.units import mw
+
+
+@pytest.fixture
+def driver() -> InverterChainDriver:
+    return InverterChainDriver.calibrated_to(mw(10.0))
+
+
+class TestConstruction:
+    def test_calibration_hits_target(self, driver):
+        assert driver.power(MAX_BIT_RATE, NOMINAL_VDD) == pytest.approx(mw(10.0))
+
+    def test_modulator_driver_calibration(self):
+        md = InverterChainDriver.calibrated_to(mw(40.0))
+        assert md.power(MAX_BIT_RATE, NOMINAL_VDD) == pytest.approx(mw(40.0))
+
+    def test_zero_activity_rejected(self):
+        with pytest.raises(ConfigError):
+            InverterChainDriver(switched_capacitance=1e-12, activity=0.0)
+
+    def test_taper_must_exceed_one(self):
+        with pytest.raises(ConfigError):
+            InverterChainDriver(switched_capacitance=1e-12, taper=1.0)
+
+    def test_capacitance_positive(self):
+        with pytest.raises(ConfigError):
+            InverterChainDriver(switched_capacitance=0.0)
+
+
+class TestPowerScaling:
+    def test_linear_in_bit_rate(self, driver):
+        p10 = driver.power(10e9)
+        p5 = driver.power(5e9)
+        assert p5 == pytest.approx(p10 / 2)
+
+    def test_quadratic_in_vdd(self, driver):
+        full = driver.power(10e9, NOMINAL_VDD)
+        half = driver.power(10e9, NOMINAL_VDD / 2)
+        assert half == pytest.approx(full / 4)
+
+    def test_combined_vdd2_br_trend(self, driver):
+        # The paper's 10 Gb/s -> 5 Gb/s point: Vdd 1.8 -> 0.9 gives 1/8 power.
+        assert driver.power(5e9, 0.9) == pytest.approx(
+            driver.power(10e9, 1.8) / 8
+        )
+
+    def test_power_proportional_to_activity(self):
+        low = InverterChainDriver(switched_capacitance=1e-12, activity=0.25)
+        high = InverterChainDriver(switched_capacitance=1e-12, activity=0.5)
+        assert high.power(10e9) == pytest.approx(2 * low.power(10e9))
+
+
+class TestStageCount:
+    def test_single_stage_for_small_load(self, driver):
+        assert driver.stage_count(driver.switched_capacitance * 2) == 1
+
+    def test_stage_count_grows_with_ratio(self, driver):
+        small_in = driver.switched_capacitance / 1000
+        large_in = driver.switched_capacitance / 10
+        assert driver.stage_count(small_in) > driver.stage_count(large_in)
+
+    def test_stage_count_matches_log(self):
+        d = InverterChainDriver(switched_capacitance=1e-12, taper=4.0)
+        # ratio 256 = 4^4 -> exactly 4 stages.
+        assert d.stage_count(1e-12 / 256) == 4

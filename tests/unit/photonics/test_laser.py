@@ -1,0 +1,110 @@
+"""Unit tests for the external laser, splitter tree and VOAs (Fig. 3(b))."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.photonics.laser import (
+    ExternalLaserSource,
+    OpticalSplitter,
+    SplitterTree,
+    VariableOpticalAttenuator,
+)
+
+
+class TestOpticalSplitter:
+    def test_ideal_loss_1_to_16(self):
+        # 10*log10(16) ~ 12.04 dB ideal.
+        assert OpticalSplitter(16, excess_loss_db=0.0).total_loss_db == \
+            pytest.approx(12.04, rel=1e-3)
+
+    def test_paper_13_6db_budget(self):
+        # Paper: "a maximum of 13.6 dB for 1 to 16 splitting".
+        splitter = OpticalSplitter(16)
+        assert splitter.total_loss_db <= 13.61
+
+    def test_output_power_divides(self):
+        splitter = OpticalSplitter(2, excess_loss_db=0.0)
+        assert splitter.output_power(1.0) == pytest.approx(0.5)
+
+    def test_excess_loss_reduces_output(self):
+        ideal = OpticalSplitter(16, excess_loss_db=0.0)
+        real = OpticalSplitter(16, excess_loss_db=1.6)
+        assert real.output_power(1.0) < ideal.output_power(1.0)
+
+    def test_needs_two_ports(self):
+        with pytest.raises(ConfigError):
+            OpticalSplitter(1)
+
+
+class TestSplitterTree:
+    def test_paper_tree_feeds_1280_fibers(self):
+        # Fig. 3(b): 1:64 across racks then 1:20 within each rack.
+        tree = SplitterTree.paper_default()
+        assert tree.fan_out == 64 * 20
+
+    def test_loss_adds_across_stages(self):
+        tree = SplitterTree.paper_default()
+        assert tree.total_loss_db == pytest.approx(
+            sum(stage.total_loss_db for stage in tree.stages)
+        )
+
+    def test_output_power_through_chain(self):
+        tree = SplitterTree(stages=(
+            OpticalSplitter(2, excess_loss_db=0.0),
+            OpticalSplitter(2, excess_loss_db=0.0),
+        ))
+        assert tree.output_power(1.0) == pytest.approx(0.25)
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ConfigError):
+            SplitterTree(stages=())
+
+
+class TestVoa:
+    def test_default_levels_are_paper_halvings(self):
+        voa = VariableOpticalAttenuator()
+        full = voa.output_power(1.0, level=2)
+        mid = voa.output_power(1.0, level=1)
+        low = voa.output_power(1.0, level=0)
+        assert mid == pytest.approx(full / 2, rel=1e-3)
+        assert low == pytest.approx(full / 4, rel=1e-3)
+
+    def test_starts_at_highest_power(self):
+        voa = VariableOpticalAttenuator()
+        assert voa.level == voa.num_levels - 1
+
+    def test_set_level(self):
+        voa = VariableOpticalAttenuator()
+        voa.set_level(0)
+        assert voa.level == 0
+
+    def test_set_level_out_of_range(self):
+        voa = VariableOpticalAttenuator()
+        with pytest.raises(ConfigError):
+            voa.set_level(3)
+
+    def test_levels_must_descend(self):
+        with pytest.raises(ConfigError):
+            VariableOpticalAttenuator(attenuations_db=(0.0, 3.0))
+
+    def test_negative_attenuation_rejected(self):
+        with pytest.raises(ConfigError):
+            VariableOpticalAttenuator(attenuations_db=(-1.0,))
+
+
+class TestExternalLaser:
+    def test_power_per_fiber(self):
+        laser = ExternalLaserSource(output_power=0.5)
+        per_fiber = laser.power_per_fiber()
+        assert 0.0 < per_fiber < 0.5 / laser.fibers  # loss on top of split
+
+    def test_fiber_count_from_tree(self):
+        laser = ExternalLaserSource()
+        assert laser.fibers == 1280
+
+    def test_power_at_level_uses_voa(self):
+        laser = ExternalLaserSource()
+        voa = VariableOpticalAttenuator()
+        assert laser.power_at_level(voa, 0) == pytest.approx(
+            laser.power_per_fiber() / 4, rel=1e-3
+        )

@@ -1,0 +1,95 @@
+"""Unit tests for the end-to-end optical link budget."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.photonics.detector import Photodetector
+from repro.photonics.laser import ExternalLaserSource, VariableOpticalAttenuator
+from repro.photonics.link_budget import LinkBudget
+from repro.photonics.modulator import MqwModulator
+
+
+@pytest.fixture
+def budget() -> LinkBudget:
+    # A generous 2 W source so the default tree closes at full rate.
+    return LinkBudget(source=ExternalLaserSource(output_power=2.0))
+
+
+class TestReceivedPower:
+    def test_attenuation_reduces_received(self, budget):
+        assert budget.received_power(attenuation_db=3.0) < \
+            budget.received_power(attenuation_db=0.0)
+
+    def test_fiber_loss_applies(self):
+        lossless = LinkBudget(fiber_loss_db=0.0)
+        lossy = LinkBudget(fiber_loss_db=3.0103)
+        assert lossy.received_power() == pytest.approx(
+            lossless.received_power() / 2.0, rel=1e-3
+        )
+
+    def test_modulator_insertion_loss_applies(self):
+        light = LinkBudget(modulator=MqwModulator(insertion_loss=0.01))
+        dark = LinkBudget(modulator=MqwModulator(insertion_loss=0.5))
+        assert dark.received_power() < light.received_power()
+
+
+class TestMargin:
+    def test_margin_positive_when_closing(self, budget):
+        assert budget.closes(10e9)
+        assert budget.margin_db(10e9) > 0.0
+
+    def test_margin_grows_at_lower_rates(self, budget):
+        # Sensitivity drops with bit rate, so margin improves.
+        assert budget.margin_db(5e9) > budget.margin_db(10e9)
+
+    def test_max_attenuation_is_margin(self, budget):
+        assert budget.max_attenuation_db(10e9) == pytest.approx(
+            budget.margin_db(10e9)
+        )
+
+    def test_max_attenuation_raises_when_open(self):
+        weak = LinkBudget(source=ExternalLaserSource(output_power=1e-6))
+        with pytest.raises(ConfigError):
+            weak.max_attenuation_db(10e9)
+
+
+class TestRequiredLaserPower:
+    def test_round_trip_against_margin(self, budget):
+        needed = budget.required_laser_power(10e9, margin_db=0.0)
+        sized = LinkBudget(source=ExternalLaserSource(output_power=needed))
+        assert sized.margin_db(10e9) == pytest.approx(0.0, abs=0.05)
+
+    def test_margin_increases_requirement(self, budget):
+        assert budget.required_laser_power(10e9, margin_db=3.0) > \
+            budget.required_laser_power(10e9, margin_db=0.0)
+
+
+class TestBandReport:
+    def test_three_band_report(self, budget):
+        voa = VariableOpticalAttenuator()
+        rows = budget.band_report(voa, (4e9, 6e9, 10e9))
+        assert len(rows) == 3
+        # The highest band supports the highest rate with the least
+        # attenuation; margins should all be finite numbers.
+        assert rows[2]["attenuation_db"] == 0.0
+        for row in rows:
+            assert row["received_w"] > 0.0
+
+    def test_band_count_mismatch_rejected(self, budget):
+        voa = VariableOpticalAttenuator()
+        with pytest.raises(ConfigError):
+            budget.band_report(voa, (4e9, 10e9))
+
+    def test_paper_banding_margins_exact(self, budget):
+        # Under the linear sensitivity model, a band's margin at its max
+        # rate equals the top band's 10G margin, minus the attenuation
+        # step, plus the sensitivity relief 10*log10(10G / band_rate).
+        import math
+
+        voa = VariableOpticalAttenuator()
+        rows = budget.band_report(voa, (4e9, 6e9, 10e9))
+        top = rows[2]["margin_db"]
+        for row, rate in zip(rows, (4e9, 6e9, 10e9)):
+            expected = (top - row["attenuation_db"]
+                        + 10 * math.log10(10e9 / rate))
+            assert row["margin_db"] == pytest.approx(expected, abs=1e-6)

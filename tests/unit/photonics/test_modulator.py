@@ -1,0 +1,90 @@
+"""Unit tests for the MQW modulator model (paper Eq. 4)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.photonics.constants import NOMINAL_VDD
+from repro.photonics.modulator import MqwModulator
+from repro.units import uw
+
+
+@pytest.fixture
+def modulator() -> MqwModulator:
+    return MqwModulator()
+
+
+class TestConstruction:
+    def test_insertion_loss_must_be_below_one(self):
+        with pytest.raises(ConfigError):
+            MqwModulator(insertion_loss=1.0)
+
+    def test_contrast_ratio_must_exceed_one(self):
+        with pytest.raises(ConfigError):
+            MqwModulator(contrast_ratio=1.0)
+
+    def test_negative_insertion_loss_rejected(self):
+        with pytest.raises(ConfigError):
+            MqwModulator(insertion_loss=-0.1)
+
+
+class TestOpticalTransfer:
+    def test_on_state_passes_most_light(self, modulator):
+        out = modulator.transmitted_on(uw(100.0))
+        assert out == pytest.approx(uw(100.0) * (1 - modulator.insertion_loss))
+
+    def test_off_state_leaks_by_contrast_ratio(self, modulator):
+        on = modulator.transmitted_on(uw(100.0))
+        off = modulator.transmitted_off(uw(100.0))
+        assert on / off == pytest.approx(modulator.contrast_ratio)
+
+    def test_absorption_off_exceeds_on(self, modulator):
+        # Paper: "the modulator dissipates more power in the off state,
+        # because much more light is absorbed".
+        assert modulator.absorbed_off(uw(100.0)) > \
+            modulator.absorbed_on(uw(100.0))
+
+    def test_energy_conservation_on(self, modulator):
+        p = uw(100.0)
+        assert modulator.transmitted_on(p) + modulator.absorbed_on(p) == \
+            pytest.approx(p)
+
+    def test_energy_conservation_off(self, modulator):
+        p = uw(100.0)
+        assert modulator.transmitted_off(p) + modulator.absorbed_off(p) == \
+            pytest.approx(p)
+
+
+class TestEquation4:
+    def test_dissipation_formula(self, modulator):
+        p_in = uw(100.0)
+        il, cr = modulator.insertion_loss, modulator.contrast_ratio
+        vb = modulator.bias_voltage
+        expected = 0.5 * modulator.responsivity * p_in * (
+            il * (vb - NOMINAL_VDD) + (1 - (1 - il) / cr) * vb
+        )
+        assert modulator.dissipated_power(p_in) == pytest.approx(expected)
+
+    def test_dissipation_linear_in_input_power(self, modulator):
+        assert modulator.dissipated_power(uw(200.0)) == pytest.approx(
+            2 * modulator.dissipated_power(uw(100.0))
+        )
+
+    def test_dissipation_small_versus_drivers(self, modulator):
+        # The absorbed power at realistic light levels is sub-milliwatt,
+        # which is why Table 2 does not list the modulator itself.
+        assert modulator.dissipated_power(uw(100.0)) < 1e-3
+
+
+class TestContrastDegradation:
+    def test_full_swing_keeps_rated_contrast(self, modulator):
+        assert modulator.effective_contrast_ratio(NOMINAL_VDD) == \
+            pytest.approx(modulator.contrast_ratio)
+
+    def test_reduced_swing_degrades_contrast(self, modulator):
+        degraded = modulator.effective_contrast_ratio(NOMINAL_VDD / 2)
+        assert 1.0 < degraded < modulator.contrast_ratio
+
+    def test_degradation_monotonic(self, modulator):
+        swings = [0.4, 0.9, 1.3, 1.8]
+        ratios = [modulator.effective_contrast_ratio(v) for v in swings]
+        assert ratios == sorted(ratios)

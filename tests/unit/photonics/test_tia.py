@@ -1,0 +1,53 @@
+"""Unit tests for the transimpedance amplifier (paper Eqs. 7-8)."""
+
+import pytest
+
+from repro.photonics.constants import MAX_BIT_RATE, NOMINAL_VDD
+from repro.photonics.tia import TransimpedanceAmplifier
+from repro.units import mw
+
+
+@pytest.fixture
+def tia() -> TransimpedanceAmplifier:
+    return TransimpedanceAmplifier.calibrated_to(mw(100.0))
+
+
+class TestCalibration:
+    def test_hits_table2_budget(self, tia):
+        assert tia.power(MAX_BIT_RATE, NOMINAL_VDD) == pytest.approx(mw(100.0))
+
+    def test_bias_constant_value(self, tia):
+        # c = P / (BR * Vdd) = 0.1 / (1e10 * 1.8) ~ 5.56 pA*s/bit.
+        assert tia.bias_constant == pytest.approx(5.556e-12, rel=1e-3)
+
+
+class TestEquation7:
+    def test_bias_current_linear_in_bandwidth(self, tia):
+        assert tia.bias_current(10e9) == pytest.approx(2 * tia.bias_current(5e9))
+
+
+class TestEquation8:
+    def test_vdd_br_trend(self, tia):
+        # Power scales as Vdd * BR: the 5 Gb/s / 0.9 V point is 1/4 power.
+        assert tia.power(5e9, 0.9) == pytest.approx(
+            tia.power(10e9, 1.8) / 4
+        )
+
+    def test_linear_in_vdd(self, tia):
+        assert tia.power(10e9, 0.9) == pytest.approx(tia.power(10e9, 1.8) / 2)
+
+
+class TestSwing:
+    def test_output_swing(self, tia):
+        assert tia.output_swing(20e-6) == pytest.approx(
+            20e-6 * tia.feedback_resistance
+        )
+
+    def test_required_photocurrent_inverts_swing(self, tia):
+        swing = tia.output_swing(31e-6)
+        assert tia.required_photocurrent(swing) == pytest.approx(31e-6)
+
+    def test_lower_supply_needs_less_light(self, tia):
+        # Paper Section 2.2.2: a smaller swing at lower Vdd means less
+        # photocurrent — and so less optical power — suffices.
+        assert tia.required_photocurrent(0.45) < tia.required_photocurrent(0.9)

@@ -1,0 +1,93 @@
+"""Unit tests for the VCSEL model (paper Eqs. 1-2)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.photonics.constants import NOMINAL_VDD
+from repro.photonics.vcsel import Vcsel
+from repro.units import mw
+
+
+@pytest.fixture
+def vcsel() -> Vcsel:
+    return Vcsel.calibrated_to(mw(30.0))
+
+
+class TestConstruction:
+    def test_bias_below_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            Vcsel(threshold_current=1e-3, bias_current=0.5e-3)
+
+    def test_calibration_hits_target_power(self, vcsel):
+        assert vcsel.average_electrical_power() == pytest.approx(mw(30.0))
+
+    def test_calibration_below_bias_floor_rejected(self):
+        with pytest.raises(ConfigError):
+            Vcsel.calibrated_to(1e-9)
+
+    @pytest.mark.parametrize("field", [
+        "threshold_current", "slope_efficiency", "bias_current",
+        "modulation_current", "bias_voltage",
+    ])
+    def test_nonpositive_fields_rejected(self, field):
+        kwargs = {field: 0.0}
+        with pytest.raises(ConfigError):
+            Vcsel(**kwargs)
+
+
+class TestEquation1:
+    def test_no_emission_below_threshold(self, vcsel):
+        assert vcsel.emitted_power(vcsel.threshold_current * 0.5) == 0.0
+
+    def test_no_emission_at_threshold(self, vcsel):
+        assert vcsel.emitted_power(vcsel.threshold_current) == 0.0
+
+    def test_linear_above_threshold(self, vcsel):
+        i1 = vcsel.threshold_current + 1e-3
+        i2 = vcsel.threshold_current + 2e-3
+        p1 = vcsel.emitted_power(i1)
+        p2 = vcsel.emitted_power(i2)
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_slope_matches(self, vcsel):
+        i = vcsel.threshold_current + 1e-3
+        assert vcsel.emitted_power(i) == pytest.approx(
+            vcsel.slope_efficiency * 1e-3
+        )
+
+
+class TestEquation2:
+    def test_average_power_formula(self, vcsel):
+        expected = (vcsel.bias_current + vcsel.modulation_current / 2.0) \
+            * vcsel.bias_voltage
+        assert vcsel.average_electrical_power() == pytest.approx(expected)
+
+    def test_power_scales_down_with_vdd(self, vcsel):
+        full = vcsel.average_electrical_power(NOMINAL_VDD)
+        half = vcsel.average_electrical_power(NOMINAL_VDD / 2)
+        assert half < full
+        # The bias term does not scale, so halving Vdd saves less than half.
+        assert half > full / 2
+
+
+class TestOpticalLevels:
+    def test_one_level_above_zero_level(self, vcsel):
+        assert vcsel.optical_one_level() > vcsel.optical_zero_level()
+
+    def test_contrast_ratio_above_unity(self, vcsel):
+        assert vcsel.contrast_ratio() > 1.0
+
+    def test_contrast_preserved_under_voltage_scaling(self, vcsel):
+        # Paper Section 2.3: lowering the drive only linearly reduces the
+        # optical swing; the contrast ratio stays high.
+        assert vcsel.contrast_ratio(NOMINAL_VDD / 2) > 1.0
+
+    def test_zero_level_infinite_contrast_at_threshold_bias(self):
+        device = Vcsel(threshold_current=1e-3, bias_current=1e-3,
+                       modulation_current=10e-3)
+        assert device.contrast_ratio() == float("inf")
+
+    def test_modulation_current_scales_linearly(self, vcsel):
+        assert vcsel.modulation_current_at(NOMINAL_VDD / 2) == pytest.approx(
+            vcsel.modulation_current / 2
+        )

@@ -1,0 +1,134 @@
+"""Unit tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.config import (
+    MODULATOR,
+    NetworkConfig,
+    PolicyConfig,
+    PowerAwareConfig,
+    SimulationConfig,
+    TransitionConfig,
+    VCSEL,
+    small_network,
+)
+from repro.errors import ConfigError
+
+
+class TestNetworkConfig:
+    def test_paper_defaults(self):
+        config = NetworkConfig()
+        assert config.num_routers == 64
+        assert config.num_nodes == 512
+        assert config.buffer_depth == 16
+        assert config.flit_width_bits == 16
+        assert config.router_frequency_hz == 625e6
+
+    def test_cycle_time(self):
+        assert NetworkConfig().cycle_time_s == pytest.approx(1.6e-9)
+
+    def test_flit_service_time_at_operating_point(self):
+        config = NetworkConfig()
+        # 16 bits at 625 MHz = exactly one cycle at 10 Gb/s.
+        assert config.flit_service_time(10e9, 10e9) == pytest.approx(1.0)
+        assert config.flit_service_time(5e9, 10e9) == pytest.approx(2.0)
+
+    def test_flit_service_time_bounds(self):
+        config = NetworkConfig()
+        with pytest.raises(ConfigError):
+            config.flit_service_time(11e9, 10e9)
+        with pytest.raises(ConfigError):
+            config.flit_service_time(0.0, 10e9)
+
+    def test_microseconds_to_cycles(self):
+        config = NetworkConfig()
+        # 100 us at 625 MHz = 62 500 cycles (the paper's VOA response).
+        assert config.microseconds_to_cycles(100.0) == 62_500
+
+    def test_buffer_must_fit_vcs(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(buffer_depth=2, num_vcs=4)
+
+    def test_small_network_helper(self):
+        config = small_network()
+        assert config.num_routers == 16
+
+
+class TestPolicyConfig:
+    def test_paper_table1_defaults(self):
+        config = PolicyConfig()
+        assert (config.threshold_low_uncongested,
+                config.threshold_high_uncongested) == (0.4, 0.6)
+        assert (config.threshold_low_congested,
+                config.threshold_high_congested) == (0.6, 0.7)
+        assert config.congestion_threshold == 0.5
+        assert config.window_cycles == 1000
+
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ConfigError):
+            PolicyConfig(threshold_low_uncongested=0.7,
+                         threshold_high_uncongested=0.6)
+
+    def test_window_positive(self):
+        with pytest.raises(ConfigError):
+            PolicyConfig(window_cycles=0)
+
+
+class TestTransitionConfig:
+    def test_paper_defaults(self):
+        config = TransitionConfig()
+        assert config.bit_rate_transition_cycles == 20
+        assert config.voltage_transition_cycles == 100
+        assert config.optical_transition_cycles == 62_500
+        assert config.laser_epoch_cycles == 125_000
+
+    def test_ideal_zeroes_electrical_delays(self):
+        ideal = TransitionConfig.ideal()
+        assert ideal.bit_rate_transition_cycles == 0
+        assert ideal.voltage_transition_cycles == 0
+        # Optical constants untouched.
+        assert ideal.optical_transition_cycles == 62_500
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            TransitionConfig(bit_rate_transition_cycles=-1)
+
+
+class TestPowerAwareConfig:
+    def test_defaults(self):
+        config = PowerAwareConfig()
+        assert config.technology == VCSEL
+        assert config.num_levels == 6
+        assert config.min_bit_rate == 5e9
+
+    def test_bad_technology(self):
+        with pytest.raises(ConfigError):
+            PowerAwareConfig(technology="copper")
+
+    def test_optical_levels_need_modulator(self):
+        with pytest.raises(ConfigError):
+            PowerAwareConfig(technology=VCSEL, optical_levels=3)
+        # Fine for modulators.
+        PowerAwareConfig(technology=MODULATOR, optical_levels=3)
+
+    def test_rate_ordering(self):
+        with pytest.raises(ConfigError):
+            PowerAwareConfig(min_bit_rate=11e9, max_bit_rate=10e9)
+
+    def test_single_level_needs_equal_rates(self):
+        with pytest.raises(ConfigError):
+            PowerAwareConfig(num_levels=1, min_bit_rate=5e9)
+        PowerAwareConfig(num_levels=1, min_bit_rate=10e9, max_bit_rate=10e9)
+
+
+class TestSimulationConfig:
+    def test_baseline_factory(self):
+        config = SimulationConfig.baseline()
+        assert config.power is None
+
+    def test_default_is_power_aware(self):
+        assert SimulationConfig().power is not None
+
+    def test_warmup_validation(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(warmup_cycles=-1)

@@ -1,0 +1,130 @@
+"""Cross-cutting edge-case tests: idempotence, degenerate shapes, bounds."""
+
+import pytest
+
+from repro.config import (
+    NetworkConfig,
+    PolicyConfig,
+    SimulationConfig,
+    TransitionConfig,
+)
+from repro.experiments.table3 import shape_check
+from repro.metrics.latency import mean_hop_count
+from repro.network.simulator import Simulator
+from repro.traffic.uniform import UniformRandomTraffic
+
+
+class TestFinalizeIdempotence:
+    def test_relative_power_stable_across_calls(self, tiny_sim_config):
+        traffic = UniformRandomTraffic(
+            tiny_sim_config.network.num_nodes, 0.2, seed=2)
+        sim = Simulator(tiny_sim_config, traffic)
+        sim.run(1500)
+        first = sim.relative_power()
+        second = sim.relative_power()
+        third = sim.summary()["relative_power"]
+        assert first == second == third
+
+    def test_finalize_then_run_continues_accounting(self, tiny_sim_config):
+        traffic = UniformRandomTraffic(
+            tiny_sim_config.network.num_nodes, 0.2, seed=2)
+        sim = Simulator(tiny_sim_config, traffic)
+        sim.run(1000)
+        sim.finalize()
+        energy_mid = sim.power.total_energy_watt_cycles()
+        sim.run(1000)
+        sim.finalize()
+        assert sim.power.total_energy_watt_cycles() > energy_mid
+
+
+class TestDegenerateNetworks:
+    def test_single_router_mesh(self):
+        # 1x1 mesh: all traffic is intra-rack (injection -> ejection only).
+        network = NetworkConfig(mesh_width=1, mesh_height=1,
+                                nodes_per_cluster=4, buffer_depth=8,
+                                num_vcs=2)
+        config = SimulationConfig(network=network, power=None,
+                                  sample_interval=100)
+        traffic = UniformRandomTraffic(4, 0.2, seed=1)
+        sim = Simulator(config, traffic)
+        sim.run(2000)
+        stats = sim.stats
+        assert stats.packets_delivered > 0.9 * stats.packets_created
+        assert sim.network.links_of_kind("mesh") == []
+
+    def test_one_by_n_mesh(self):
+        network = NetworkConfig(mesh_width=4, mesh_height=1,
+                                nodes_per_cluster=2, buffer_depth=8,
+                                num_vcs=2)
+        config = SimulationConfig(network=network, power=None,
+                                  sample_interval=100)
+        traffic = UniformRandomTraffic(8, 0.2, seed=1)
+        sim = Simulator(config, traffic)
+        sim.run(3000)
+        assert sim.stats.packets_delivered > 0.9 * sim.stats.packets_created
+
+    def test_single_vc_network(self):
+        network = NetworkConfig(mesh_width=2, mesh_height=2,
+                                nodes_per_cluster=2, buffer_depth=8,
+                                num_vcs=1)
+        config = SimulationConfig(network=network, power=None,
+                                  sample_interval=100)
+        traffic = UniformRandomTraffic(8, 0.3, seed=1)
+        sim = Simulator(config, traffic)
+        sim.run(3000)
+        assert sim.stats.packets_delivered > 0.9 * sim.stats.packets_created
+
+
+class TestHopCount:
+    def test_rectangular_mesh(self):
+        network = NetworkConfig(mesh_width=4, mesh_height=2)
+        # (16-1)/12 + (4-1)/6 = 1.25 + 0.5 = 1.75
+        assert mean_hop_count(network) == pytest.approx(1.75)
+
+    def test_single_router(self):
+        network = NetworkConfig(mesh_width=1, mesh_height=1)
+        assert mean_hop_count(network) == 0.0
+
+
+class TestTable3ShapeCheck:
+    def _row(self, trace, latency, power):
+        return {
+            "trace": trace,
+            "latency_ratio": latency,
+            "power_ratio": power,
+            "power_latency_product": latency * power,
+        }
+
+    def test_clean_rows_pass(self):
+        rows = [self._row("FFT", 1.2, 0.25), self._row("LU", 1.5, 0.25),
+                self._row("RADIX", 1.6, 0.25)]
+        assert shape_check(rows) == []
+
+    def test_power_violation_detected(self):
+        rows = [self._row("FFT", 1.2, 0.8)]
+        problems = shape_check(rows)
+        assert any("power ratio" in p for p in problems)
+
+    def test_latency_violation_detected(self):
+        rows = [self._row("FFT", 3.0, 0.25)]
+        problems = shape_check(rows)
+        assert any("latency ratio" in p for p in problems)
+
+    def test_fft_ordering_violation_detected(self):
+        rows = [self._row("FFT", 2.0, 0.25), self._row("LU", 1.2, 0.25)]
+        problems = shape_check(rows)
+        assert any("not lowest" in p for p in problems)
+
+
+class TestPolicyWindowInteraction:
+    def test_window_larger_than_run_never_fires(self, tiny_network):
+        from repro.config import PowerAwareConfig
+
+        power = PowerAwareConfig(policy=PolicyConfig(window_cycles=100_000))
+        config = SimulationConfig(network=tiny_network, power=power,
+                                  sample_interval=100)
+        traffic = UniformRandomTraffic(tiny_network.num_nodes, 0.2, seed=1)
+        sim = Simulator(config, traffic)
+        sim.run(2000)
+        assert sim.relative_power() == pytest.approx(1.0)
+        assert sim.power.transition_totals() == {"up": 0, "down": 0}

@@ -1,0 +1,37 @@
+"""Unit tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    LinkStateError,
+    ReproError,
+    SimulationError,
+    TraceFormatError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigError, LinkStateError, SimulationError, TraceFormatError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_config_error_is_value_error(self):
+        # Callers using plain ValueError handling still catch config
+        # problems (ergonomics for library users).
+        assert issubclass(ConfigError, ValueError)
+
+    def test_trace_format_is_value_error(self):
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_runtime_errors(self):
+        assert issubclass(SimulationError, RuntimeError)
+        assert issubclass(LinkStateError, RuntimeError)
+
+    def test_one_except_catches_everything(self):
+        for exc in (ConfigError, LinkStateError, SimulationError,
+                    TraceFormatError):
+            with pytest.raises(ReproError):
+                raise exc("boom")

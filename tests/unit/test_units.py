@@ -1,0 +1,89 @@
+"""Unit tests for repro.units — conversions and validation helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro import units
+
+
+class TestRateConversions:
+    def test_gbps_roundtrip(self):
+        assert units.to_gbps(units.gbps(10.0)) == pytest.approx(10.0)
+
+    def test_gbps_magnitude(self):
+        assert units.gbps(1.0) == 1e9
+
+    def test_mw_roundtrip(self):
+        assert units.to_mw(units.mw(290.0)) == pytest.approx(290.0)
+
+    def test_uw(self):
+        assert units.uw(25.0) == pytest.approx(25e-6)
+
+
+class TestDecibels:
+    def test_db_to_ratio_zero_is_unity(self):
+        assert units.db_to_ratio(0.0) == 1.0
+
+    def test_db_to_ratio_3db_doubles(self):
+        assert units.db_to_ratio(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_ratio_to_db_roundtrip(self):
+        for ratio in (0.1, 0.5, 1.0, 2.0, 16.0):
+            assert units.db_to_ratio(units.ratio_to_db(ratio)) == \
+                pytest.approx(ratio)
+
+    def test_ratio_to_db_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            units.ratio_to_db(0.0)
+        with pytest.raises(ConfigError):
+            units.ratio_to_db(-1.0)
+
+    def test_dbm_zero_is_one_milliwatt(self):
+        assert units.dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_watts_to_dbm_roundtrip(self):
+        assert units.watts_to_dbm(units.dbm_to_watts(-12.0)) == \
+            pytest.approx(-12.0)
+
+    def test_watts_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            units.watts_to_dbm(0.0)
+
+
+class TestWavelength:
+    def test_1550nm_is_193thz(self):
+        freq = units.wavelength_to_frequency(1.55e-6)
+        assert freq == pytest.approx(1.934e14, rel=1e-3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            units.wavelength_to_frequency(0.0)
+
+
+class TestValidators:
+    def test_require_positive_accepts(self):
+        assert units.require_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.nan, math.inf])
+    def test_require_positive_rejects(self, bad):
+        with pytest.raises(ConfigError):
+            units.require_positive("x", bad)
+
+    def test_require_non_negative_accepts_zero(self):
+        assert units.require_non_negative("x", 0.0) == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.1, math.nan])
+    def test_require_non_negative_rejects(self, bad):
+        with pytest.raises(ConfigError):
+            units.require_non_negative("x", bad)
+
+    @pytest.mark.parametrize("good", [0.0, 0.5, 1.0])
+    def test_require_fraction_accepts(self, good):
+        assert units.require_fraction("x", good) == good
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, math.nan])
+    def test_require_fraction_rejects(self, bad):
+        with pytest.raises(ConfigError):
+            units.require_fraction("x", bad)

@@ -1,0 +1,80 @@
+"""Unit tests for the time-varying hot-spot workload (paper Fig. 6(a))."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.traffic.hotspot import HotspotTraffic, Phase, paper_like_schedule
+
+
+def make_source(phases=None, num_nodes=32, weight=4.0, seed=1):
+    phases = phases or (Phase(0, 1.0), Phase(1000, 3.0), Phase(2000, 0.5))
+    return HotspotTraffic(num_nodes, phases, hotspot_node=5,
+                          hotspot_weight=weight, seed=seed)
+
+
+class TestSchedule:
+    def test_phase_validation_sorted(self):
+        with pytest.raises(ConfigError):
+            HotspotTraffic(8, (Phase(100, 1.0), Phase(0, 2.0)), 0)
+
+    def test_first_phase_at_zero(self):
+        with pytest.raises(ConfigError):
+            HotspotTraffic(8, (Phase(10, 1.0),), 0)
+
+    def test_duplicate_starts_rejected(self):
+        with pytest.raises(ConfigError):
+            HotspotTraffic(8, (Phase(0, 1.0), Phase(0, 2.0)), 0)
+
+    def test_current_phase_lookup(self):
+        source = make_source()
+        assert source.current_phase(500).injection_rate == 1.0
+        assert source.current_phase(1500).injection_rate == 3.0
+        assert source.current_phase(99999).injection_rate == 0.5
+
+    def test_rate_changes_take_effect(self):
+        source = make_source()
+        counts = {0: 0, 1: 0}
+        for t in range(0, 1000):
+            counts[0] += len(source.generate(t))
+        for t in range(1000, 2000):
+            counts[1] += len(source.generate(t))
+        assert counts[0] / 1000 == pytest.approx(1.0, rel=0.2)
+        assert counts[1] / 1000 == pytest.approx(3.0, rel=0.2)
+
+    def test_paper_like_schedule_scaling(self):
+        base = paper_like_schedule(scale=1)
+        scaled = paper_like_schedule(scale=10)
+        assert len(base) == len(scaled)
+        assert scaled[1].start_cycle == base[1].start_cycle // 10
+        assert scaled[5].injection_rate == base[5].injection_rate
+
+    def test_paper_like_schedule_has_big_jump(self):
+        phases = paper_like_schedule()
+        rates = [p.injection_rate for p in phases]
+        jumps = [abs(b - a) for a, b in zip(rates, rates[1:])]
+        assert max(jumps) > 2.0  # triggers the optical level change
+
+
+class TestSpatialSkew:
+    def test_hotspot_receives_about_weight_times_average(self):
+        source = make_source(weight=4.0, num_nodes=32)
+        counts = [0] * 32
+        for t in range(6000):
+            for packet in source.generate(t):
+                counts[packet.dst] += 1
+        cold_mean = sum(c for i, c in enumerate(counts) if i != 5) / 31
+        assert counts[5] / cold_mean == pytest.approx(4.0, rel=0.25)
+
+    def test_no_self_sends(self):
+        source = make_source()
+        for t in range(2000):
+            for packet in source.generate(t):
+                assert packet.src != packet.dst
+
+    def test_invalid_hotspot_node(self):
+        with pytest.raises(ConfigError):
+            HotspotTraffic(8, (Phase(0, 1.0),), hotspot_node=9)
+
+    def test_weight_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            make_source(weight=0.5)

@@ -1,0 +1,72 @@
+"""Unit tests for the ON/OFF bursty traffic source."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.traffic.onoff import OnOffTraffic
+
+
+class TestConstruction:
+    def test_duty_cycle_bounds(self):
+        with pytest.raises(ConfigError):
+            OnOffTraffic(16, 0.5, duty_cycle=0.0)
+        with pytest.raises(ConfigError):
+            OnOffTraffic(16, 0.5, duty_cycle=1.5)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            OnOffTraffic(16, -1.0)
+
+    def test_on_rate_compensates_duty(self):
+        source = OnOffTraffic(10, 1.0, duty_cycle=0.25)
+        # Per node: 1.0/10 average; ON rate 4x that.
+        assert source.on_rate == pytest.approx(0.4)
+
+
+class TestStatistics:
+    def test_long_run_average_rate(self):
+        source = OnOffTraffic(32, 1.0, duty_cycle=0.3,
+                              mean_burst_cycles=100, seed=5)
+        total = sum(len(source.generate(t)) for t in range(30_000))
+        assert total / 30_000 == pytest.approx(1.0, rel=0.15)
+
+    def test_stationary_on_fraction(self):
+        source = OnOffTraffic(512, 1.0, duty_cycle=0.2, seed=2)
+        fractions = []
+        for t in range(3000):
+            source.generate(t)
+            fractions.append(source.on_fraction())
+        mean_fraction = sum(fractions) / len(fractions)
+        assert mean_fraction == pytest.approx(0.2, abs=0.05)
+
+    def test_burstier_than_poisson(self):
+        """Per-window variance must exceed the Poisson baseline."""
+        import numpy as np
+
+        source = OnOffTraffic(32, 1.0, duty_cycle=0.1,
+                              mean_burst_cycles=300, seed=7)
+        window = 200
+        counts = []
+        for w in range(100):
+            count = sum(len(source.generate(w * window + t))
+                        for t in range(window))
+            counts.append(count)
+        counts = np.array(counts, dtype=float)
+        mean = counts.mean()
+        # Poisson windows would have variance ~ mean; ON/OFF with a 10%
+        # duty cycle is far more variable.
+        assert counts.var() > 2.0 * mean
+
+    def test_no_self_sends(self):
+        source = OnOffTraffic(8, 2.0, duty_cycle=0.5, seed=1)
+        for t in range(2000):
+            for packet in source.generate(t):
+                assert packet.src != packet.dst
+
+    def test_reproducible(self):
+        def draw(seed):
+            source = OnOffTraffic(16, 1.0, seed=seed)
+            return [(p.src, p.dst) for t in range(2000)
+                    for p in source.generate(t)]
+
+        assert draw(3) == draw(3)

@@ -1,0 +1,65 @@
+"""Unit tests for permutation traffic patterns."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.traffic.permutation import (
+    PermutationTraffic,
+    bit_complement,
+    bit_reverse,
+    transpose,
+)
+
+
+class TestPatternFunctions:
+    def test_bit_complement(self):
+        assert bit_complement(0b0000, 16) == 0b1111
+        assert bit_complement(0b1010, 16) == 0b0101
+
+    def test_bit_complement_involution(self):
+        for n in range(16):
+            assert bit_complement(bit_complement(n, 16), 16) == n
+
+    def test_bit_reverse(self):
+        assert bit_reverse(0b0001, 16) == 0b1000
+        assert bit_reverse(0b0110, 16) == 0b0110
+
+    def test_bit_reverse_involution(self):
+        for n in range(32):
+            assert bit_reverse(bit_reverse(n, 32), 32) == n
+
+    def test_transpose(self):
+        # 4-bit ids: swap the two halves.
+        assert transpose(0b0111, 16) == 0b1101
+        assert transpose(0b1100, 16) == 0b0011
+
+    def test_transpose_involution(self):
+        for n in range(16):
+            assert transpose(transpose(n, 16), 16) == n
+
+    def test_transpose_needs_even_bits(self):
+        with pytest.raises(ConfigError):
+            transpose(1, 8)
+
+
+class TestPermutationTraffic:
+    def test_destinations_follow_pattern(self):
+        source = PermutationTraffic(16, 2.0, pattern="bit_complement", seed=1)
+        for t in range(200):
+            for packet in source.generate(t):
+                assert packet.dst == bit_complement(packet.src, 16)
+
+    def test_identity_nodes_never_send(self):
+        source = PermutationTraffic(16, 3.0, pattern="bit_reverse", seed=1)
+        palindromes = {n for n in range(16) if bit_reverse(n, 16) == n}
+        for t in range(300):
+            for packet in source.generate(t):
+                assert packet.src not in palindromes
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigError):
+            PermutationTraffic(12, 1.0)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ConfigError):
+            PermutationTraffic(16, 1.0, pattern="tornado")

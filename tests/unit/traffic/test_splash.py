@@ -1,0 +1,113 @@
+"""Unit tests for the synthetic SPLASH2-like trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.traffic.splash import (
+    BENCHMARKS,
+    envelope_for,
+    fft_envelope,
+    generate_splash_trace,
+    lu_envelope,
+    mean_packet_size,
+    radix_envelope,
+)
+
+
+class TestEnvelopes:
+    def test_fft_has_smooth_swells(self):
+        env = fft_envelope(9000)
+        # Three swells -> three local maxima well inside the range.
+        peaks = [i for i in range(1, 8999)
+                 if env[i] >= env[i - 1] and env[i] >= env[i + 1]
+                 and env[i] > 0.9 * env.max()]
+        assert len(peaks) >= 3
+
+    def test_fft_bounds(self):
+        env = fft_envelope(5000, peak_rate=0.28, base_rate=0.05)
+        assert env.min() >= 0.05 - 1e-9
+        assert env.max() <= 0.28 + 1e-9
+
+    def test_lu_bursts_decay(self):
+        env = lu_envelope(10_000, bursts=10)
+        period = 1000
+        first_burst = env[:400].max()
+        last_burst = env[9 * period:9 * period + 400].max()
+        assert last_burst < first_burst
+
+    def test_lu_has_base_between_bursts(self):
+        env = lu_envelope(10_000, base_rate=0.04, bursts=10)
+        assert env.min() == pytest.approx(0.04)
+
+    def test_radix_is_two_valued(self):
+        env = radix_envelope(6000, peak_rate=0.32, base_rate=0.02)
+        assert set(np.round(np.unique(env), 6)) == {0.02, 0.32}
+
+    def test_radix_duty_cycle_half(self):
+        env = radix_envelope(6000)
+        high = (env > env.mean()).mean()
+        assert high == pytest.approx(0.5, abs=0.05)
+
+    def test_envelope_for_dispatch(self):
+        for name in BENCHMARKS:
+            env = envelope_for(name, 1000)
+            assert len(env) == 1000
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ConfigError):
+            envelope_for("nqueens", 100)
+
+    def test_intensity_scales_linearly(self):
+        full = envelope_for("fft", 1000, intensity=1.0)
+        half = envelope_for("fft", 1000, intensity=0.5)
+        assert np.allclose(half, full * 0.5)
+
+
+class TestTraceGeneration:
+    def test_records_sorted_and_bounded(self):
+        records = generate_splash_trace("lu", 16, 5000, seed=2)
+        cycles = [r.cycle for r in records]
+        assert cycles == sorted(cycles)
+        assert all(0 <= r.src < 16 and 0 <= r.dst < 16 for r in records)
+
+    def test_mean_packet_size_near_48(self):
+        records = generate_splash_trace("fft", 64, 30_000, seed=3)
+        assert mean_packet_size(records) == pytest.approx(48.0, abs=4.0)
+
+    def test_bimodal_sizes(self):
+        records = generate_splash_trace("radix", 16, 10_000, seed=1)
+        sizes = {r.size for r in records}
+        assert sizes <= {8, 72}
+
+    def test_total_volume_tracks_envelope(self):
+        duration = 20_000
+        records = generate_splash_trace("fft", 32, duration, seed=5)
+        expected = envelope_for("fft", duration).sum()
+        assert len(records) == pytest.approx(expected, rel=0.2)
+
+    def test_burst_mean_one_is_smooth(self):
+        smooth = generate_splash_trace("fft", 32, 5000, seed=1, burst_mean=1.0)
+        bursty = generate_splash_trace("fft", 32, 5000, seed=1, burst_mean=20.0)
+        # Same expected volume, very different clustering: measure the
+        # max records per (cycle, src) group.
+        def max_group(records):
+            from collections import Counter
+
+            return max(Counter((r.cycle, r.src) for r in records).values())
+
+        assert max_group(bursty) > max_group(smooth)
+
+    def test_seeded_reproducibility(self):
+        a = generate_splash_trace("radix", 16, 4000, seed=9)
+        b = generate_splash_trace("radix", 16, 4000, seed=9)
+        assert a == b
+
+    def test_burst_mean_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_splash_trace("fft", 16, 100, burst_mean=0.5)
+
+    def test_mean_packet_size_empty_is_nan(self):
+        import math
+
+        assert math.isnan(mean_packet_size([]))

@@ -1,0 +1,106 @@
+"""Unit tests for the trace format, IO and replay source."""
+
+import io
+
+import pytest
+
+from repro.errors import ConfigError, TraceFormatError
+from repro.traffic.trace import (
+    TraceRecord,
+    TraceReplaySource,
+    read_trace,
+    trace_from_string,
+    write_trace,
+    write_trace_file,
+    read_trace_file,
+)
+
+
+class TestRecordValidation:
+    def test_valid_record(self):
+        record = TraceRecord(10, 0, 3, 48)
+        assert record.cycle == 10
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord(-1, 0, 1, 1)
+
+    def test_self_send_rejected(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord(0, 2, 2, 1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(TraceFormatError):
+            TraceRecord(0, 0, 1, 0)
+
+
+class TestIo:
+    def test_roundtrip(self):
+        records = [TraceRecord(0, 0, 1, 8), TraceRecord(5, 2, 3, 48),
+                   TraceRecord(5, 1, 0, 72)]
+        stream = io.StringIO()
+        assert write_trace(records, stream) == 3
+        stream.seek(0)
+        assert read_trace(stream) == records
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        records = [TraceRecord(i, 0, 1, 4) for i in range(10)]
+        write_trace_file(records, path)
+        assert read_trace_file(path) == records
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\n0 0 1 4  # inline comment\n\n7 1 2 8\n"
+        records = trace_from_string(text)
+        assert [r.cycle for r in records] == [0, 7]
+
+    def test_field_count_checked(self):
+        with pytest.raises(TraceFormatError):
+            trace_from_string("0 1 2\n")
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(TraceFormatError):
+            trace_from_string("0 a 2 4\n")
+
+    def test_ordering_enforced(self):
+        with pytest.raises(TraceFormatError):
+            trace_from_string("10 0 1 4\n5 0 1 4\n")
+
+
+class TestReplay:
+    def test_injects_at_recorded_cycles(self):
+        records = [TraceRecord(0, 0, 1, 2), TraceRecord(3, 1, 2, 2),
+                   TraceRecord(3, 2, 0, 2)]
+        source = TraceReplaySource(4, records)
+        assert len(source.generate(0)) == 1
+        assert source.generate(1) == []
+        assert len(source.generate(3)) == 2
+        assert source.exhausted(3)
+
+    def test_late_polling_catches_up(self):
+        # If the caller skips cycles, pending records flush at once.
+        records = [TraceRecord(0, 0, 1, 1), TraceRecord(5, 0, 1, 1)]
+        source = TraceReplaySource(2, records)
+        assert len(source.generate(10)) == 2
+
+    def test_remaining_counter(self):
+        records = [TraceRecord(0, 0, 1, 1), TraceRecord(5, 0, 1, 1)]
+        source = TraceReplaySource(2, records)
+        assert source.remaining == 2
+        source.generate(0)
+        assert source.remaining == 1
+
+    def test_node_bounds_checked(self):
+        with pytest.raises(ConfigError):
+            TraceReplaySource(2, [TraceRecord(0, 0, 5, 1)])
+
+    def test_unsorted_records_rejected(self):
+        bad = [TraceRecord(5, 0, 1, 1), TraceRecord(0, 0, 1, 1)]
+        with pytest.raises(TraceFormatError):
+            TraceReplaySource(2, bad)
+
+    def test_packet_fields_copied(self):
+        source = TraceReplaySource(4, [TraceRecord(2, 3, 1, 48)])
+        (packet,) = source.generate(2)
+        assert (packet.src, packet.dst, packet.size) == (3, 1, 48)
+        assert packet.create_time == 2

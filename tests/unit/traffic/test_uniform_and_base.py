@@ -1,0 +1,87 @@
+"""Unit tests for the traffic base machinery and uniform random traffic."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.traffic.uniform import UniformRandomTraffic
+
+
+class TestConstruction:
+    def test_needs_two_nodes(self):
+        with pytest.raises(ConfigError):
+            UniformRandomTraffic(1, 0.5)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            UniformRandomTraffic(16, -0.1)
+
+    def test_zero_size_packet_rejected(self):
+        with pytest.raises(ConfigError):
+            UniformRandomTraffic(16, 0.5, packet_size=0)
+
+
+class TestGeneration:
+    def test_zero_rate_generates_nothing(self):
+        source = UniformRandomTraffic(16, 0.0)
+        assert all(source.generate(t) == [] for t in range(100))
+
+    def test_mean_rate_approximates_target(self):
+        source = UniformRandomTraffic(64, 2.0, seed=3)
+        total = sum(len(source.generate(t)) for t in range(5000))
+        assert total / 5000 == pytest.approx(2.0, rel=0.05)
+
+    def test_no_self_sends(self):
+        source = UniformRandomTraffic(4, 3.0, seed=1)
+        for t in range(500):
+            for packet in source.generate(t):
+                assert packet.src != packet.dst
+
+    def test_nodes_in_range(self):
+        source = UniformRandomTraffic(8, 3.0, seed=1)
+        for t in range(200):
+            for packet in source.generate(t):
+                assert 0 <= packet.src < 8
+                assert 0 <= packet.dst < 8
+
+    def test_destination_distribution_roughly_uniform(self):
+        source = UniformRandomTraffic(8, 5.0, seed=7)
+        counts = [0] * 8
+        for t in range(4000):
+            for packet in source.generate(t):
+                counts[packet.dst] += 1
+        mean = sum(counts) / 8
+        for count in counts:
+            assert abs(count - mean) < 0.15 * mean
+
+    def test_packet_ids_unique_and_monotonic(self):
+        source = UniformRandomTraffic(8, 2.0, seed=1)
+        ids = []
+        for t in range(200):
+            ids += [p.packet_id for p in source.generate(t)]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+
+    def test_packet_sizes_fixed(self):
+        source = UniformRandomTraffic(8, 2.0, packet_size=7, seed=1)
+        for t in range(100):
+            for packet in source.generate(t):
+                assert packet.size == 7
+
+    def test_create_time_is_now(self):
+        source = UniformRandomTraffic(8, 3.0, seed=1)
+        for t in range(100):
+            for packet in source.generate(t):
+                assert packet.create_time == t
+
+    def test_seeded_reproducibility(self):
+        def draw(seed):
+            source = UniformRandomTraffic(16, 1.0, seed=seed)
+            return [(p.src, p.dst) for t in range(300)
+                    for p in source.generate(t)]
+
+        assert draw(11) == draw(11)
+        assert draw(11) != draw(12)
+
+    def test_never_exhausts(self):
+        source = UniformRandomTraffic(8, 0.1)
+        assert not source.exhausted(10**9)
