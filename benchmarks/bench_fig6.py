@@ -13,8 +13,6 @@ Shape claims checked (paper Section 4.3.2):
 
 import math
 
-import pytest
-
 from repro.experiments import fig6
 
 from conftest import run_once

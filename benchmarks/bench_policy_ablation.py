@@ -11,10 +11,6 @@ Also microbenchmarks the controller decision path (it runs once per link
 per window — cheapness matters).
 """
 
-from dataclasses import replace
-
-import pytest
-
 from repro.config import PolicyConfig
 from repro.core.policy import LinkPolicyController
 from repro.experiments.configs import power_config, reference_rates

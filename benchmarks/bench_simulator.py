@@ -31,6 +31,29 @@ def test_idle_network_cycle_rate(benchmark):
     assert sim.stats.packets_created == 0
 
 
+def test_light_load_baseline_cycle_rate(benchmark):
+    # Light injection (0.02 pkt/node/cyc) is where the active-component
+    # registries pay off: most links/routers/nodes are idle each cycle.
+    sim = make_sim(power=False, rate=0.02)
+
+    def run_chunk():
+        sim.run(2000)
+
+    benchmark.pedantic(run_chunk, rounds=3, iterations=1, warmup_rounds=1)
+    assert sim.stats.packets_delivered > 0
+
+
+def test_light_load_power_aware_cycle_rate(benchmark):
+    sim = make_sim(power=True, rate=0.02)
+
+    def run_chunk():
+        sim.run(2000)
+
+    benchmark.pedantic(run_chunk, rounds=3, iterations=1, warmup_rounds=1)
+    assert sim.stats.packets_delivered > 0
+    assert sim.relative_power() < 1.0
+
+
 def test_loaded_baseline_cycle_rate(benchmark):
     sim = make_sim(power=False, rate=0.8)
 

@@ -50,6 +50,9 @@ def _add_run_parser(subparsers) -> None:
     parser.add_argument("--baseline", action="store_true",
                         help="also run the non-power-aware network and "
                              "print normalised ratios")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-phase wall-time attribution after "
+                             "the run (not combinable with --baseline)")
 
 
 def _add_trace_parser(subparsers) -> None:
@@ -71,6 +74,10 @@ def _add_sweep_parser(subparsers) -> None:
     parser.add_argument("--scale", default="smoke",
                         choices=["smoke", "bench", "paper"])
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep points "
+                             "(0 = one per CPU; results are identical "
+                             "whatever the job count)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -94,6 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_run(args) -> int:
+    if args.profile and args.baseline:
+        print("error: --profile cannot be combined with --baseline",
+              file=sys.stderr)
+        return 2
     scale = get_scale(args.scale)
     if args.traffic == "uniform":
         rate = args.rate if args.rate is not None else \
@@ -132,25 +143,45 @@ def _command_run(args) -> int:
         print(f"\nlatency ratio {normalised.latency_ratio:.2f}, "
               f"power ratio {normalised.power_ratio:.2f}, "
               f"PLP {normalised.power_latency_product:.2f}")
+    elif args.profile:
+        from repro.engine import PhaseProfiler
+        from repro.experiments.runner import build_simulator, collect_result
+
+        sim = build_simulator(
+            scale.network, power, factory, seed=args.seed,
+            warmup_cycles=scale.warmup_cycles,
+            sample_interval=scale.sample_interval,
+        )
+        profiler = PhaseProfiler().attach(sim.hooks)
+        sim.run(args.cycles if args.cycles is not None
+                else scale.run_cycles)
+        _print_result(collect_result(sim, "cli"))
+        print("\nwall-time by phase:")
+        print(profiler.report())
     else:
         result = run_simulation(scale, power, factory, label="cli",
                                 seed=args.seed, cycles=args.cycles)
-        rows = [[key, value] for key, value in (
-            ("cycles", result.cycles),
-            ("packets delivered", result.packets_delivered),
-            ("mean latency (cyc)", f"{result.mean_latency:.1f}"),
-            ("p95 latency (cyc)", f"{result.p95_latency:.1f}"),
-            ("relative power", f"{result.relative_power:.3f}"),
-            ("transitions up/down",
-             f"{result.transitions_up}/{result.transitions_down}"),
-        )]
-        print(format_table(["metric", "value"], rows))
-        if result.power_series:
-            print("\nrelative power over time:")
-            baseline_watts = result.power_series[0][1]
-            series = [w / baseline_watts for _, w in result.power_series]
-            print("  " + sparkline(series))
+        _print_result(result)
     return 0
+
+
+def _print_result(result) -> None:
+    """Print one run's summary table and power sparkline."""
+    rows = [[key, value] for key, value in (
+        ("cycles", result.cycles),
+        ("packets delivered", result.packets_delivered),
+        ("mean latency (cyc)", f"{result.mean_latency:.1f}"),
+        ("p95 latency (cyc)", f"{result.p95_latency:.1f}"),
+        ("relative power", f"{result.relative_power:.3f}"),
+        ("transitions up/down",
+         f"{result.transitions_up}/{result.transitions_down}"),
+    )]
+    print(format_table(["metric", "value"], rows))
+    if result.power_series:
+        print("\nrelative power over time:")
+        baseline_watts = result.power_series[0][1]
+        series = [w / baseline_watts for _, w in result.power_series]
+        print("  " + sparkline(series))
 
 
 def _command_table2() -> int:
@@ -189,6 +220,11 @@ def _command_trace(args) -> int:
 
 def _command_sweep(args) -> int:
     scale = get_scale(args.scale)
+    if args.jobs < 0:
+        print(f"error: --jobs must be >= 0, got {args.jobs}",
+              file=sys.stderr)
+        return 2
+    jobs = args.jobs if args.jobs > 0 else None
     if args.kind == "ablation":
         from repro.experiments.ablation import ablation_table, run_ablation
 
@@ -197,10 +233,12 @@ def _command_sweep(args) -> int:
     from repro.experiments import fig5
 
     if args.kind == "window":
-        sweeps = fig5.window_size_sweep(scale, seed=args.seed)
+        sweeps = fig5.window_size_sweep(scale, seed=args.seed,
+                                        max_workers=jobs)
         x_label = "Tw"
     else:
-        sweeps = fig5.threshold_sweep(scale, seed=args.seed)
+        sweeps = fig5.threshold_sweep(scale, seed=args.seed,
+                                      max_workers=jobs)
         x_label = "avg threshold"
     for load, series in sweeps.items():
         print(f"\nload: {load}")

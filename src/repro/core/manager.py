@@ -14,6 +14,8 @@ normalise exactly the way the paper does.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.config import (
     MODULATOR,
     NetworkConfig,
@@ -21,10 +23,21 @@ from repro.config import (
 )
 from repro.core.laser_policy import OpticalPowerController
 from repro.core.levels import BitRateLadder, OpticalBands
+from repro.core.policy import HOLD
 from repro.core.power_link import PowerAwareLink
+from repro.engine.wheel import (
+    PRI_EPOCH,
+    PRI_SAMPLE,
+    PRI_TRANSITION,
+    PRI_WINDOW,
+    EventWheel,
+)
 from repro.errors import ConfigError
 from repro.network.topology import ClusteredMesh
 from repro.photonics.power_model import LinkPowerModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.engine.hooks import HookRegistry
 
 
 def ladder_from_config(config: PowerAwareConfig) -> BitRateLadder:
@@ -95,8 +108,43 @@ class NetworkPowerManager:
         #: (cycle, total watts) samples for power-over-time figures.
         self.power_series: list[tuple[int, float]] = []
         self._finalized_at: float | None = None
+        #: Optional :class:`~repro.engine.hooks.HookRegistry` (assigned by
+        #: the simulator); ``window``/``transition`` hooks fire through it.
+        self.hooks: "HookRegistry | None" = None
+        self._wheel: EventWheel | None = None
+        self._sample_interval: int | None = None
 
-    # -- per-cycle driving -----------------------------------------------------
+    # -- driving ---------------------------------------------------------------
+    #
+    # A manager is driven through exactly one of two mechanisms:
+    #
+    # * :meth:`schedule_events` registers window/epoch/sample wake-ups and
+    #   per-transition completions on an event wheel (the simulator's
+    #   default), so quiet cycles cost nothing;
+    # * :meth:`on_cycle` is the legacy per-cycle poll, kept for manual
+    #   driving (unit tests) and the simulator's ``step_all`` mode.
+    #
+    # Both produce bit-identical behaviour (property-tested).
+
+    def schedule_events(self, wheel: EventWheel, *,
+                        sample_interval: int | None = None) -> None:
+        """Register this manager's periodic work on ``wheel``.
+
+        Schedules the first window-policy evaluation, the first laser epoch
+        (multi-optical systems only) and — when ``sample_interval`` is given
+        — power sampling starting at cycle 0.  Each event reschedules its
+        successor, and window evaluations that start a transition schedule
+        that link's completion wake-ups.
+        """
+        self._wheel = wheel
+        wheel.schedule(self.window, self._window_event, PRI_WINDOW)
+        if self.multi_optical:
+            wheel.schedule(self.epoch, self._epoch_event, PRI_EPOCH)
+        if sample_interval is not None:
+            if sample_interval < 1:
+                raise ConfigError("sample_interval must be >= 1")
+            self._sample_interval = sample_interval
+            wheel.schedule(0, self._sample_event, PRI_SAMPLE)
 
     def on_cycle(self, now: int) -> None:
         """Advance transitions; run window/epoch logic on boundaries."""
@@ -109,14 +157,58 @@ class NetworkPowerManager:
             for pal in done:
                 self._transitioning.discard(pal)
         if now > 0 and now % self.window == 0:
-            start = now - self.window
-            for pal in self.links:
-                pal.on_window(start, now)
-                if pal.engine.in_transition:
-                    self._transitioning.add(pal)
+            self._run_window(now)
         if self.multi_optical and now > 0 and now % self.epoch == 0:
             for pal in self.links:
                 pal.optical.on_epoch(now)
+
+    def _run_window(self, now: int) -> None:
+        """Evaluate every link's policy for the window ending at ``now``."""
+        start = now - self.window
+        hooks = self.hooks
+        transition_hooks = hooks.transition if hooks is not None else ()
+        wheel = self._wheel
+        for pal in self.links:
+            decision = pal.on_window(start, now)
+            if transition_hooks and decision != HOLD:
+                for callback in transition_hooks:
+                    callback(pal, decision, now)
+            if pal.engine.in_transition and pal not in self._transitioning:
+                self._transitioning.add(pal)
+                if wheel is not None:
+                    wheel.schedule(pal.engine.next_event,
+                                   self._make_transition_wake(pal),
+                                   PRI_TRANSITION)
+        if hooks is not None and hooks.window:
+            for callback in hooks.window:
+                callback(start, now)
+
+    def _make_transition_wake(self, pal: PowerAwareLink):
+        """A wheel callback advancing ``pal`` at its next phase boundary."""
+
+        def wake(now: int) -> None:
+            pal.advance(now)
+            if pal.engine.in_transition:
+                self._wheel.schedule(pal.engine.next_event, wake,
+                                     PRI_TRANSITION)
+            else:
+                self._transitioning.discard(pal)
+
+        return wake
+
+    def _window_event(self, now: int) -> None:
+        self._run_window(now)
+        self._wheel.schedule(now + self.window, self._window_event, PRI_WINDOW)
+
+    def _epoch_event(self, now: int) -> None:
+        for pal in self.links:
+            pal.optical.on_epoch(now)
+        self._wheel.schedule(now + self.epoch, self._epoch_event, PRI_EPOCH)
+
+    def _sample_event(self, now: int) -> None:
+        self.sample_power(now)
+        self._wheel.schedule(now + self._sample_interval, self._sample_event,
+                             PRI_SAMPLE)
 
     def sample_power(self, now: int) -> float:
         """Record and return the instantaneous network link power, watts."""
@@ -127,7 +219,15 @@ class NetworkPowerManager:
     # -- results ---------------------------------------------------------------
 
     def finalize(self, now: float) -> None:
-        """Flush every link's energy integral at the end of a run."""
+        """Flush every link's energy integral at the end of a run.
+
+        Idempotent: finalizing at a cycle at or before the last finalize is
+        a no-op, so repeated ``summary()``/``relative_power()`` calls do not
+        re-walk every link.  Running further and finalizing at a later
+        cycle extends the integrals as expected.
+        """
+        if self._finalized_at is not None and now <= self._finalized_at:
+            return
         for pal in self.links:
             pal.finalize(now)
         self._finalized_at = now

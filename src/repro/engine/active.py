@@ -1,0 +1,64 @@
+"""Active-component registries.
+
+The simulator's cost model is energy-proportional, like the networks it
+simulates: components register themselves while they hold work (flits in
+flight on a link, buffered flits in a router, queued flits at a node) and
+are skipped entirely otherwise, so a light-load cycle costs O(active)
+instead of O(network).  This generalises the active-link set the delivery
+loop always used to routers and node boards.
+
+Determinism: membership is an unordered set (O(1) add/discard from hot
+paths), but iteration always goes through :meth:`ActiveSet.snapshot`,
+which sorts by the component's stable key — so two runs that activate the
+same components in any order still step them identically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class ActiveSet(Generic[T]):
+    """A set of components with pending work, iterated in key order."""
+
+    __slots__ = ("_members", "_key")
+
+    def __init__(self, key: Callable[[T], int]):
+        self._members: set[T] = set()
+        self._key = key
+
+    def add(self, member: T) -> None:
+        """Register a component (idempotent)."""
+        self._members.add(member)
+
+    def discard(self, member: T) -> None:
+        """Deregister a component (idempotent)."""
+        self._members.discard(member)
+
+    def __contains__(self, member: T) -> bool:
+        return member in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __bool__(self) -> bool:
+        return bool(self._members)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self.snapshot())
+
+    def snapshot(self) -> list[T]:
+        """The current members sorted by key.
+
+        A fresh list, safe to iterate while members register/deregister.
+        """
+        members = self._members
+        if len(members) < 2:
+            return list(members)
+        return sorted(members, key=self._key)
+
+    def clear(self) -> None:
+        self._members.clear()

@@ -1,0 +1,74 @@
+"""Typed observer hooks for the simulation engine.
+
+Anything that wants to watch a run — the per-phase wall-time profiler, the
+stall watchdog, level-over-time samplers in :mod:`repro.metrics.inspect`,
+tests — attaches here instead of being hard-wired into ``Simulator.step``.
+The registry is intentionally dumb: plain callback lists per event, fired
+synchronously in registration order.  Empty lists cost one truthiness
+check on the hot path.
+
+Events
+------
+``phase_start`` / ``phase_end``
+    ``cb(phase_name, cycle)`` around each simulator phase (``deliver``,
+    ``route``, ``inject``, ``generate``, ``control``).  Registering either
+    switches the step loop to its instrumented form.
+``window``
+    ``cb(start_cycle, end_cycle)`` after the power manager has evaluated
+    every link's policy at a window boundary.
+``transition``
+    ``cb(power_link, decision, now)`` for every non-hold policy decision
+    (the :data:`~repro.core.policy.STEP_UP`/``STEP_DOWN`` constants).
+``delivery``
+    ``cb(link, flit, now)`` for every flit delivered off a link into a
+    downstream buffer or node sink.  This is the hottest hook; it is only
+    evaluated while at least one callback is registered.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ConfigError
+
+#: The hook points a :class:`HookRegistry` exposes.
+EVENTS = ("phase_start", "phase_end", "window", "transition", "delivery")
+
+
+class HookRegistry:
+    """Callback lists for each engine event."""
+
+    __slots__ = EVENTS
+
+    def __init__(self) -> None:
+        for event in EVENTS:
+            setattr(self, event, [])
+
+    @property
+    def instrumented(self) -> bool:
+        """Whether any phase-boundary hook is registered."""
+        return bool(self.phase_start or self.phase_end)
+
+    def add(self, event: str, callback: Callable) -> Callable:
+        """Register ``callback`` for ``event``; returns the callback."""
+        if event not in EVENTS:
+            raise ConfigError(
+                f"unknown hook event {event!r}; known: {EVENTS}"
+            )
+        if not callable(callback):
+            raise ConfigError(f"hook callback must be callable, got {callback!r}")
+        getattr(self, event).append(callback)
+        return callback
+
+    def remove(self, event: str, callback: Callable) -> None:
+        """Deregister a previously added callback."""
+        if event not in EVENTS:
+            raise ConfigError(
+                f"unknown hook event {event!r}; known: {EVENTS}"
+            )
+        try:
+            getattr(self, event).remove(callback)
+        except ValueError:
+            raise ConfigError(
+                f"callback {callback!r} is not registered for {event!r}"
+            ) from None

@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.config import (
-    MODULATOR,
     VCSEL,
     NetworkConfig,
     PolicyConfig,

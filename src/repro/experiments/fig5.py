@@ -17,6 +17,8 @@ without re-running simulations.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.config import MODULATOR, PolicyConfig, VCSEL
 from repro.experiments.configs import (
     ExperimentScale,
@@ -25,7 +27,7 @@ from repro.experiments.configs import (
     static_rate_config,
     uniform_saturation_packets,
 )
-from repro.experiments.runner import run_pair, run_simulation
+from repro.experiments.runner import SweepPoint, run_sweep
 from repro.metrics.summary import RunResult, SweepSeries, normalise
 from repro.traffic.uniform import UniformRandomTraffic
 
@@ -47,78 +49,105 @@ def windows_for_scale(scale: ExperimentScale) -> tuple[int, ...]:
 DEFAULT_THRESHOLDS = (0.45, 0.50, 0.55, 0.60, 0.65)
 
 
-def uniform_factory(rate: float, packet_size: int = 5):
+@dataclass(frozen=True)
+class UniformFactory:
+    """A picklable :data:`~repro.experiments.runner.TrafficFactory` for
+    uniform random load (a dataclass callable, not a closure, so sweep
+    points carrying it can cross process boundaries)."""
+
+    rate: float
+    packet_size: int = 5
+
+    def __call__(self, num_nodes: int, seed: int) -> UniformRandomTraffic:
+        return UniformRandomTraffic(num_nodes, self.rate,
+                                    self.packet_size, seed)
+
+
+def uniform_factory(rate: float, packet_size: int = 5) -> UniformFactory:
     """A :data:`~repro.experiments.runner.TrafficFactory` for uniform load."""
-
-    def factory(num_nodes: int, seed: int) -> UniformRandomTraffic:
-        return UniformRandomTraffic(num_nodes, rate, packet_size, seed)
-
-    return factory
+    return UniformFactory(rate, packet_size)
 
 
-def _baseline_per_load(scale: ExperimentScale, loads: dict[str, float],
-                       seed: int) -> dict[str, RunResult]:
-    """One non-power-aware run per load (shared across sweep points)."""
-    return {
-        name: run_simulation(
-            scale, None, uniform_factory(rate),
-            label=f"baseline/{name}", seed=seed,
-        )
+def _baseline_points(scale: ExperimentScale, loads: dict[str, float],
+                     seed: int) -> list[SweepPoint]:
+    """One non-power-aware point per load (shared across sweep points)."""
+    return [
+        SweepPoint(label=f"baseline/{name}", scale=scale, power=None,
+                   traffic_factory=uniform_factory(rate), seed=seed)
         for name, rate in loads.items()
-    }
+    ]
+
+
+def _policy_sweep(scale: ExperimentScale, loads: dict[str, float],
+                  x_label: str, x_values, make_label, make_policy,
+                  technology: str, seed: int,
+                  max_workers: int | None) -> dict[str, SweepSeries]:
+    """Shared machinery of the Tw and threshold sweeps.
+
+    Builds every (load, x) point plus the per-load baselines, dispatches
+    them through :func:`~repro.experiments.runner.run_sweep` (serial or
+    process-parallel — bit-identical either way) and folds the results
+    into per-load :class:`~repro.metrics.summary.SweepSeries`.
+    """
+    points = _baseline_points(scale, loads, seed)
+    for load_name, rate in loads.items():
+        for x in x_values:
+            power = power_config(scale, technology=technology,
+                                 policy=make_policy(x))
+            points.append(SweepPoint(
+                label=make_label(x, load_name), scale=scale, power=power,
+                traffic_factory=uniform_factory(rate), seed=seed,
+            ))
+    results = run_sweep(points, max_workers=max_workers)
+    baselines = dict(zip(loads, results[:len(loads)]))
+    aware_iter = iter(results[len(loads):])
+    sweeps: dict[str, SweepSeries] = {}
+    for load_name in loads:
+        series = SweepSeries(name=load_name, x_label=x_label)
+        for x in x_values:
+            series.append(x, normalise(next(aware_iter),
+                                       baselines[load_name]))
+        sweeps[load_name] = series
+    return sweeps
 
 
 def window_size_sweep(scale: ExperimentScale,
                       windows: tuple[int, ...] | None = None,
                       technology: str = MODULATOR,
-                      seed: int = 1) -> dict[str, SweepSeries]:
+                      seed: int = 1, *,
+                      max_workers: int | None = 1) -> dict[str, SweepSeries]:
     """Fig. 5(a)(b)(c): sweep the sampling window Tw at three loads.
 
     The paper runs this on the modulator-based network and notes identical
     trends for VCSELs.
     """
     windows = windows or windows_for_scale(scale)
-    loads = reference_rates(scale.network)
-    baselines = _baseline_per_load(scale, loads, seed)
-    sweeps: dict[str, SweepSeries] = {}
-    for load_name, rate in loads.items():
-        series = SweepSeries(name=load_name, x_label="window_cycles")
-        for window in windows:
-            policy = PolicyConfig(window_cycles=window)
-            power = power_config(scale, technology=technology, policy=policy)
-            aware = run_simulation(
-                scale, power, uniform_factory(rate),
-                label=f"Tw={window}/{load_name}", seed=seed,
-            )
-            series.append(window, normalise(aware, baselines[load_name]))
-        sweeps[load_name] = series
-    return sweeps
+    return _policy_sweep(
+        scale, reference_rates(scale.network),
+        "window_cycles", windows,
+        lambda window, load: f"Tw={window}/{load}",
+        lambda window: PolicyConfig(window_cycles=window),
+        technology, seed, max_workers,
+    )
 
 
 def threshold_sweep(scale: ExperimentScale,
                     averages: tuple[float, ...] = DEFAULT_THRESHOLDS,
                     technology: str = MODULATOR,
-                    seed: int = 1) -> dict[str, SweepSeries]:
+                    seed: int = 1, *,
+                    max_workers: int | None = 1) -> dict[str, SweepSeries]:
     """Fig. 5(d)(e)(f): sweep the average link-utilisation threshold.
 
     TH - TL stays fixed at 0.1 ("simulations show better
     power-performance"); the congested thresholds shift with the average.
     """
-    loads = reference_rates(scale.network)
-    baselines = _baseline_per_load(scale, loads, seed)
-    sweeps: dict[str, SweepSeries] = {}
-    for load_name, rate in loads.items():
-        series = SweepSeries(name=load_name, x_label="average_threshold")
-        for average in averages:
-            policy = PolicyConfig().with_average_threshold(average)
-            power = power_config(scale, technology=technology, policy=policy)
-            aware = run_simulation(
-                scale, power, uniform_factory(rate),
-                label=f"T={average}/{load_name}", seed=seed,
-            )
-            series.append(average, normalise(aware, baselines[load_name]))
-        sweeps[load_name] = series
-    return sweeps
+    return _policy_sweep(
+        scale, reference_rates(scale.network),
+        "average_threshold", averages,
+        lambda average, load: f"T={average}/{load}",
+        lambda average: PolicyConfig().with_average_threshold(average),
+        technology, seed, max_workers,
+    )
 
 
 def ladder_configurations(scale: ExperimentScale) -> dict[str, object]:
@@ -148,7 +177,8 @@ def injection_rate_fractions() -> tuple[float, ...]:
 def injection_sweep(scale: ExperimentScale,
                     configurations: dict[str, object] | None = None,
                     fractions: tuple[float, ...] | None = None,
-                    seed: int = 1) -> dict[str, list[tuple[float, RunResult]]]:
+                    seed: int = 1, *, max_workers: int | None = 1
+                    ) -> dict[str, list[tuple[float, RunResult]]]:
     """Fig. 5(g)(h): sweep injection rate for every network variant.
 
     Returns, per variant, a list of (injection rate, RunResult); latency
@@ -157,18 +187,18 @@ def injection_sweep(scale: ExperimentScale,
     configurations = configurations or ladder_configurations(scale)
     fractions = fractions or injection_rate_fractions()
     saturation = uniform_saturation_packets(scale.network)
-    curves: dict[str, list[tuple[float, RunResult]]] = {}
-    for name, power in configurations.items():
-        points = []
-        for fraction in fractions:
-            rate = fraction * saturation
-            result = run_simulation(
-                scale, power, uniform_factory(rate),
-                label=f"{name}@{fraction:.2f}", seed=seed,
-            )
-            points.append((rate, result))
-        curves[name] = points
-    return curves
+    rates = [fraction * saturation for fraction in fractions]
+    points = [
+        SweepPoint(label=f"{name}@{fraction:.2f}", scale=scale, power=power,
+                   traffic_factory=uniform_factory(rate), seed=seed)
+        for name, power in configurations.items()
+        for fraction, rate in zip(fractions, rates)
+    ]
+    results = iter(run_sweep(points, max_workers=max_workers))
+    return {
+        name: [(rate, next(results)) for rate in rates]
+        for name in configurations
+    }
 
 
 def throughput_of_curve(points: list[tuple[float, RunResult]],

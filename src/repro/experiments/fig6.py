@@ -15,6 +15,7 @@
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 from repro.config import MODULATOR, NetworkConfig, VCSEL
 from repro.experiments.configs import (
@@ -63,17 +64,27 @@ def default_hotspot_node(network: NetworkConfig) -> int:
     return router * network.nodes_per_cluster + local
 
 
+@dataclass(frozen=True)
+class HotspotFactory:
+    """Picklable traffic factory for the scaled Fig. 6 hot-spot workload."""
+
+    schedule: tuple[Phase, ...]
+    hotspot: int
+    hotspot_weight: float = 4.0
+
+    def __call__(self, num_nodes: int, seed: int) -> HotspotTraffic:
+        return HotspotTraffic(num_nodes, self.schedule, self.hotspot,
+                              hotspot_weight=self.hotspot_weight, seed=seed)
+
+
 def hotspot_factory(scale: ExperimentScale,
                     hotspot_weight: float = 4.0) -> TrafficFactory:
     """Traffic factory for the scaled Fig. 6 hot-spot workload."""
-    schedule = schedule_for_scale(scale)
-    hotspot = default_hotspot_node(scale.network)
-
-    def factory(num_nodes: int, seed: int) -> HotspotTraffic:
-        return HotspotTraffic(num_nodes, schedule, hotspot,
-                              hotspot_weight=hotspot_weight, seed=seed)
-
-    return factory
+    return HotspotFactory(
+        schedule=schedule_for_scale(scale),
+        hotspot=default_hotspot_node(scale.network),
+        hotspot_weight=hotspot_weight,
+    )
 
 
 def injection_profile(scale: ExperimentScale, seed: int = 1) -> list[float]:

@@ -15,14 +15,20 @@ VCSEL for the (slightly better) alternative.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.config import MODULATOR, NetworkConfig
 from repro.experiments.configs import (
     ExperimentScale,
     baseline_link_power,
     power_config,
-    uniform_saturation_packets,
 )
-from repro.experiments.runner import TrafficFactory, run_pair
+from repro.experiments.runner import (
+    TrafficFactory,
+    pair_points,
+    run_pair,
+    run_pairs,
+)
 from repro.metrics.energy import normalise_power_series, smooth_series
 from repro.metrics.summary import NormalisedResult, RunResult
 from repro.traffic.splash import BENCHMARKS, generate_splash_trace
@@ -68,6 +74,23 @@ def splash_intensity(network: NetworkConfig) -> float:
     return peak_aggregate_packets / _ENVELOPE_PEAK
 
 
+@dataclass(frozen=True)
+class SplashFactory:
+    """Picklable traffic factory replaying a synthesised benchmark trace."""
+
+    benchmark: str
+    active: int
+    span: int
+    intensity: float
+
+    def __call__(self, num_nodes: int, seed: int) -> TraceReplaySource:
+        records = generate_splash_trace(
+            self.benchmark, self.active, self.span,
+            seed=seed, intensity=self.intensity,
+        )
+        return TraceReplaySource(num_nodes, records)
+
+
 def splash_factory(benchmark: str, scale: ExperimentScale,
                    duration: int | None = None) -> TrafficFactory:
     """Traffic factory replaying a synthesised benchmark trace.
@@ -76,16 +99,30 @@ def splash_factory(benchmark: str, scale: ExperimentScale,
     latency statistics cover every packet.
     """
     span = duration if duration is not None else int(scale.run_cycles * 0.8)
-    intensity = splash_intensity(scale.network)
-    active = active_nodes_for(scale.network)
+    return SplashFactory(
+        benchmark=benchmark,
+        active=active_nodes_for(scale.network),
+        span=span,
+        intensity=splash_intensity(scale.network),
+    )
 
-    def factory(num_nodes: int, seed: int) -> TraceReplaySource:
-        records = generate_splash_trace(
-            benchmark, active, span, seed=seed, intensity=intensity
-        )
-        return TraceReplaySource(num_nodes, records)
 
-    return factory
+def _assemble_benchmark(benchmark: str, scale: ExperimentScale, power,
+                        aware: RunResult, baseline: RunResult,
+                        normalised: NormalisedResult) -> dict:
+    """Fold one benchmark's run pair into the Fig. 7 + Table 3 record."""
+    baseline_watts = baseline_link_power(scale, power)
+    return {
+        "benchmark": benchmark,
+        "aware": aware,
+        "baseline": baseline,
+        "normalised": normalised,
+        "injection_series": list(aware.injection_series),
+        "relative_power_series": smooth_series(
+            normalise_power_series(list(aware.power_series), baseline_watts),
+            window=3,
+        ),
+    }
 
 
 def run_benchmark(benchmark: str, scale: ExperimentScale,
@@ -102,26 +139,31 @@ def run_benchmark(benchmark: str, scale: ExperimentScale,
         label=f"splash/{benchmark}", seed=seed, drain=True,
         cycles=2 * scale.run_cycles,
     )
-    baseline_watts = baseline_link_power(scale, power)
-    return {
-        "benchmark": benchmark,
-        "aware": aware,
-        "baseline": baseline,
-        "normalised": normalised,
-        "injection_series": list(aware.injection_series),
-        "relative_power_series": smooth_series(
-            normalise_power_series(list(aware.power_series), baseline_watts),
-            window=3,
-        ),
-    }
+    return _assemble_benchmark(benchmark, scale, power,
+                               aware, baseline, normalised)
 
 
 def run_all_benchmarks(scale: ExperimentScale, technology: str = MODULATOR,
-                       seed: int = 1) -> dict[str, dict]:
-    """Fig. 7 for all three benchmarks."""
+                       seed: int = 1, *,
+                       max_workers: int | None = 1) -> dict[str, dict]:
+    """Fig. 7 for all three benchmarks.
+
+    With ``max_workers`` > 1 (or ``None`` for one worker per CPU) the six
+    underlying runs — a (power-aware, baseline) pair per benchmark —
+    execute across a process pool, point-for-point identical to serial.
+    """
+    power = power_config(scale, technology=technology)
+    points = []
+    for benchmark in BENCHMARKS:
+        points.extend(pair_points(
+            scale, power, splash_factory(benchmark, scale),
+            label=f"splash/{benchmark}", seed=seed, drain=True,
+            cycles=2 * scale.run_cycles,
+        ))
+    triples = run_pairs(points, max_workers=max_workers)
     return {
-        benchmark: run_benchmark(benchmark, scale, technology, seed)
-        for benchmark in BENCHMARKS
+        benchmark: _assemble_benchmark(benchmark, scale, power, *triple)
+        for benchmark, triple in zip(BENCHMARKS, triples)
     }
 
 

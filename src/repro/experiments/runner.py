@@ -5,24 +5,36 @@ configured run -> :class:`~repro.metrics.summary.RunResult`) and
 :func:`run_pair` (power-aware + matched non-power-aware baseline ->
 :class:`~repro.metrics.summary.NormalisedResult`), so normalisation is
 applied uniformly and deterministically (same traffic seed on both sides).
+
+Sweeps go through :class:`SweepPoint` + :func:`run_sweep`: each point is a
+frozen, picklable description of one run carrying its own explicit seed,
+so a sweep executed across a process pool is bit-identical, point for
+point, to the same sweep executed serially — parallelism only reorders
+wall-clock, never results.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import hashlib
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 
 from repro.config import (
     NetworkConfig,
     PowerAwareConfig,
     SimulationConfig,
 )
+from repro.errors import ConfigError
 from repro.experiments.configs import ExperimentScale
 from repro.metrics.summary import NormalisedResult, RunResult, normalise
 from repro.network.simulator import Simulator
 from repro.traffic.base import TrafficSource
 
 #: Builds a fresh traffic source: (num_nodes, seed) -> source.  Sources are
-#: stateful, so every run needs its own instance.
+#: stateful, so every run needs its own instance.  Factories handed to
+#: :func:`run_sweep` must be picklable (the figure harnesses use frozen
+#: dataclass callables, not closures).
 TrafficFactory = Callable[[int, int], TrafficSource]
 
 
@@ -105,3 +117,100 @@ def run_pair(scale: ExperimentScale, power: PowerAwareConfig,
         label=f"{label}/baseline", seed=seed, cycles=cycles, drain=drain,
     )
     return aware, baseline, normalise(aware, baseline)
+
+
+# -- sweeps ------------------------------------------------------------------
+
+
+def derive_seed(base: int, *components: object) -> int:
+    """A stable per-point seed from a base seed and identifying components.
+
+    Hash-based (sha256), so the seed of one sweep point depends only on
+    its own identity — never on how many other points the sweep has or in
+    what order they run.  Use for new sweeps whose points need distinct
+    streams; the figure harnesses keep their historical seed-sharing so
+    published outputs are unchanged.
+    """
+    if base < 0:
+        raise ConfigError(f"base seed must be >= 0, got {base!r}")
+    payload = ":".join([str(base), *(str(c) for c in components)])
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (2**32)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One run of a sweep: a self-contained, picklable work item.
+
+    The explicit per-point ``seed`` is what makes parallel execution
+    trivially deterministic — no RNG state is shared between points.
+    """
+
+    label: str
+    scale: ExperimentScale
+    power: PowerAwareConfig | None
+    traffic_factory: TrafficFactory
+    seed: int
+    cycles: int | None = None
+    drain: bool = False
+
+
+def run_point(point: SweepPoint) -> RunResult:
+    """Execute one sweep point (module-level, so process pools can map it)."""
+    return run_simulation(
+        point.scale, point.power, point.traffic_factory,
+        label=point.label, seed=point.seed,
+        cycles=point.cycles, drain=point.drain,
+    )
+
+
+def run_sweep(points: Iterable[SweepPoint], *,
+              max_workers: int | None = 1) -> list[RunResult]:
+    """Run every point, returning results in point order.
+
+    ``max_workers=1`` (the default) runs in-process; ``None`` uses one
+    worker per CPU; any other value caps the pool size.  Because every
+    point carries its own seed and runs in a fresh simulator, the results
+    are bit-identical whatever ``max_workers`` is — parallelism is purely
+    a wall-clock optimisation.
+    """
+    points = list(points)
+    if max_workers is not None and max_workers < 1:
+        raise ConfigError(
+            f"max_workers must be >= 1 or None, got {max_workers!r}"
+        )
+    if max_workers == 1 or len(points) <= 1:
+        return [run_point(point) for point in points]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(run_point, points))
+
+
+def run_pairs(points: Sequence[SweepPoint], *, max_workers: int | None = 1
+              ) -> list[tuple[RunResult, RunResult, NormalisedResult]]:
+    """Run (power-aware, baseline) pairs built with :func:`pair_points`.
+
+    ``points`` must alternate aware/baseline, as :func:`pair_points`
+    produces; the whole flat list is dispatched through :func:`run_sweep`
+    so pairs from different pairs interleave across workers.
+    """
+    if len(points) % 2:
+        raise ConfigError("run_pairs needs an even number of points")
+    results = run_sweep(points, max_workers=max_workers)
+    return [
+        (aware, baseline, normalise(aware, baseline))
+        for aware, baseline in zip(results[::2], results[1::2])
+    ]
+
+
+def pair_points(scale: ExperimentScale, power: PowerAwareConfig,
+                traffic_factory: TrafficFactory, *, label: str,
+                seed: int = 1, cycles: int | None = None,
+                drain: bool = False) -> tuple[SweepPoint, SweepPoint]:
+    """The (power-aware, baseline) point pair matching :func:`run_pair`."""
+    aware = SweepPoint(label=label, scale=scale, power=power,
+                       traffic_factory=traffic_factory, seed=seed,
+                       cycles=cycles, drain=drain)
+    baseline = SweepPoint(label=f"{label}/baseline", scale=scale, power=None,
+                          traffic_factory=traffic_factory, seed=seed,
+                          cycles=cycles, drain=drain)
+    return aware, baseline

@@ -28,9 +28,11 @@ PAPER_TABLE3 = {
 
 
 def compute_table3(scale: ExperimentScale, technology: str = MODULATOR,
-                   seed: int = 1) -> list[dict[str, float | str]]:
+                   seed: int = 1, *, max_workers: int | None = 1
+                   ) -> list[dict[str, float | str]]:
     """Run all three benchmarks and return the Table 3 rows."""
-    results = run_all_benchmarks(scale, technology=technology, seed=seed)
+    results = run_all_benchmarks(scale, technology=technology, seed=seed,
+                                 max_workers=max_workers)
     return table3_rows(results)
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 
+from repro.errors import ConfigError
 from repro.network.links import EJECTION, INJECTION, MESH
 from repro.network.simulator import Simulator
 
@@ -45,6 +46,46 @@ def level_map(sim: Simulator) -> dict[str, Counter]:
     for pal in sim.power.links:
         histogram[pal.link.kind][pal.level] += 1
     return histogram
+
+
+class LevelTimeline:
+    """Committed-level histograms sampled at every policy window boundary.
+
+    Attaches through the simulator's ``window`` hook, so it sees the
+    network exactly as each window's policy decisions land — no polling,
+    and zero cost on cycles without a window boundary.  Each sample is
+    ``(window_end_cycle, histogram)`` where ``histogram[level]`` counts
+    the links committed to that ladder level.
+    """
+
+    __slots__ = ("sim", "samples")
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.samples: list[tuple[int, list[int]]] = []
+
+    def _on_window(self, start: int, end: int) -> None:
+        self.samples.append((end, self.sim.power.level_histogram()))
+
+    def detach(self) -> None:
+        """Stop sampling; collected samples stay available."""
+        self.sim.hooks.remove("window", self._on_window)
+
+
+def attach_level_timeline(sim: Simulator) -> LevelTimeline:
+    """Record the per-window level histogram of a power-aware run.
+
+    Returns the attached :class:`LevelTimeline`; call ``detach()`` to stop
+    sampling early, or just read ``samples`` when the run ends.
+    """
+    if sim.power is None:
+        raise ConfigError(
+            "level timeline needs a power-aware simulation "
+            "(config.power is None)"
+        )
+    timeline = LevelTimeline(sim)
+    sim.hooks.add("window", timeline._on_window)
+    return timeline
 
 
 def congestion_report(sim: Simulator, top: int = 8) -> str:

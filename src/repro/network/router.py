@@ -93,7 +93,7 @@ class Router:
     __slots__ = (
         "router_id", "x", "y", "mesh_width", "num_local", "num_ports",
         "num_vcs", "inputs", "outputs", "route_fn", "head_delay",
-        "nodes_per_cluster", "_active",
+        "nodes_per_cluster", "_active", "registry",
     )
 
     def __init__(self, router_id: int, x: int, y: int, mesh_width: int,
@@ -127,6 +127,11 @@ class Router:
         self.head_delay = head_delay
         self.nodes_per_cluster = nodes_per_cluster
         self._active: set[int] = set()
+        #: Optional active-router registry maintained by the simulator: a
+        #: router registers itself while any input port holds flits, so the
+        #: routing phase only steps routers with work (see
+        #: :class:`repro.engine.active.ActiveSet`).
+        self.registry = None
 
     def attach_output(self, port: int, output: OutputPort) -> None:
         """Wire an output port (done once by the topology builder)."""
@@ -143,6 +148,8 @@ class Router:
                 f"flit arrived on router {self.router_id} port {port} with "
                 f"VC {flit.vc} outside [0, {self.num_vcs})"
             )
+        if not self._active and self.registry is not None:
+            self.registry.add(self)
         self.inputs[port].vcs[flit.vc].buffer.push(flit, now)
         self._active.add(port)
 
@@ -168,14 +175,19 @@ class Router:
         Returns the (output port, flit) pairs forwarded this cycle — used
         by tests; the flits are already on their links.
         """
-        if not self._active:
+        active = self._active
+        if not active:
+            if self.registry is not None:
+                self.registry.discard(self)
             return []
         num_vcs = self.num_vcs
+        inputs = self.inputs
+        outputs = self.outputs
         requests: dict[int, list[tuple[int, int]]] = {}
         pressured: set[int] = set()
         retired: list[int] = []
-        for i in self._active:
-            port = self.inputs[i]
+        for i in active:
+            port = inputs[i]
             any_buffered = False
             for v, vc in enumerate(port.vcs):
                 buf = vc.buffer
@@ -190,7 +202,7 @@ class Router:
                             "with no latched route"
                         )
                     vc.route_out = self._route(head)
-                    if self.outputs[vc.route_out] is None:
+                    if outputs[vc.route_out] is None:
                         raise SimulationError(
                             f"routing chose unattached output {vc.route_out} "
                             f"at router {self.router_id}"
@@ -199,7 +211,7 @@ class Router:
                 pressured.add(vc.route_out)
                 if now < vc.eligible_at:
                     continue
-                op = self.outputs[vc.route_out]
+                op = outputs[vc.route_out]
                 if vc.out_vc < 0:
                     # VC allocation: claim a free downstream VC.
                     grant = op.free_vc()
@@ -212,17 +224,21 @@ class Router:
                 if op.credits is not None and \
                         not op.credits[vc.out_vc].can_send():
                     continue
-                requests.setdefault(vc.route_out, []).append((i, v))
+                reqs = requests.get(vc.route_out)
+                if reqs is None:
+                    requests[vc.route_out] = [(i, v)]
+                else:
+                    reqs.append((i, v))
             if not any_buffered:
                 retired.append(i)
         for i in retired:
-            self._active.discard(i)
+            active.discard(i)
         for out_idx in pressured:
-            self.outputs[out_idx].link.pressure_accum += 1.0
+            outputs[out_idx].link.pressure_accum += 1.0
 
         forwarded: list[tuple[int, Flit]] = []
         for out_idx, reqs in requests.items():
-            op = self.outputs[out_idx]
+            op = outputs[out_idx]
             if len(reqs) == 1:
                 winner_port, winner_vc = reqs[0]
             else:
@@ -230,7 +246,7 @@ class Router:
                     [p * num_vcs + v for p, v in reqs]
                 )
                 winner_port, winner_vc = divmod(encoded, num_vcs)
-            port = self.inputs[winner_port]
+            port = inputs[winner_port]
             vc = port.vcs[winner_vc]
             flit = vc.buffer.pop(now)
             flit.vc = vc.out_vc
@@ -246,6 +262,11 @@ class Router:
                 vc.out_vc = -1
             else:
                 vc.eligible_at = now + 1.0
-            if port.occupancy == 0:
-                self._active.discard(winner_port)
+            for other in port.vcs:
+                if not other.buffer.is_empty:
+                    break
+            else:
+                active.discard(winner_port)
+        if not active and self.registry is not None:
+            self.registry.discard(self)
         return forwarded

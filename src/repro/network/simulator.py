@@ -1,4 +1,4 @@
-"""The cycle-driven simulator core.
+"""The cycle-driven simulator core, built on the pluggable engine layer.
 
 Ties topology, traffic, routers and the power manager together.  One call
 to :meth:`Simulator.step` advances the whole system one router cycle, in a
@@ -6,17 +6,32 @@ fixed phase order chosen so every component sees a consistent picture:
 
 1. **deliver** — flits whose link arrival time has passed enter downstream
    input buffers (or node sinks);
-2. **route** — every router runs one switch-allocation/traversal cycle,
-   pushing winners onto their output links;
-3. **inject** — node boards push source-queue flits onto injection links;
+2. **route** — every router *with buffered flits* runs one switch-
+   allocation/traversal cycle, pushing winners onto their output links;
+3. **inject** — node boards *with queued flits* push source-queue flits
+   onto injection links;
 4. **generate** — the traffic source creates this cycle's new packets;
-5. **power** — the power manager advances transitions and, on window/epoch
-   boundaries, runs the policy controllers; power samples are taken every
-   ``sample_interval`` cycles.
+5. **control** — the event wheel runs whatever control work is due this
+   cycle: link transition completions, window-boundary policy evaluation,
+   laser epochs, power sampling and the stall watchdog.
+
+The engine makes each phase cost O(active components), not O(network):
+links, routers and nodes register into :class:`~repro.engine.active.ActiveSet`
+registries while they hold work and are skipped otherwise, and the power
+manager's periodic work is event-scheduled on an
+:class:`~repro.engine.wheel.EventWheel` instead of being polled with
+modulo checks every cycle.  Construct with ``step_all=True`` to force the
+legacy step-everything/poll-everything behaviour — runs are bit-identical
+in either mode (property-tested), only the wall-clock differs.
+
+Observers (profilers, watchdogs, metrics samplers) attach through
+:attr:`Simulator.hooks`, a typed :class:`~repro.engine.hooks.HookRegistry`
+— nothing else is hard-wired into the step loop.
 
 Determinism: given identical configs and seeds, runs are bit-identical —
 there is no wall-clock or unordered-set iteration in any decision path
-(the delivery loop iterates a sorted snapshot of the active-link set).
+(active sets are iterated via sorted snapshots, and same-cycle events fire
+in a fixed priority order).
 """
 
 from __future__ import annotations
@@ -24,20 +39,70 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.config import SimulationConfig
+from repro.engine.active import ActiveSet
+from repro.engine.hooks import HookRegistry
+from repro.engine.wheel import PRI_WATCHDOG, EventWheel
 from repro.errors import ConfigError, SimulationError
 from repro.network.links import Link
 from repro.network.stats import StatsCollector
-from repro.network.topology import ClusteredMesh
+from repro.network.topology import ClusteredMesh, Node
 from repro.traffic.base import TrafficSource
 
-if TYPE_CHECKING:  # pragma: no cover - typing-only import (cycle guard)
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports (cycle guard)
     from repro.core.manager import NetworkPowerManager
+    from repro.network.router import Router
+
+#: Cycles between stall-watchdog progress checks.
+WATCHDOG_INTERVAL = 256
+
+#: Step-phase names, in execution order (also the profiler's row labels).
+PHASES = ("deliver", "route", "inject", "generate", "control")
+
+
+class StallWatchdog:
+    """Turns a silent simulator hang into a diagnosis.
+
+    Attaches through the engine: a ``delivery`` hook records the last cycle
+    any flit moved off a link, and a recurring event-wheel check raises
+    :class:`~repro.errors.SimulationError` when packets are in flight but
+    nothing has moved for ``limit`` cycles.  (With ``step_all=True`` the
+    simulator falls back to the equivalent legacy per-cycle poll.)
+    """
+
+    __slots__ = ("sim", "limit", "_last_progress_cycle")
+
+    def __init__(self, sim: "Simulator", limit: int):
+        self.sim = sim
+        self.limit = limit
+        self._last_progress_cycle = 0
+
+    def attach(self) -> "StallWatchdog":
+        self.sim.hooks.add("delivery", self._on_delivery)
+        self.sim.wheel.schedule(self.sim.cycle, self._check, PRI_WATCHDOG)
+        return self
+
+    def _on_delivery(self, link: Link, flit, now: int) -> None:
+        self._last_progress_cycle = now
+
+    def _check(self, now: int) -> None:
+        stalled = now - self._last_progress_cycle
+        if self.sim.stats.in_flight > 0 and stalled >= self.limit:
+            from repro.metrics.inspect import congestion_report
+
+            raise SimulationError(
+                f"no flit delivered for {stalled} cycles with "
+                f"{self.sim.stats.in_flight} packets in flight — likely a "
+                f"flow-control bug.\n{congestion_report(self.sim)}"
+            )
+        self.sim.wheel.schedule(now + WATCHDOG_INTERVAL, self._check,
+                                PRI_WATCHDOG)
 
 
 class Simulator:
     """One simulated power-aware (or baseline) networked system."""
 
-    def __init__(self, config: SimulationConfig, traffic: TrafficSource):
+    def __init__(self, config: SimulationConfig, traffic: TrafficSource,
+                 *, step_all: bool = False):
         if traffic.num_nodes != config.network.num_nodes:
             raise ConfigError(
                 f"traffic source built for {traffic.num_nodes} nodes but the "
@@ -58,58 +123,143 @@ class Simulator:
                 self.network, config.power, config.network
             )
         self.cycle = 0
-        self._active_links: set[Link] = set()
-        for link in self.network.links:
-            link.registry = self._active_links
+        self.hooks = HookRegistry()
+        if self.power is not None:
+            self.power.hooks = self.hooks
+        self.step_all = step_all
+        self._phases = tuple(
+            (name, getattr(self, f"_phase_{name}")) for name in PHASES
+        )
+        self._phase_fns = tuple(fn for _, fn in self._phases)
         self._last_delivery_count = 0
         self._last_delivery_cycle = 0
+        if step_all:
+            # Legacy mode: visit every component every cycle and poll for
+            # control work.  Kept as the reference for equivalence tests.
+            self.wheel = None
+            self._active_links: ActiveSet[Link] | None = None
+            self._active_routers: ActiveSet["Router"] | None = None
+            self._active_nodes: ActiveSet[Node] | None = None
+            return
+        self.wheel = EventWheel()
+        self._active_links = ActiveSet(_link_key)
+        self._active_routers = ActiveSet(_router_key)
+        self._active_nodes = ActiveSet(_node_key)
+        for link in self.network.links:
+            link.registry = self._active_links
+        for router in self.network.routers:
+            router.registry = self._active_routers
+        for node in self.network.nodes:
+            node.registry = self._active_nodes
+        if self.power is not None:
+            self.power.schedule_events(
+                self.wheel, sample_interval=config.sample_interval
+            )
+        if config.stall_limit_cycles:
+            StallWatchdog(self, config.stall_limit_cycles).attach()
 
     def step(self) -> None:
         """Advance the system by one router cycle."""
         now = self.cycle
+        hooks = self.hooks
+        if hooks.phase_start or hooks.phase_end:
+            starts, ends = hooks.phase_start, hooks.phase_end
+            for name, phase in self._phases:
+                for callback in starts:
+                    callback(name, now)
+                phase(now)
+                for callback in ends:
+                    callback(name, now)
+        else:
+            for _, phase in self._phases:
+                phase(now)
+        self.cycle = now + 1
 
-        # 1. Deliver link arrivals.  Snapshot + sort for determinism: the
-        #    set is mutated during iteration (links drain and new pushes in
-        #    phase 2/3 re-register for *later* cycles).
-        if self._active_links:
-            for link in sorted(self._active_links, key=_link_key):
-                arrivals = link.pop_arrivals(now)
-                if arrivals:
-                    deliver = link.deliver
+    # -- phases ------------------------------------------------------------------
+
+    def _phase_deliver(self, now: int) -> None:
+        """Move link arrivals into downstream buffers / node sinks.
+
+        Active mode iterates a sorted snapshot of the active-link set (it
+        is mutated during iteration: links drain, and pushes in phase 2/3
+        re-register for *later* cycles); snapshotting also keeps delivery
+        order identical to the step-everything iteration over all links.
+        """
+        active = self._active_links
+        if active is not None:
+            if not active:
+                return
+            links = active.snapshot()
+        else:
+            links = self.network.links
+        delivery_hooks = self.hooks.delivery
+        for link in links:
+            arrivals = link.pop_arrivals(now)
+            if arrivals:
+                deliver = link.deliver
+                for flit in arrivals:
+                    deliver(flit, now)
+                if delivery_hooks:
                     for flit in arrivals:
-                        deliver(flit, now)
-                if not link.has_in_flight:
-                    self._active_links.discard(link)
+                        for callback in delivery_hooks:
+                            callback(link, flit, now)
+            if active is not None and not link.has_in_flight:
+                active.discard(link)
 
-        # 2. Router switch allocation + traversal.
-        for router in self.network.routers:
-            router.step(now)
+    def _phase_route(self, now: int) -> None:
+        """Switch allocation + traversal for every router with work."""
+        active = self._active_routers
+        if active is not None:
+            if active:
+                for router in active.snapshot():
+                    router.step(now)
+        else:
+            for router in self.network.routers:
+                router.step(now)
 
-        # 3. Node injection.
-        for node in self.network.nodes:
-            if node.queue:
-                node.step(now)
+    def _phase_inject(self, now: int) -> None:
+        """Source-queue injection for every node with queued flits."""
+        active = self._active_nodes
+        if active is not None:
+            if active:
+                for node in active.snapshot():
+                    node.step(now)
+        else:
+            for node in self.network.nodes:
+                if node.queue:
+                    node.step(now)
 
-        # 4. New traffic.
+    def _phase_generate(self, now: int) -> None:
+        """Create this cycle's new traffic."""
+        nodes = self.network.nodes
+        stats = self.stats
         for packet in self.traffic.generate(now):
-            self.stats.packet_created(packet, now)
-            self.network.nodes[packet.src].enqueue_packet(packet)
+            stats.packet_created(packet, now)
+            nodes[packet.src].enqueue_packet(packet)
 
-        # 5. Power control.
+    def _phase_control(self, now: int) -> None:
+        """Run control work due this cycle.
+
+        Active mode services the event wheel (transitions, windows, epochs,
+        samples, watchdog — in that priority order); legacy mode polls with
+        the historical modulo checks.
+        """
+        wheel = self.wheel
+        if wheel is not None:
+            if wheel.next_cycle <= now:
+                wheel.service(now)
+            return
         power = self.power
         if power is not None:
             power.on_cycle(now)
             if now % self.config.sample_interval == 0:
                 power.sample_power(now)
-
-        # 6. Stall watchdog (cheap: checked every 256 cycles).
         limit = self.config.stall_limit_cycles
-        if limit and now % 256 == 0:
+        if limit and now % WATCHDOG_INTERVAL == 0:
             self._check_stall(now, limit)
 
-        self.cycle = now + 1
-
     def _check_stall(self, now: int, limit: int) -> None:
+        """Legacy (polled) stall check, used only with ``step_all=True``."""
         delivered = self.stats.packets_delivered
         if delivered != self._last_delivery_count:
             self._last_delivery_count = delivered
@@ -124,35 +274,65 @@ class Simulator:
                 f"flow-control bug.\n{congestion_report(self)}"
             )
 
+    # -- driving -----------------------------------------------------------------
+
     def run(self, cycles: int) -> None:
-        """Run ``cycles`` more cycles."""
+        """Run ``cycles`` more cycles.
+
+        Whether the run is instrumented (fires ``phase_start``/``phase_end``
+        hooks) is decided once on entry; attach phase hooks before calling.
+        """
         if cycles < 0:
             raise ConfigError(f"cycles must be >= 0, got {cycles!r}")
-        step = self.step
+        hooks = self.hooks
+        if hooks.phase_start or hooks.phase_end:
+            step = self.step
+            for _ in range(cycles):
+                step()
+            return
+        phases = self._phase_fns
         for _ in range(cycles):
-            step()
+            now = self.cycle
+            for phase in phases:
+                phase(now)
+            self.cycle = now + 1
 
     def run_until_drained(self, max_cycles: int,
                           poll_interval: int = 512) -> bool:
         """Run until the trace is replayed and all packets delivered.
 
         Returns True if the network drained before ``max_cycles``.  Used by
-        trace experiments so latency statistics cover every packet.
+        trace experiments so latency statistics cover every packet.  The
+        drain check runs every ``poll_interval`` cycles *relative to the
+        starting cycle*, so resuming from an arbitrary cycle still polls on
+        schedule.
         """
         if max_cycles < 1:
             raise ConfigError("max_cycles must be >= 1")
-        deadline = self.cycle + max_cycles
+        if poll_interval < 1:
+            raise ConfigError(
+                f"poll_interval must be >= 1, got {poll_interval!r}"
+            )
+        start = self.cycle
+        deadline = start + max_cycles
         while self.cycle < deadline:
             self.step()
-            if self.cycle % poll_interval == 0 and self._is_drained():
+            if (self.cycle - start) % poll_interval == 0 \
+                    and self._is_drained():
                 return True
         return self._is_drained()
 
     def _is_drained(self) -> bool:
+        if self._active_links is not None:
+            links_idle = not self._active_links
+        else:
+            links_idle = not any(
+                link.has_in_flight for link in self.network.links
+            )
         return (
             self.traffic.exhausted(self.cycle)
             and self.stats.in_flight == 0
-            and not self._active_links
+            and links_idle
             and self.network.total_pending_flits == 0
         )
 
@@ -180,3 +360,11 @@ class Simulator:
 
 def _link_key(link: Link) -> int:
     return link.link_id
+
+
+def _router_key(router: "Router") -> int:
+    return router.router_id
+
+
+def _node_key(node: Node) -> int:
+    return node.node_id

@@ -50,7 +50,8 @@ class Node:
     packet's flits in order on that VC.
     """
 
-    __slots__ = ("node_id", "queue", "link", "credits", "stats", "_vc")
+    __slots__ = ("node_id", "queue", "link", "credits", "stats", "_vc",
+                 "registry")
 
     def __init__(self, node_id: int, stats: StatsCollector):
         self.node_id = node_id
@@ -59,9 +60,15 @@ class Node:
         self.credits: list[CreditCounter] | None = None
         self.stats = stats
         self._vc = -1
+        #: Optional active-node registry maintained by the simulator: a node
+        #: registers itself while its source queue holds flits, so the
+        #: injection phase only visits nodes with work.
+        self.registry = None
 
     def enqueue_packet(self, packet: Packet) -> None:
         """Queue a freshly generated packet's flits for injection."""
+        if not self.queue and self.registry is not None:
+            self.registry.add(self)
         self.queue.extend(packet.make_flits())
 
     def step(self, now: float) -> None:
@@ -87,6 +94,8 @@ class Node:
         credits.consume()
         flit.vc = self._vc
         self.link.push(self.queue.popleft(), now)
+        if not self.queue and self.registry is not None:
+            self.registry.discard(self)
 
     def receive_flit(self, flit: Flit, now: float) -> None:
         """Sink an ejected flit; completes the packet on its tail."""

@@ -8,7 +8,7 @@ link population under the power manager).
 
 import pytest
 
-from repro.config import NetworkConfig, SimulationConfig
+from repro.config import SimulationConfig
 from repro.network.simulator import Simulator
 from repro.network.validation import validate_topology
 from repro.traffic.uniform import UniformRandomTraffic

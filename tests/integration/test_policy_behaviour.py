@@ -85,8 +85,6 @@ class TestStabiliserAblations:
         degraded = run_sim(traffic_rate=0.9, policy=literal, cycles=10_000)
         healthy_fraction = (healthy.stats.packets_delivered
                             / healthy.stats.packets_created)
-        degraded_fraction = (degraded.stats.packets_delivered
-                             / degraded.stats.packets_created)
         assert healthy_fraction > 0.97
         assert healthy.stats.mean_latency < degraded.stats.mean_latency
 

@@ -50,7 +50,6 @@ class TestSpatialPattern:
 
     def test_idle_rack_links_sit_at_bottom(self, sim):
         network = sim.config.network
-        locals_ = network.nodes_per_cluster
         active_nodes = active_nodes_for(network)
         idle_levels = []
         for pal in sim.power.links:

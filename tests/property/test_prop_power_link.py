@@ -6,7 +6,6 @@ policy -> transition -> energy pipeline end to end — and asserts the
 system-level invariants.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

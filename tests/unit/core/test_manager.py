@@ -127,6 +127,44 @@ class TestDriving:
             manager.average_power(0)
 
 
+class TestFinalizeIdempotence:
+    def test_repeated_finalize_accrues_no_energy(self):
+        manager, _ = make_manager(window=50)
+        for now in range(1, 2000):
+            manager.on_cycle(now)
+        manager.finalize(2000)
+        first = manager.total_energy_watt_cycles()
+        manager.finalize(2000)
+        manager.finalize(1500)  # at/before the last finalize: a no-op
+        assert manager.total_energy_watt_cycles() == first
+        assert manager.relative_power(2000) == manager.relative_power(2000)
+
+    def test_later_finalize_extends_the_integral(self):
+        manager, _ = make_manager(window=50)
+        for now in range(1, 1000):
+            manager.on_cycle(now)
+        manager.finalize(1000)
+        first = manager.total_energy_watt_cycles()
+        for now in range(1000, 2000):
+            manager.on_cycle(now)
+        manager.finalize(2000)
+        assert manager.total_energy_watt_cycles() > first
+
+    def test_simulator_summary_is_repeatable(self, tiny_sim_config):
+        from repro.network.simulator import Simulator
+        from repro.traffic.uniform import UniformRandomTraffic
+
+        traffic = UniformRandomTraffic(
+            tiny_sim_config.network.num_nodes, 0.2, seed=5)
+        sim = Simulator(tiny_sim_config, traffic)
+        sim.run(1500)
+        first = sim.summary()
+        second = sim.summary()
+        assert first == second
+        assert sim.power.total_energy_watt_cycles() == \
+            sim.power.total_energy_watt_cycles()
+
+
 class TestReporting:
     def test_link_report_rows(self):
         manager, topology = make_manager(window=50)

@@ -1,0 +1,72 @@
+"""Unit tests for the active-component registries."""
+
+from dataclasses import dataclass
+
+from repro.engine.active import ActiveSet
+
+
+@dataclass(frozen=True)
+class Item:
+    key: int
+
+
+def make_set():
+    return ActiveSet(lambda item: item.key)
+
+
+class TestMembership:
+    def test_add_and_discard_are_idempotent(self):
+        active = make_set()
+        item = Item(1)
+        active.add(item)
+        active.add(item)
+        assert len(active) == 1
+        active.discard(item)
+        active.discard(item)
+        assert len(active) == 0
+
+    def test_contains_and_bool(self):
+        active = make_set()
+        assert not active
+        item = Item(7)
+        active.add(item)
+        assert active
+        assert item in active
+        assert Item(8) not in active
+
+    def test_clear(self):
+        active = make_set()
+        for key in range(5):
+            active.add(Item(key))
+        active.clear()
+        assert not active
+
+
+class TestSnapshots:
+    def test_snapshot_sorted_by_key(self):
+        active = make_set()
+        for key in (5, 1, 9, 3):
+            active.add(Item(key))
+        assert [item.key for item in active.snapshot()] == [1, 3, 5, 9]
+        assert [item.key for item in active] == [1, 3, 5, 9]
+
+    def test_snapshot_is_safe_under_mutation(self):
+        active = make_set()
+        for key in range(4):
+            active.add(Item(key))
+        seen = []
+        for item in active.snapshot():
+            seen.append(item.key)
+            active.discard(item)
+            active.add(Item(item.key + 100))
+        assert seen == [0, 1, 2, 3]
+        assert [item.key for item in active] == [100, 101, 102, 103]
+
+    def test_insertion_order_does_not_matter(self):
+        forward, backward = make_set(), make_set()
+        items = [Item(key) for key in range(10)]
+        for item in items:
+            forward.add(item)
+        for item in reversed(items):
+            backward.add(item)
+        assert forward.snapshot() == backward.snapshot()

@@ -1,0 +1,118 @@
+"""Unit tests for the hook registry and the phase profiler."""
+
+import pytest
+
+from repro.engine.hooks import EVENTS, HookRegistry
+from repro.engine.profiler import PhaseProfiler
+from repro.errors import ConfigError
+
+
+class TestHookRegistry:
+    def test_add_fires_in_registration_order(self):
+        hooks = HookRegistry()
+        order = []
+        hooks.add("window", lambda start, end: order.append("a"))
+        hooks.add("window", lambda start, end: order.append("b"))
+        for callback in hooks.window:
+            callback(0, 100)
+        assert order == ["a", "b"]
+
+    def test_unknown_event_rejected(self):
+        hooks = HookRegistry()
+        with pytest.raises(ConfigError):
+            hooks.add("no_such_event", lambda: None)
+        with pytest.raises(ConfigError):
+            hooks.remove("no_such_event", lambda: None)
+
+    def test_non_callable_rejected(self):
+        hooks = HookRegistry()
+        with pytest.raises(ConfigError):
+            hooks.add("delivery", "not callable")
+
+    def test_remove_unregistered_rejected(self):
+        hooks = HookRegistry()
+        with pytest.raises(ConfigError):
+            hooks.remove("delivery", lambda link, flit, now: None)
+
+    def test_add_returns_callback_and_remove_round_trips(self):
+        hooks = HookRegistry()
+        callback = hooks.add("delivery", lambda link, flit, now: None)
+        assert hooks.delivery == [callback]
+        hooks.remove("delivery", callback)
+        assert hooks.delivery == []
+
+    def test_instrumented_tracks_phase_hooks(self):
+        hooks = HookRegistry()
+        assert not hooks.instrumented
+        callback = hooks.add("phase_start", lambda phase, cycle: None)
+        assert hooks.instrumented
+        hooks.remove("phase_start", callback)
+        assert not hooks.instrumented
+        hooks.add("phase_end", lambda phase, cycle: None)
+        assert hooks.instrumented
+
+    def test_every_declared_event_exists(self):
+        hooks = HookRegistry()
+        for event in EVENTS:
+            assert getattr(hooks, event) == []
+
+
+class FakeClock:
+    """A controllable clock: each phase appears to take ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestPhaseProfiler:
+    def test_accumulates_per_phase(self):
+        profiler = PhaseProfiler(clock=FakeClock())
+        hooks = HookRegistry()
+        profiler.attach(hooks)
+        for cycle in range(3):
+            for phase in ("deliver", "route"):
+                for callback in hooks.phase_start:
+                    callback(phase, cycle)
+                for callback in hooks.phase_end:
+                    callback(phase, cycle)
+        assert profiler.calls == {"deliver": 3, "route": 3}
+        assert profiler.seconds == {"deliver": 3.0, "route": 3.0}
+        assert profiler.total_seconds == 6.0
+
+    def test_double_attach_rejected(self):
+        profiler = PhaseProfiler()
+        hooks = HookRegistry()
+        profiler.attach(hooks)
+        with pytest.raises(ConfigError):
+            profiler.attach(hooks)
+
+    def test_detach_restores_uninstrumented(self):
+        profiler = PhaseProfiler()
+        hooks = HookRegistry()
+        profiler.attach(hooks)
+        assert hooks.instrumented
+        profiler.detach()
+        assert not hooks.instrumented
+        with pytest.raises(ConfigError):
+            profiler.detach()
+
+    def test_report_mentions_every_phase(self):
+        profiler = PhaseProfiler(clock=FakeClock())
+        hooks = HookRegistry()
+        profiler.attach(hooks)
+        for callback in hooks.phase_start:
+            callback("route", 0)
+        for callback in hooks.phase_end:
+            callback("route", 0)
+        report = profiler.report()
+        assert "route" in report
+        assert "total" in report
+
+    def test_empty_report(self):
+        assert "nothing ran" in PhaseProfiler().report()

@@ -1,6 +1,7 @@
 """Unit tests for the live-simulation introspection helpers."""
 
 from repro.metrics.inspect import (
+    attach_level_timeline,
     buffer_occupancy_map,
     congestion_report,
     level_map,
@@ -59,8 +60,6 @@ class TestSnapshots:
 
 class TestStallWatchdog:
     def test_healthy_run_never_trips(self, tiny_network):
-        from dataclasses import replace
-
         from repro.config import SimulationConfig
 
         config = SimulationConfig(network=tiny_network, power=None,
@@ -84,5 +83,35 @@ class TestStallWatchdog:
         assert sim.stats.in_flight > 0 or sim.network.total_pending_flits > 0
         for link in sim.network.links:
             link.disable_for(sim.cycle, 10_000_000)
-        with pytest.raises(SimulationError, match="no packet delivered"):
+        with pytest.raises(SimulationError, match="flow-control bug"):
             sim.run(3000)
+
+
+class TestLevelTimeline:
+    def test_samples_every_window_boundary(self, tiny_sim_config):
+        sim = make_sim(tiny_sim_config, rate=0.1)
+        timeline = attach_level_timeline(sim)
+        window = sim.power.window
+        sim.run(window * 3 + 1)  # boundaries at w, 2w, 3w
+        assert [cycle for cycle, _ in timeline.samples] == \
+            [window, window * 2, window * 3]
+        for _, histogram in timeline.samples:
+            assert sum(histogram) == len(sim.power.links)
+
+    def test_detach_stops_sampling(self, tiny_sim_config):
+        sim = make_sim(tiny_sim_config, rate=0.1)
+        timeline = attach_level_timeline(sim)
+        window = sim.power.window
+        sim.run(window + 1)
+        timeline.detach()
+        sim.run(window * 2)
+        assert len(timeline.samples) == 1
+
+    def test_baseline_rejected(self, tiny_baseline_config):
+        import pytest
+
+        from repro.errors import ConfigError
+
+        sim = make_sim(tiny_baseline_config)
+        with pytest.raises(ConfigError):
+            attach_level_timeline(sim)

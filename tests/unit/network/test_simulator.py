@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.config import SimulationConfig
 from repro.errors import ConfigError
-from repro.network.packet import Packet
 from repro.network.simulator import Simulator
 from repro.traffic.base import TrafficSource
 from repro.traffic.trace import TraceRecord, TraceReplaySource
@@ -125,6 +123,71 @@ class TestDrain:
         sim = Simulator(tiny_baseline_config,
                         TraceReplaySource(nodes, records))
         assert not sim.run_until_drained(3)
+
+    def test_poll_interval_relative_to_start(self, tiny_baseline_config):
+        # Resuming from a cycle that is not a multiple of poll_interval
+        # must still poll on schedule: with the old absolute
+        # ``cycle % poll_interval`` check this run would only test for
+        # drain at its max_cycles deadline.
+        nodes = tiny_baseline_config.network.num_nodes
+        records = [TraceRecord(0, 0, 1, 4)]
+        sim = Simulator(tiny_baseline_config,
+                        TraceReplaySource(nodes, records))
+        sim.run(37)  # arbitrary offset, coprime with the poll interval
+        start = sim.cycle
+        assert sim.run_until_drained(10_000, poll_interval=100)
+        # Early exit happened at a poll, i.e. a multiple of poll_interval
+        # cycles after the start, far before the deadline.
+        assert (sim.cycle - start) % 100 == 0
+        assert sim.cycle - start < 10_000
+
+    def test_poll_interval_validated(self, tiny_baseline_config):
+        nodes = tiny_baseline_config.network.num_nodes
+        sim = Simulator(tiny_baseline_config, SilentTraffic(nodes))
+        with pytest.raises(ConfigError):
+            sim.run_until_drained(100, poll_interval=0)
+        with pytest.raises(ConfigError):
+            sim.run_until_drained(0)
+
+
+class TestHooks:
+    def test_delivery_hook_sees_every_flit(self, tiny_baseline_config):
+        nodes = tiny_baseline_config.network.num_nodes
+        sim = Simulator(tiny_baseline_config,
+                        OneShotTraffic(nodes, src=0, dst=1, size=4))
+        seen = []
+        sim.hooks.add("delivery", lambda link, flit, now: seen.append(
+            (link.link_id, flit.packet.packet_id, now)))
+        sim.run_until_drained(5000, poll_interval=16)
+        # 4 flits over injection + ejection links at least (same-rack pair
+        # may still route through the router): every hop is observed.
+        assert len(seen) >= 8
+        assert all(now <= sim.cycle for _, _, now in seen)
+
+    def test_phase_profiler_times_real_run(self, tiny_baseline_config):
+        from repro.engine import PhaseProfiler
+        from repro.network.simulator import PHASES
+
+        nodes = tiny_baseline_config.network.num_nodes
+        traffic = UniformRandomTraffic(nodes, 0.2, seed=2)
+        sim = Simulator(tiny_baseline_config, traffic)
+        profiler = PhaseProfiler().attach(sim.hooks)
+        sim.run(500)
+        assert set(profiler.calls) == set(PHASES)
+        assert all(count == 500 for count in profiler.calls.values())
+        profiler.detach()
+        sim.run(100)
+        assert profiler.calls["route"] == 500  # detached: no more timing
+
+    def test_step_all_mode_matches_engine_mode(self, tiny_sim_config):
+        def run(step_all):
+            traffic = UniformRandomTraffic(
+                tiny_sim_config.network.num_nodes, 0.3, seed=9)
+            sim = Simulator(tiny_sim_config, traffic, step_all=step_all)
+            sim.run(1200)
+            return sim.summary(), tuple(sim.power.power_series)
+
+        assert run(False) == run(True)
 
 
 class TestSummary:

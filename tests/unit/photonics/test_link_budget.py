@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.photonics.detector import Photodetector
 from repro.photonics.laser import ExternalLaserSource, VariableOpticalAttenuator
 from repro.photonics.link_budget import LinkBudget
 from repro.photonics.modulator import MqwModulator

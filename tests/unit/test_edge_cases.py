@@ -6,7 +6,6 @@ from repro.config import (
     NetworkConfig,
     PolicyConfig,
     SimulationConfig,
-    TransitionConfig,
 )
 from repro.experiments.table3 import shape_check
 from repro.metrics.latency import mean_hop_count
