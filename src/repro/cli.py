@@ -20,6 +20,7 @@ import argparse
 import sys
 
 from repro.config import MODULATOR, VCSEL
+from repro.errors import ConfigError
 from repro.experiments.configs import get_scale, power_config, reference_rates
 from repro.experiments.fig5 import uniform_factory
 from repro.experiments.fig6 import hotspot_factory
@@ -53,6 +54,12 @@ def _add_run_parser(subparsers) -> None:
     parser.add_argument("--profile", action="store_true",
                         help="print per-phase wall-time attribution after "
                              "the run (not combinable with --baseline)")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="enable fault injection, e.g. "
+                             "'rx_uw=13,retries=8,fail=16@2000' "
+                             "(see docs/reliability.md)")
+    parser.add_argument("--validate", action="store_true",
+                        help="validate the wired topology before running")
 
 
 def _add_trace_parser(subparsers) -> None:
@@ -70,7 +77,8 @@ def _add_trace_parser(subparsers) -> None:
 def _add_sweep_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "sweep", help="run one of the Fig. 5 design-space sweeps")
-    parser.add_argument("kind", choices=["window", "threshold", "ablation"])
+    parser.add_argument("kind",
+                        choices=["window", "threshold", "ablation", "faults"])
     parser.add_argument("--scale", default="smoke",
                         choices=["smoke", "bench", "paper"])
     parser.add_argument("--seed", type=int, default=1)
@@ -124,13 +132,18 @@ def _command_run(args) -> int:
         min_bit_rate=args.min_rate_gbps * 1e9,
         optical_levels=args.optical_levels,
     )
+    faults = None
+    if args.faults is not None:
+        from repro.reliability.config import parse_fault_spec
+
+        faults = parse_fault_spec(args.faults)
     print(f"{workload} on {scale.network.mesh_width}x"
           f"{scale.network.mesh_height}x{scale.network.nodes_per_cluster}, "
           f"{args.technology} links ...")
     if args.baseline:
         aware, baseline, normalised = run_pair(
             scale, power, factory, label="cli", seed=args.seed,
-            cycles=args.cycles)
+            cycles=args.cycles, faults=faults)
         rows = [
             ["mean latency (cyc)", f"{baseline.mean_latency:.1f}",
              f"{aware.mean_latency:.1f}"],
@@ -151,6 +164,7 @@ def _command_run(args) -> int:
             scale.network, power, factory, seed=args.seed,
             warmup_cycles=scale.warmup_cycles,
             sample_interval=scale.sample_interval,
+            faults=faults, validate=args.validate,
         )
         profiler = PhaseProfiler().attach(sim.hooks)
         sim.run(args.cycles if args.cycles is not None
@@ -160,7 +174,8 @@ def _command_run(args) -> int:
         print(profiler.report())
     else:
         result = run_simulation(scale, power, factory, label="cli",
-                                seed=args.seed, cycles=args.cycles)
+                                seed=args.seed, cycles=args.cycles,
+                                faults=faults, validate=args.validate)
         _print_result(result)
     return 0
 
@@ -177,6 +192,12 @@ def _print_result(result) -> None:
          f"{result.transitions_up}/{result.transitions_down}"),
     )]
     print(format_table(["metric", "value"], rows))
+    if result.reliability is not None:
+        from repro.metrics.reliability import format_reliability
+
+        print("\nreliability:")
+        print(format_table(["metric", "value"],
+                           format_reliability(result.reliability)))
     if result.power_series:
         print("\nrelative power over time:")
         baseline_watts = result.power_series[0][1]
@@ -230,6 +251,15 @@ def _command_sweep(args) -> int:
 
         print(ablation_table(run_ablation(scale, seed=args.seed)))
         return 0
+    if args.kind == "faults":
+        from repro.experiments.faultsweep import (
+            margin_sweep_table,
+            run_margin_sweep,
+        )
+
+        results = run_margin_sweep(scale, seed=args.seed, max_workers=jobs)
+        print(margin_sweep_table(results))
+        return 0
     from repro.experiments import fig5
 
     if args.kind == "window":
@@ -253,19 +283,23 @@ def _command_sweep(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "run":
-        return _command_run(args)
-    if args.command == "table2":
-        return _command_table2()
-    if args.command == "trace":
-        return _command_trace(args)
-    if args.command == "sweep":
-        return _command_sweep(args)
-    if args.command == "report":
-        from repro.experiments.report import main as report_main
+    try:
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "table2":
+            return _command_table2()
+        if args.command == "trace":
+            return _command_trace(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
+        if args.command == "report":
+            from repro.experiments.report import main as report_main
 
-        return report_main(["--scale", args.scale, "--out", args.out,
-                            "--seed", str(args.seed)])
+            return report_main(["--scale", args.scale, "--out", args.out,
+                                "--seed", str(args.seed)])
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -17,9 +17,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
 from repro.photonics.constants import MAX_BIT_RATE
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (cycle guard)
+    from repro.reliability.config import FaultConfig
 
 VCSEL = "vcsel"
 MODULATOR = "modulator"
@@ -272,6 +276,13 @@ class SimulationConfig:
     #: deadlock is always a simulator bug (XY routing + credits is
     #: deadlock-free); the watchdog turns a silent hang into a diagnosis.
     stall_limit_cycles: int = 0
+    #: Optional link-reliability fault model (see :mod:`repro.reliability`).
+    #: ``None`` (the default) disables every fault code path — the run is
+    #: bit-identical to a build without the reliability subsystem.
+    faults: FaultConfig | None = None
+    #: Run :func:`repro.network.validation.validate_topology` on the wired
+    #: mesh at simulator construction and refuse to start on any finding.
+    validate_topology: bool = False
 
     def __post_init__(self) -> None:
         if self.warmup_cycles < 0:

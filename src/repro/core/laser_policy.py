@@ -32,7 +32,8 @@ class OpticalPowerController:
 
     __slots__ = (
         "bands", "config", "band", "pending_band", "ready_at",
-        "max_band_needed", "increases", "decreases",
+        "max_band_needed", "increases", "decreases", "band_guard",
+        "guard_holds",
     )
 
     def __init__(self, bands: OpticalBands, config: TransitionConfig,
@@ -49,6 +50,11 @@ class OpticalPowerController:
         self.max_band_needed = 0
         self.increases = 0
         self.decreases = 0
+        #: Optional BER margin guard (assigned by the reliability manager):
+        #: ``guard(target_band, now) -> bool`` — False vetoes a Pdec.
+        self.band_guard = None
+        #: Pdec requests vetoed by the margin guard.
+        self.guard_holds = 0
 
     @property
     def in_transition(self) -> bool:
@@ -58,6 +64,16 @@ class OpticalPowerController:
         """The band whose light level is actually on the fiber at ``now``."""
         if self.pending_band > self.band and now >= self.ready_at:
             self.band = self.pending_band
+        return self.band
+
+    def band_at(self, now: float) -> int:
+        """Read-only :meth:`effective_band` (no pending-band commit).
+
+        For observers — the channel model asks what light is on the fiber
+        without perturbing the controller's own commit bookkeeping.
+        """
+        if self.pending_band > self.band and now >= self.ready_at:
+            return self.pending_band
         return self.band
 
     def can_support(self, bit_rate: float, now: float) -> bool:
@@ -92,7 +108,13 @@ class OpticalPowerController:
         self.effective_band(now)
         if not self.in_transition and self.max_band_needed < self.band \
                 and self.band > 0:
-            self.band -= 1
-            self.pending_band = self.band
-            self.decreases += 1
+            guard = self.band_guard
+            if guard is not None and not guard(self.band - 1, now):
+                # Margin guard: halving the light would push the link's
+                # projected BER past the reliability target.
+                self.guard_holds += 1
+            else:
+                self.band -= 1
+                self.pending_band = self.band
+                self.decreases += 1
         self.max_band_needed = 0

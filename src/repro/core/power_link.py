@@ -23,7 +23,7 @@ from __future__ import annotations
 from repro.config import PolicyConfig, TransitionConfig
 from repro.core.laser_policy import OpticalPowerController
 from repro.core.levels import BitRateLadder
-from repro.core.policy import STEP_DOWN, STEP_UP, LinkPolicyController
+from repro.core.policy import HOLD, STEP_DOWN, STEP_UP, LinkPolicyController
 from repro.core.transitions import LinkTransitionEngine
 from repro.network.buffers import InputBuffer
 from repro.network.links import Link
@@ -36,7 +36,7 @@ class PowerAwareLink:
     __slots__ = (
         "link", "ladder", "engine", "policy", "optical", "downstream_buffer",
         "level_powers", "energy_watt_cycles", "_last_charge", "pending_up",
-        "windows_observed",
+        "windows_observed", "step_down_guard", "guard_holds",
     )
 
     def __init__(self, link: Link, ladder: BitRateLadder,
@@ -63,6 +63,12 @@ class PowerAwareLink:
         self._last_charge = 0.0
         self.pending_up = False
         self.windows_observed = 0
+        #: Optional BER margin guard (assigned by the reliability manager):
+        #: ``guard(target_level, now) -> bool`` — False vetoes a policy
+        #: STEP_DOWN whose target level would violate the BER margin.
+        self.step_down_guard = None
+        #: Down-steps vetoed by the margin guard.
+        self.guard_holds = 0
 
     # -- energy accounting ----------------------------------------------------
 
@@ -141,7 +147,16 @@ class PowerAwareLink:
                 else:
                     self.engine.request_step(STEP_UP, end)
         elif decision == STEP_DOWN:
-            self.engine.request_step(STEP_DOWN, end)
+            guard = self.step_down_guard
+            if guard is not None and self.engine.level > 0 \
+                    and not guard(self.engine.level - 1, end):
+                # Margin guard: the lower level's projected BER violates
+                # the reliability target — hold the line (and report HOLD
+                # so transition hooks stay silent).
+                self.guard_holds += 1
+                decision = HOLD
+            else:
+                self.engine.request_step(STEP_DOWN, end)
         return decision
 
     # -- reporting ------------------------------------------------------------

@@ -23,6 +23,7 @@ from repro.engine.profiler import PhaseProfiler
 from repro.engine.wheel import (
     NEVER,
     PRI_EPOCH,
+    PRI_FAULT,
     PRI_SAMPLE,
     PRI_TRANSITION,
     PRI_WATCHDOG,
@@ -42,4 +43,5 @@ __all__ = [
     "PRI_EPOCH",
     "PRI_SAMPLE",
     "PRI_WATCHDOG",
+    "PRI_FAULT",
 ]

@@ -23,6 +23,14 @@ Events
     ``cb(link, flit, now)`` for every flit delivered off a link into a
     downstream buffer or node sink.  This is the hottest hook; it is only
     evaluated while at least one callback is registered.
+``fault``
+    ``cb(link, flit, now)`` when a flit fails its CRC check at the
+    receiving end of a link (fault-injected runs only).
+``retransmit``
+    ``cb(link, flit, attempt, now)`` when a corrupted flit's
+    retransmission is scheduled (``attempt`` counts from 1).
+``link_failure``
+    ``cb(link, now)`` when a scheduled hard link failure takes effect.
 """
 
 from __future__ import annotations
@@ -32,7 +40,8 @@ from collections.abc import Callable
 from repro.errors import ConfigError
 
 #: The hook points a :class:`HookRegistry` exposes.
-EVENTS = ("phase_start", "phase_end", "window", "transition", "delivery")
+EVENTS = ("phase_start", "phase_end", "window", "transition", "delivery",
+          "fault", "retransmit", "link_failure")
 
 
 class HookRegistry:

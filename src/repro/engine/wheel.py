@@ -32,6 +32,9 @@ PRI_WINDOW = 1
 PRI_EPOCH = 2
 PRI_SAMPLE = 3
 PRI_WATCHDOG = 4
+#: Scheduled fault-scenario onsets (link failures, degradations) — after
+#: all regular control work so a fault lands on a consistent cycle state.
+PRI_FAULT = 5
 
 #: ``next_cycle`` when nothing is scheduled: compares greater than any cycle.
 NEVER = math.inf

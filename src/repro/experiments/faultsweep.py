@@ -1,0 +1,99 @@
+"""Fault sweep: reliability cost vs. receiver optical power margin.
+
+The reliability subsystem makes the paper's power knob two-sided: less
+optical power at the receiver saves energy but erodes the BER margin, and
+the link-level retransmission protocol converts the lost margin into
+retries, latency and retry energy.  This sweep runs the same workload at
+a descending series of received powers and reports where the goodput
+cliff sits.
+
+At the paper's nominal operating point (25 uW at 10 Gb/s) the BER is the
+1e-12 design target and essentially nothing corrupts; by ~13 uW the
+per-flit error probability reaches O(1e-3) and retransmissions become
+visible in both latency and energy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.configs import (
+    ExperimentScale,
+    power_config,
+    reference_rates,
+)
+from repro.experiments.fig5 import uniform_factory
+from repro.experiments.runner import (
+    RunResult,
+    SweepPoint,
+    derive_seed,
+    run_sweep,
+)
+from repro.metrics.ascii import format_table
+from repro.reliability.config import FaultConfig
+
+#: Received optical powers swept, microwatts.  25 uW is the paper's
+#: receiver sensitivity at 10 Gb/s; the tail values walk down the margin
+#: until the retransmission protocol visibly works for a living.
+DEFAULT_RECEIVED_POWERS_UW: tuple[float, ...] = (25.0, 20.0, 16.0, 13.0)
+
+
+def margin_sweep_points(scale: ExperimentScale, *, seed: int = 1,
+                        received_powers_uw: Sequence[float] =
+                        DEFAULT_RECEIVED_POWERS_UW,
+                        rate: float | None = None) -> list[SweepPoint]:
+    """One power-aware run per received-power operating point."""
+    power = power_config(scale)
+    if rate is None:
+        rate = reference_rates(scale.network)["light"]
+    factory = uniform_factory(rate)
+    points = []
+    for rx_uw in received_powers_uw:
+        faults = FaultConfig(
+            seed=derive_seed(seed, "faultsweep", rx_uw),
+            received_power_w=rx_uw * 1e-6,
+        )
+        points.append(SweepPoint(
+            label=f"faults/rx{rx_uw:g}uW",
+            scale=scale,
+            power=power,
+            traffic_factory=factory,
+            seed=seed,
+            faults=faults,
+        ))
+    return points
+
+
+def run_margin_sweep(scale: ExperimentScale, *, seed: int = 1,
+                     received_powers_uw: Sequence[float] =
+                     DEFAULT_RECEIVED_POWERS_UW,
+                     rate: float | None = None,
+                     max_workers: int | None = 1
+                     ) -> list[tuple[float, RunResult]]:
+    """Run the sweep; returns (received power uW, result) in point order."""
+    points = margin_sweep_points(
+        scale, seed=seed, received_powers_uw=received_powers_uw, rate=rate,
+    )
+    results = run_sweep(points, max_workers=max_workers)
+    return list(zip(received_powers_uw, results))
+
+
+def margin_sweep_table(results: Sequence[tuple[float, RunResult]]) -> str:
+    """Render the sweep as the CLI's table."""
+    rows = []
+    for rx_uw, result in results:
+        rel = result.reliability
+        rows.append([
+            f"{rx_uw:g}",
+            str(rel.flits_corrupted),
+            str(rel.flits_retransmitted),
+            str(rel.flits_dropped),
+            f"{rel.effective_goodput:.4f}",
+            f"{result.mean_latency:.1f}",
+            f"{result.relative_power:.3f}",
+        ])
+    return format_table(
+        ["rx (uW)", "corrupted", "retransmitted", "dropped",
+         "goodput", "latency (cyc)", "rel power"],
+        rows,
+    )

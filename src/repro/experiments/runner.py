@@ -29,6 +29,7 @@ from repro.errors import ConfigError
 from repro.experiments.configs import ExperimentScale
 from repro.metrics.summary import NormalisedResult, RunResult, normalise
 from repro.network.simulator import Simulator
+from repro.reliability.config import FaultConfig
 from repro.traffic.base import TrafficSource
 
 #: Builds a fresh traffic source: (num_nodes, seed) -> source.  Sources are
@@ -42,7 +43,9 @@ def build_simulator(network: NetworkConfig,
                     power: PowerAwareConfig | None,
                     traffic_factory: TrafficFactory,
                     *, seed: int, warmup_cycles: int,
-                    sample_interval: int) -> Simulator:
+                    sample_interval: int,
+                    faults: FaultConfig | None = None,
+                    validate: bool = False) -> Simulator:
     """Construct a ready-to-run simulator."""
     config = SimulationConfig(
         network=network,
@@ -50,6 +53,8 @@ def build_simulator(network: NetworkConfig,
         seed=seed,
         warmup_cycles=warmup_cycles,
         sample_interval=sample_interval,
+        faults=faults,
+        validate_topology=validate,
     )
     traffic = traffic_factory(network.num_nodes, seed)
     return Simulator(config, traffic)
@@ -76,6 +81,8 @@ def collect_result(sim: Simulator, label: str) -> RunResult:
         power_series=tuple(power.power_series) if power else (),
         injection_series=tuple(stats.injection_series()),
         level_histogram=tuple(power.level_histogram()) if power else (),
+        reliability=(sim.reliability.report()
+                     if sim.reliability is not None else None),
     )
 
 
@@ -84,12 +91,15 @@ def run_simulation(scale: ExperimentScale,
                    traffic_factory: TrafficFactory,
                    *, label: str, seed: int = 1,
                    cycles: int | None = None,
-                   drain: bool = False) -> RunResult:
+                   drain: bool = False,
+                   faults: FaultConfig | None = None,
+                   validate: bool = False) -> RunResult:
     """One configured run at an experiment scale."""
     sim = build_simulator(
         scale.network, power, traffic_factory,
         seed=seed, warmup_cycles=scale.warmup_cycles,
         sample_interval=scale.sample_interval,
+        faults=faults, validate=validate,
     )
     budget = cycles if cycles is not None else scale.run_cycles
     if drain:
@@ -101,20 +111,24 @@ def run_simulation(scale: ExperimentScale,
 
 def run_pair(scale: ExperimentScale, power: PowerAwareConfig,
              traffic_factory: TrafficFactory, *, label: str, seed: int = 1,
-             cycles: int | None = None, drain: bool = False
+             cycles: int | None = None, drain: bool = False,
+             faults: FaultConfig | None = None
              ) -> tuple[RunResult, RunResult, NormalisedResult]:
     """A power-aware run plus its matched non-power-aware baseline.
 
     Both runs use the same traffic seed, so they see the identical packet
-    stream; the normalised result is therefore a pure policy effect.
+    stream; the normalised result is therefore a pure policy effect.  A
+    fault config applies to *both* sides, so the comparison stays a policy
+    effect under the same fault environment.
     """
     aware = run_simulation(
         scale, power, traffic_factory,
-        label=label, seed=seed, cycles=cycles, drain=drain,
+        label=label, seed=seed, cycles=cycles, drain=drain, faults=faults,
     )
     baseline = run_simulation(
         scale, None, traffic_factory,
         label=f"{label}/baseline", seed=seed, cycles=cycles, drain=drain,
+        faults=faults,
     )
     return aware, baseline, normalise(aware, baseline)
 
@@ -153,6 +167,7 @@ class SweepPoint:
     seed: int
     cycles: int | None = None
     drain: bool = False
+    faults: FaultConfig | None = None
 
 
 def run_point(point: SweepPoint) -> RunResult:
@@ -160,7 +175,7 @@ def run_point(point: SweepPoint) -> RunResult:
     return run_simulation(
         point.scale, point.power, point.traffic_factory,
         label=point.label, seed=point.seed,
-        cycles=point.cycles, drain=point.drain,
+        cycles=point.cycles, drain=point.drain, faults=point.faults,
     )
 
 

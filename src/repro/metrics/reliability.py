@@ -1,0 +1,113 @@
+"""Reliability report: what fault injection cost a run.
+
+The counters the link-level retransmission protocol and the fault-aware
+routing accumulate, frozen into one comparable record per run.  The
+report rides inside :class:`~repro.metrics.summary.RunResult` (``None``
+for fault-free runs), flows into ``Simulator.summary()`` as
+``reliability_*`` keys, and is rendered by the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ReliabilityReport:
+    """Aggregate reliability counters for one run."""
+
+    #: Flits that failed their CRC check at a receiver (every failed
+    #: trial counts, including repeated failures of the same flit).
+    flits_corrupted: int
+    #: Retransmissions actually scheduled (corruptions minus budget
+    #: exhaustions).
+    flits_retransmitted: int
+    #: Flits delivered with an uncorrectable residual error after the
+    #: retry budget ran out.
+    flits_dropped: int
+    #: Total link transmissions that eventually delivered a flit (unique
+    #: traversals, not counting retries).
+    flits_carried: int
+    #: Serialiser busy-time consumed by retransmissions, router cycles.
+    retry_busy_cycles: float
+    #: Energy burned by retransmissions, watt-cycles (0 for baseline runs
+    #: with no power model attached).
+    retry_energy_watt_cycles: float
+    #: Head flits re-routed around a failed mesh link.
+    reroutes: int
+    #: Ladder down-steps and laser Pdec requests vetoed by the BER margin
+    #: guard.
+    guard_holds: int
+    #: Mesh links hard-failed by the end of the run.
+    failed_links: int
+    #: Scheduled transient degradation windows that took effect.
+    degradations: int
+    #: Scheduled stuck-transition windows that took effect.
+    stuck_transitions: int
+
+    def __post_init__(self) -> None:
+        for name in ("flits_corrupted", "flits_retransmitted",
+                     "flits_dropped", "flits_carried", "reroutes",
+                     "guard_holds", "failed_links", "degradations",
+                     "stuck_transitions"):
+            if getattr(self, name) < 0:
+                raise ConfigError(
+                    f"{name} must be >= 0, got {getattr(self, name)!r}"
+                )
+
+    @property
+    def effective_goodput(self) -> float:
+        """Fraction of link transmissions that were good, useful flits.
+
+        ``(carried - dropped) / (carried + retransmitted)`` — the
+        numerator removes flits that arrived corrupt anyway, the
+        denominator adds the transmissions spent on retries.  1.0 for a
+        clean run; falls as the channel degrades.
+        """
+        attempts = self.flits_carried + self.flits_retransmitted
+        if attempts == 0:
+            return 1.0
+        return (self.flits_carried - self.flits_dropped) / attempts
+
+    @property
+    def observed_flit_error_rate(self) -> float:
+        """Corruptions per transmission trial (compare to the analytic
+        per-flit error probability of the operating point)."""
+        trials = self.flits_carried + self.flits_corrupted
+        if trials == 0:
+            return 0.0
+        return self.flits_corrupted / trials
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat numeric view for summaries and tabular output."""
+        return {
+            "flits_corrupted": float(self.flits_corrupted),
+            "flits_retransmitted": float(self.flits_retransmitted),
+            "flits_dropped": float(self.flits_dropped),
+            "retry_busy_cycles": self.retry_busy_cycles,
+            "retry_energy_watt_cycles": self.retry_energy_watt_cycles,
+            "reroutes": float(self.reroutes),
+            "guard_holds": float(self.guard_holds),
+            "failed_links": float(self.failed_links),
+            "effective_goodput": self.effective_goodput,
+        }
+
+
+def format_reliability(report: ReliabilityReport) -> list[list[str]]:
+    """Rows for the CLI's reliability table (metric, value)."""
+    return [
+        ["flits corrupted", str(report.flits_corrupted)],
+        ["flits retransmitted", str(report.flits_retransmitted)],
+        ["flits dropped (uncorrectable)", str(report.flits_dropped)],
+        ["observed flit error rate",
+         f"{report.observed_flit_error_rate:.2e}"],
+        ["effective goodput", f"{report.effective_goodput:.4f}"],
+        ["retry busy cycles", f"{report.retry_busy_cycles:.1f}"],
+        ["retry energy (W-cyc)",
+         f"{report.retry_energy_watt_cycles:.3e}"],
+        ["reroutes around failures", str(report.reroutes)],
+        ["margin-guard holds", str(report.guard_holds)],
+        ["failed links", str(report.failed_links)],
+    ]

@@ -10,8 +10,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.metrics.reliability import ReliabilityReport
 
 
 @dataclass(frozen=True)
@@ -32,6 +36,8 @@ class RunResult:
     power_series: tuple[tuple[int, float], ...] = ()
     injection_series: tuple[float, ...] = ()
     level_histogram: tuple[int, ...] = ()
+    #: Reliability counters when the run injected faults, else ``None``.
+    reliability: ReliabilityReport | None = None
 
     def __post_init__(self) -> None:
         if self.cycles < 1:

@@ -60,6 +60,8 @@ class Link:
         "pressure_accum",
         "flits_carried",
         "registry",
+        "failed",
+        "faults",
     )
 
     def __init__(
@@ -97,6 +99,15 @@ class Link:
         #: flight register themselves so the delivery loop only visits
         #: active links instead of all ~1.2k links every cycle.
         self.registry: set["Link"] | None = None
+        #: Hard-failure flag set by the reliability manager.  Routing
+        #: refuses to send *new* packets over a failed link; flits already
+        #: committed (wormhole worms in progress) drain normally — the
+        #: detection/drain window of a real failure.
+        self.failed = False
+        #: Optional :class:`~repro.reliability.faults.LinkFaultState`
+        #: (fault-injected runs only); ``None`` keeps arrival handling on
+        #: the plain fast path.
+        self.faults = None
 
     @property
     def has_in_flight(self) -> bool:
@@ -115,9 +126,18 @@ class Link:
         :meth:`can_accept`.
         """
         if not self.can_accept(now):
+            if now < self.disabled_until:
+                reason = (
+                    "disabled for a bit-rate transition until cycle "
+                    f"{self.disabled_until}"
+                )
+            else:
+                reason = f"busy serialising until cycle {self.free_at}"
             raise LinkStateError(
-                f"link {self.link_id} cannot accept at {now}: "
-                f"free_at={self.free_at}, disabled_until={self.disabled_until}"
+                f"{self.kind} link {self.link_id} cannot accept a flit at "
+                f"cycle {now}: {reason} "
+                f"(free_at={self.free_at}, "
+                f"disabled_until={self.disabled_until})"
             )
         self.free_at = now + self.service_time
         self.busy_accum += self.service_time
@@ -131,8 +151,12 @@ class Link:
 
         Arrival times are monotonic (serialisation starts are monotonic and
         each arrival adds a positive service time), so a deque scan from the
-        front is sufficient.
+        front is sufficient.  Under fault injection the pop is delegated to
+        the link's :attr:`faults` state, which subjects each arrival to a
+        CRC-corruption trial and runs the retransmission protocol.
         """
+        if self.faults is not None:
+            return self.faults.filter_arrivals(now)
         arrivals: list[Flit] = []
         in_flight = self._in_flight
         while in_flight and in_flight[0][0] <= now:

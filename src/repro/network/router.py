@@ -28,7 +28,7 @@ from repro.network.arbiters import RoundRobinArbiter
 from repro.network.buffers import CreditCounter, InputBuffer
 from repro.network.flit import Flit
 from repro.network.links import Link
-from repro.network.routing import RoutingFunction
+from repro.network.routing import RoutingFunction, fault_aware_route
 
 
 class VirtualChannel:
@@ -93,7 +93,7 @@ class Router:
     __slots__ = (
         "router_id", "x", "y", "mesh_width", "num_local", "num_ports",
         "num_vcs", "inputs", "outputs", "route_fn", "head_delay",
-        "nodes_per_cluster", "_active", "registry",
+        "nodes_per_cluster", "_active", "registry", "fault_stats",
     )
 
     def __init__(self, router_id: int, x: int, y: int, mesh_width: int,
@@ -132,6 +132,9 @@ class Router:
         #: routing phase only steps routers with work (see
         #: :class:`repro.engine.active.ActiveSet`).
         self.registry = None
+        #: Optional shared reliability counter object (assigned by the
+        #: reliability manager); ``None`` keeps routing on the fast path.
+        self.fault_stats = None
 
     def attach_output(self, port: int, output: OutputPort) -> None:
         """Wire an output port (done once by the topology builder)."""
@@ -167,6 +170,29 @@ class Router:
                 f"routing returned 'arrived' for a remote destination "
                 f"{dst!r} at router {self.router_id}"
             )
+        out = self.num_local + direction
+        op = self.outputs[out]
+        if op is not None and op.link.failed:
+            return self._route_around(dst_x, dst_y)
+        return out
+
+    def _mesh_alive(self, direction: int) -> bool:
+        """Whether a mesh direction exists and its link has not failed."""
+        op = self.outputs[self.num_local + direction]
+        return op is not None and not op.link.failed
+
+    def _route_around(self, dst_x: int, dst_y: int) -> int:
+        """Fault-aware fallback when the default route's link is dead."""
+        direction = fault_aware_route(
+            self.route_fn, self.x, self.y, dst_x, dst_y, self._mesh_alive
+        )
+        if direction < 0:
+            raise SimulationError(
+                f"router {self.router_id} is disconnected: every mesh "
+                f"direction toward ({dst_x}, {dst_y}) is failed or absent"
+            )
+        if self.fault_stats is not None:
+            self.fault_stats.reroutes += 1
         return self.num_local + direction
 
     def step(self, now: float) -> list[tuple[int, Flit]]:

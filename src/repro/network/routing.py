@@ -80,6 +80,65 @@ def make_west_first_route() -> RoutingFunction:
     return west_first
 
 
+#: Perpendicular directions for each direction constant, in the fixed
+#: order fault-aware misrouting tries them.
+_PERPENDICULAR = {
+    EAST: (NORTH, SOUTH),
+    WEST: (NORTH, SOUTH),
+    NORTH: (EAST, WEST),
+    SOUTH: (EAST, WEST),
+}
+
+
+def fault_aware_route(route_fn: RoutingFunction, src_x: int, src_y: int,
+                      dst_x: int, dst_y: int,
+                      alive: Callable[[int], bool]) -> int:
+    """Route around dead links with local knowledge only.
+
+    Falls back from the default routing function in a fixed preference
+    order, so detours are deterministic:
+
+    1. the direction ``route_fn`` picked, if its link is alive;
+    2. the other *productive* direction (one that still reduces the
+       Manhattan distance), if any and alive;
+    3. a perpendicular misroute (detour around the dead row/column) —
+       perpendiculars of the preferred direction first, its opposite as
+       the very last resort (turning straight back tends to bounce).
+
+    ``alive(direction)`` must return False for both failed links and mesh
+    edges (no output attached).  Returns -1 when every direction is dead —
+    the router is disconnected.
+
+    This is *not* provably deadlock- or livelock-free (the turn
+    restrictions of dimension-order routing no longer hold once packets
+    misroute); it is a graceful-degradation heuristic for sparse failures,
+    backstopped by the simulator's stall watchdog.
+    """
+    preferred = route_fn(src_x, src_y, dst_x, dst_y)
+    if preferred >= 0 and alive(preferred):
+        return preferred
+    productive = []
+    if dst_x > src_x:
+        productive.append(EAST)
+    elif dst_x < src_x:
+        productive.append(WEST)
+    if dst_y > src_y:
+        productive.append(SOUTH)
+    elif dst_y < src_y:
+        productive.append(NORTH)
+    for direction in productive:
+        if direction != preferred and alive(direction):
+            return direction
+    if preferred >= 0:
+        fallbacks = _PERPENDICULAR[preferred] + (OPPOSITE[preferred],)
+    else:  # pragma: no cover - defensive: route_fn said "arrived"
+        fallbacks = (EAST, WEST, NORTH, SOUTH)
+    for direction in fallbacks:
+        if direction not in productive and alive(direction):
+            return direction
+    return -1
+
+
 ROUTING_FUNCTIONS: dict[str, RoutingFunction] = {
     "xy": xy_route,
     "yx": yx_route,

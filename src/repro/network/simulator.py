@@ -51,6 +51,7 @@ from repro.traffic.base import TrafficSource
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports (cycle guard)
     from repro.core.manager import NetworkPowerManager
     from repro.network.router import Router
+    from repro.reliability.manager import ReliabilityManager
 
 #: Cycles between stall-watchdog progress checks.
 WATCHDOG_INTERVAL = 256
@@ -113,6 +114,15 @@ class Simulator:
         self.stats = StatsCollector(config.warmup_cycles,
                                     config.sample_interval)
         self.network = ClusteredMesh(config.network, self.stats)
+        if config.validate_topology:
+            from repro.network.validation import validate_topology
+
+            problems = validate_topology(self.network)
+            if problems:
+                raise ConfigError(
+                    "topology validation failed:\n  "
+                    + "\n  ".join(problems)
+                )
         self.power: "NetworkPowerManager | None" = None
         if config.power is not None:
             # Imported here to break the package cycle: the power manager
@@ -133,7 +143,13 @@ class Simulator:
         self._phase_fns = tuple(fn for _, fn in self._phases)
         self._last_delivery_count = 0
         self._last_delivery_cycle = 0
+        self.reliability: "ReliabilityManager | None" = None
         if step_all:
+            if config.faults is not None:
+                raise ConfigError(
+                    "fault injection needs the event-driven engine for its "
+                    "scheduled scenarios; it cannot run with step_all=True"
+                )
             # Legacy mode: visit every component every cycle and poll for
             # control work.  Kept as the reference for equivalence tests.
             self.wheel = None
@@ -154,6 +170,15 @@ class Simulator:
         if self.power is not None:
             self.power.schedule_events(
                 self.wheel, sample_interval=config.sample_interval
+            )
+        if config.faults is not None:
+            # Imported here to break the package cycle (reliability wraps
+            # network links and the power manager).
+            from repro.reliability.manager import ReliabilityManager
+
+            self.reliability = ReliabilityManager(
+                self.network, self.power, config.network, config.faults,
+                self.hooks, self.wheel,
             )
         if config.stall_limit_cycles:
             StallWatchdog(self, config.stall_limit_cycles).attach()
@@ -355,6 +380,9 @@ class Simulator:
         result = self.stats.summary(max(1, self.cycle))
         result["relative_power"] = self.relative_power()
         result["cycles"] = float(self.cycle)
+        if self.reliability is not None:
+            for key, value in self.reliability.report().as_dict().items():
+                result[f"reliability_{key}"] = value
         return result
 
 

@@ -1,0 +1,95 @@
+"""Optical channel model: operating point -> per-flit error probability.
+
+The bridge between the photonics layer and the fault injector.  The
+existing :class:`~repro.photonics.ber.ReceiverNoiseModel` answers "what is
+the BER of this receiver at (received power, bit rate)?"; this module
+answers the question the network layer actually asks: "the link currently
+sits at this ladder level and optical band — with what probability does a
+16-bit flit arrive corrupted?"
+
+Two technology behaviours (paper Section 3.2):
+
+* **VCSEL links** tune light through their own drive current, so the
+  received power scales with the bit rate: descending the ladder dims the
+  transmitter *and* narrows the receiver bandwidth.  Because the thermal
+  noise falls only as ``sqrt(bit_rate)`` while the signal falls linearly,
+  Q degrades as ``sqrt(bit_rate)`` — descending the ladder measurably
+  raises BER, which is exactly the margin the guard polices.
+* **Modulator links** receive externally generated light, quantised into
+  optical power bands by the per-fiber attenuator; the received power is
+  the top-band power times the band's power fraction, independent of the
+  electrical bit rate.  Dropping a band halves the light; lowering only
+  the bit rate *improves* BER (less noise bandwidth, same light).
+
+Per-flit probability: a flit of ``b`` bits survives iff all bits do, so
+``p_flit = 1 - (1 - BER)^b``.  Operating points recur for the whole run
+(ladders and bands are small discrete sets), so evaluations are memoised.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.photonics.ber import ReceiverNoiseModel
+
+
+class LinkChannelModel:
+    """Maps a link operating point to BER / per-flit error probability."""
+
+    __slots__ = (
+        "noise_model", "received_power_w", "flit_bits", "max_bit_rate",
+        "ber_scale", "drive_proportional", "_cache",
+    )
+
+    def __init__(self, noise_model: ReceiverNoiseModel, *,
+                 received_power_w: float, flit_bits: int,
+                 max_bit_rate: float, ber_scale: float = 1.0,
+                 drive_proportional: bool = True):
+        if received_power_w <= 0.0:
+            raise ConfigError(
+                f"received_power_w must be > 0, got {received_power_w!r}"
+            )
+        if flit_bits < 1:
+            raise ConfigError(f"flit_bits must be >= 1, got {flit_bits!r}")
+        if max_bit_rate <= 0.0:
+            raise ConfigError(
+                f"max_bit_rate must be > 0, got {max_bit_rate!r}"
+            )
+        if ber_scale <= 0.0:
+            raise ConfigError(f"ber_scale must be > 0, got {ber_scale!r}")
+        self.noise_model = noise_model
+        #: Received optical power with every knob at maximum, watts.
+        self.received_power_w = received_power_w
+        self.flit_bits = flit_bits
+        self.max_bit_rate = max_bit_rate
+        self.ber_scale = ber_scale
+        #: True for VCSEL links (light tracks the drive / bit rate); False
+        #: for modulator links (light tracks the optical band only).
+        self.drive_proportional = drive_proportional
+        self._cache: dict[tuple[float, float, float], float] = {}
+
+    def received_power(self, bit_rate: float,
+                       band_fraction: float = 1.0) -> float:
+        """Light reaching the receiver at an operating point, watts."""
+        if self.drive_proportional:
+            return self.received_power_w * bit_rate / self.max_bit_rate
+        return self.received_power_w * band_fraction
+
+    def ber(self, bit_rate: float, band_fraction: float = 1.0,
+            multiplier: float = 1.0) -> float:
+        """Bit error rate at an operating point (stress knobs applied)."""
+        raw = self.noise_model.ber(
+            self.received_power(bit_rate, band_fraction), bit_rate
+        )
+        return min(0.5, raw * self.ber_scale * multiplier)
+
+    def flit_error_probability(self, bit_rate: float,
+                               band_fraction: float = 1.0,
+                               multiplier: float = 1.0) -> float:
+        """Probability one flit arrives with at least one bit error."""
+        key = (bit_rate, band_fraction, multiplier)
+        p = self._cache.get(key)
+        if p is None:
+            ber = self.ber(bit_rate, band_fraction, multiplier)
+            p = 1.0 - (1.0 - ber) ** self.flit_bits
+            self._cache[key] = p
+        return p

@@ -1,0 +1,321 @@
+"""Fault-injection configuration.
+
+The paper's power-control mechanisms must "maintain acceptable BER
+performance by carefully balancing the impact of lower light intensity"
+(Section 2.3).  :class:`FaultConfig` describes how hard the simulator
+pushes on that promise: what optical margin the receivers actually get,
+whether in-flight flits are corrupted with the analytic error probability,
+which scheduled fault scenarios run, and how the link-level retransmission
+protocol and the policy's BER margin guard are parameterised.
+
+Everything here is a frozen dataclass, so fault configurations are
+hashable, picklable (process-parallel sweeps) and comparable.  A
+``SimulationConfig`` with ``faults=None`` — the default — builds a
+simulator whose behaviour and outputs are bit-identical to a tree without
+this module at all.
+
+The compact spec grammar accepted by ``repro run --faults`` is parsed by
+:func:`parse_fault_spec`; see its docstring for the syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+
+#: Default received optical power at the receiver when every knob is at its
+#: maximum (top optical band, full VCSEL drive), watts.  25 uW is the
+#: paper's quoted sensitivity at 10 Gb/s — i.e. the link *exactly* meets
+#: the 1e-12 target with zero margin; configure lower to operate below the
+#: sensitivity floor and watch the reliability machinery earn its keep.
+DEFAULT_RECEIVED_POWER_W = 25e-6
+
+#: Default ceiling the margin guard enforces on the *projected* BER of a
+#: level the policy wants to descend to.  Three decades above the 1e-12
+#: design target: the guard blocks descents that would genuinely degrade
+#: the channel, without pinning the ladder for harmless excursions.
+DEFAULT_GUARD_MAX_BER = 1e-9
+
+
+@dataclass(frozen=True)
+class LinkFailure:
+    """Hard failure of one mesh link at a scheduled cycle.
+
+    Failure is *worm-atomic*: packets whose head flit already claimed the
+    link finish their traversal (the detection/drain window), but no new
+    packet may route onto it — routing detours around the dead fiber.
+    """
+
+    link_id: int
+    at_cycle: int
+
+    def __post_init__(self) -> None:
+        if self.link_id < 0:
+            raise ConfigError(f"link_id must be >= 0, got {self.link_id!r}")
+        if self.at_cycle < 0:
+            raise ConfigError(f"at_cycle must be >= 0, got {self.at_cycle!r}")
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Transient channel degradation: BER multiplied for a time window.
+
+    Models a dirty connector, a drifting bias point or crosstalk burst —
+    the channel keeps carrying flits but the per-flit error probability is
+    scaled by ``ber_multiplier`` from ``at_cycle`` for ``duration_cycles``.
+    """
+
+    link_id: int
+    at_cycle: int
+    duration_cycles: int
+    ber_multiplier: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.link_id < 0:
+            raise ConfigError(f"link_id must be >= 0, got {self.link_id!r}")
+        if self.at_cycle < 0:
+            raise ConfigError(f"at_cycle must be >= 0, got {self.at_cycle!r}")
+        if self.duration_cycles < 1:
+            raise ConfigError(
+                f"duration_cycles must be >= 1, got {self.duration_cycles!r}"
+            )
+        if self.ber_multiplier <= 0.0:
+            raise ConfigError(
+                f"ber_multiplier must be > 0, got {self.ber_multiplier!r}"
+            )
+
+
+@dataclass(frozen=True)
+class StuckTransition:
+    """A bit-rate transition whose CDR fails to relock on schedule.
+
+    The link is disabled (no new serialisations) for ``duration_cycles``
+    starting at ``at_cycle`` — the T_br = 20-cycle relock stretching to
+    thousands of cycles, exactly the hazard the retry timeouts must ride
+    out.
+    """
+
+    link_id: int
+    at_cycle: int
+    duration_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.link_id < 0:
+            raise ConfigError(f"link_id must be >= 0, got {self.link_id!r}")
+        if self.at_cycle < 0:
+            raise ConfigError(f"at_cycle must be >= 0, got {self.at_cycle!r}")
+        if self.duration_cycles < 1:
+            raise ConfigError(
+                f"duration_cycles must be >= 1, got {self.duration_cycles!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Complete description of one run's reliability environment."""
+
+    #: Seed for the fault RNG streams.  Each link derives its own stream
+    #: from (seed, link_id), so the corruption schedule of one link never
+    #: depends on what any other link transmitted.
+    seed: int = 1
+    #: Whether flits are corrupted with the analytic per-flit error
+    #: probability.  Off, only scheduled scenarios (and the margin guard,
+    #: if enabled) are active.
+    ber_injection: bool = True
+    #: Received optical power at the receiver with every knob at maximum
+    #: (top optical band / full VCSEL drive), watts.  Lower levels derate
+    #: this: VCSEL drive scales it with bit rate, modulator systems with
+    #: the optical band's power fraction.
+    received_power_w: float = DEFAULT_RECEIVED_POWER_W
+    #: Extra multiplier on the analytic BER — a stress knob for making
+    #: rare-event statistics observable in short runs (1.0 = physical).
+    ber_scale: float = 1.0
+    #: Cycles the receiver waits before NACKing a corrupted flit back to
+    #: the sender (detection + reverse-channel latency).
+    ack_timeout_cycles: int = 4
+    #: Retransmission attempts per flit before the error is declared
+    #: uncorrectable.  The flit is then delivered anyway (dropping it would
+    #: truncate the worm) and counted in ``flits_dropped``.
+    retry_limit: int = 8
+    #: Base of the exponential backoff between retries: retry ``k`` waits
+    #: ``backoff_base_cycles * 2**(k-1)`` cycles on top of the timeout.
+    backoff_base_cycles: int = 2
+    #: Whether the policy refuses to descend the optical/bit-rate ladder to
+    #: a level whose projected BER exceeds ``guard_max_ber``.
+    margin_guard: bool = True
+    #: BER ceiling the margin guard enforces on descent targets.
+    guard_max_ber: float = DEFAULT_GUARD_MAX_BER
+    failures: tuple[LinkFailure, ...] = field(default_factory=tuple)
+    degradations: tuple[LinkDegradation, ...] = field(default_factory=tuple)
+    stuck_transitions: tuple[StuckTransition, ...] = field(
+        default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ConfigError(f"seed must be >= 0, got {self.seed!r}")
+        if self.received_power_w <= 0.0:
+            raise ConfigError(
+                f"received_power_w must be > 0, got {self.received_power_w!r}"
+            )
+        if self.ber_scale <= 0.0:
+            raise ConfigError(
+                f"ber_scale must be > 0, got {self.ber_scale!r}")
+        if self.ack_timeout_cycles < 0:
+            raise ConfigError(
+                f"ack_timeout_cycles must be >= 0, "
+                f"got {self.ack_timeout_cycles!r}"
+            )
+        if self.retry_limit < 0:
+            raise ConfigError(
+                f"retry_limit must be >= 0, got {self.retry_limit!r}")
+        if self.backoff_base_cycles < 0:
+            raise ConfigError(
+                f"backoff_base_cycles must be >= 0, "
+                f"got {self.backoff_base_cycles!r}"
+            )
+        if not 0.0 < self.guard_max_ber < 0.5:
+            raise ConfigError(
+                f"guard_max_ber must lie in (0, 0.5), "
+                f"got {self.guard_max_ber!r}"
+            )
+        # Duplicate hard failures of the same link are almost certainly a
+        # spec typo; degradations/stuck windows may legitimately repeat.
+        failed_ids = [f.link_id for f in self.failures]
+        if len(set(failed_ids)) != len(failed_ids):
+            raise ConfigError(
+                f"duplicate link ids in failures: {sorted(failed_ids)}"
+            )
+
+    @property
+    def has_scenarios(self) -> bool:
+        return bool(self.failures or self.degradations
+                    or self.stuck_transitions)
+
+
+def parse_fault_spec(spec: str) -> FaultConfig:
+    """Parse the compact ``--faults`` spec into a :class:`FaultConfig`.
+
+    The spec is a comma-separated list of entries:
+
+    ``seed=N``
+        Fault RNG seed.
+    ``rx_uw=F``
+        Received optical power at maximum drive, microwatts.
+    ``scale=F``
+        BER stress multiplier.
+    ``retries=N`` / ``timeout=N`` / ``backoff=N``
+        Retransmission protocol parameters (cycles for the latter two).
+    ``ber=on|off`` / ``guard=on|off``
+        Toggle BER-driven corruption / the margin guard.
+    ``max_ber=F``
+        BER ceiling enforced by the margin guard.
+    ``fail=ID@CYC``
+        Hard-fail mesh link ``ID`` at cycle ``CYC`` (repeatable).
+    ``degrade=ID@CYC+DUR`` or ``degrade=ID@CYC+DURxMULT``
+        Degrade link ``ID`` at ``CYC`` for ``DUR`` cycles, BER scaled by
+        ``MULT`` (default 10).
+    ``stuck=ID@CYC+DUR``
+        Disable link ``ID`` at ``CYC`` for ``DUR`` cycles (stuck bit-rate
+        transition).
+
+    Example: ``"rx_uw=14,seed=7,fail=12@4000,degrade=3@2000+1000x20"``.
+    An empty spec yields the default :class:`FaultConfig`.
+    """
+    kwargs: dict[str, object] = {}
+    failures: list[LinkFailure] = []
+    degradations: list[LinkDegradation] = []
+    stuck: list[StuckTransition] = []
+    for raw in spec.split(","):
+        entry = raw.strip()
+        if not entry:
+            continue
+        if "=" not in entry:
+            raise ConfigError(
+                f"fault spec entry {entry!r} is not KEY=VALUE")
+        key, _, value = entry.partition("=")
+        key, value = key.strip(), value.strip()
+        try:
+            if key == "seed":
+                kwargs["seed"] = int(value)
+            elif key == "rx_uw":
+                kwargs["received_power_w"] = float(value) * 1e-6
+            elif key == "scale":
+                kwargs["ber_scale"] = float(value)
+            elif key == "retries":
+                kwargs["retry_limit"] = int(value)
+            elif key == "timeout":
+                kwargs["ack_timeout_cycles"] = int(value)
+            elif key == "backoff":
+                kwargs["backoff_base_cycles"] = int(value)
+            elif key == "max_ber":
+                kwargs["guard_max_ber"] = float(value)
+            elif key == "ber":
+                kwargs["ber_injection"] = _parse_toggle(key, value)
+            elif key == "guard":
+                kwargs["margin_guard"] = _parse_toggle(key, value)
+            elif key == "fail":
+                link_id, at = _parse_at(value)
+                failures.append(LinkFailure(link_id=link_id, at_cycle=at))
+            elif key == "degrade":
+                link_id, at, duration, mult = _parse_window(value)
+                degradations.append(LinkDegradation(
+                    link_id=link_id, at_cycle=at,
+                    duration_cycles=duration,
+                    ber_multiplier=mult if mult is not None else 10.0,
+                ))
+            elif key == "stuck":
+                link_id, at, duration, mult = _parse_window(value)
+                if mult is not None:
+                    raise ConfigError(
+                        "stuck= does not take a multiplier")
+                stuck.append(StuckTransition(
+                    link_id=link_id, at_cycle=at,
+                    duration_cycles=duration,
+                ))
+            else:
+                raise ConfigError(f"unknown fault spec key {key!r}")
+        except ValueError as exc:
+            raise ConfigError(
+                f"bad fault spec entry {entry!r}: {exc}") from None
+    return FaultConfig(
+        failures=tuple(failures),
+        degradations=tuple(degradations),
+        stuck_transitions=tuple(stuck),
+        **kwargs,
+    )
+
+
+def neutral_fault_config() -> FaultConfig:
+    """A fault config that perturbs nothing.
+
+    BER injection and the margin guard are off and no scenarios are
+    scheduled: the reliability machinery is constructed and reported but a
+    run is bit-identical to ``faults=None`` (regression-tested).
+    """
+    return replace(FaultConfig(), ber_injection=False, margin_guard=False)
+
+
+def _parse_toggle(key: str, value: str) -> bool:
+    if value not in ("on", "off"):
+        raise ConfigError(f"{key}= takes 'on' or 'off', got {value!r}")
+    return value == "on"
+
+
+def _parse_at(value: str) -> tuple[int, int]:
+    """Parse ``ID@CYC``."""
+    link_str, sep, at_str = value.partition("@")
+    if not sep:
+        raise ConfigError(f"expected ID@CYCLE, got {value!r}")
+    return int(link_str), int(at_str)
+
+
+def _parse_window(value: str) -> tuple[int, int, int, float | None]:
+    """Parse ``ID@CYC+DUR`` with an optional ``xMULT`` suffix."""
+    head, sep, tail = value.partition("+")
+    if not sep:
+        raise ConfigError(f"expected ID@CYCLE+DURATION, got {value!r}")
+    link_id, at = _parse_at(head)
+    dur_str, sep, mult_str = tail.partition("x")
+    multiplier = float(mult_str) if sep else None
+    return link_id, at, int(dur_str), multiplier

@@ -1,0 +1,130 @@
+"""Property tests for the reliability subsystem.
+
+* ``ber_from_q`` / ``q_from_ber`` round-trip across the whole valid range;
+* fault injection is deterministic: the same seed reproduces the identical
+  corruption schedule, and a faulted sweep is point-for-point identical
+  whether run serially or across a process pool;
+* the observed flit-corruption rate of a fixed-seed run matches the
+  analytic per-flit error probability within binomial tolerance.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.configs import get_scale, reference_rates
+from repro.experiments.fig5 import uniform_factory
+from repro.experiments.runner import SweepPoint, run_simulation, run_sweep
+from repro.photonics.ber import ReceiverNoiseModel, ber_from_q, q_from_ber
+from repro.photonics.constants import MAX_BIT_RATE
+from repro.reliability import FaultConfig
+
+SCALE = get_scale("smoke")
+
+
+class TestQBerRoundTrip:
+    @given(st.floats(min_value=0.01, max_value=30.0,
+                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=200)
+    def test_q_to_ber_to_q(self, q):
+        ber = ber_from_q(q)
+        assert 0.0 < ber < 0.5
+        assert q_from_ber(ber) == pytest.approx(q, rel=1e-9, abs=1e-9)
+
+    @given(st.floats(min_value=-200.0, max_value=-0.31,
+                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=200)
+    def test_ber_to_q_to_ber(self, log10_ber):
+        ber = 10.0 ** log10_ber
+        q = q_from_ber(ber)
+        assert ber_from_q(q) == pytest.approx(ber, rel=1e-6)
+
+    @given(st.floats(min_value=0.01, max_value=29.0, allow_nan=False),
+           st.floats(min_value=0.01, max_value=1.0, allow_nan=False))
+    @settings(max_examples=100)
+    def test_ber_monotone_decreasing_in_q(self, q, dq):
+        assert ber_from_q(q + dq) < ber_from_q(q)
+
+
+def _faulted_points(seeds, *, jobs_label):
+    rate = reference_rates(SCALE.network)["light"]
+    factory = uniform_factory(rate)
+    return [
+        SweepPoint(
+            label=f"{jobs_label}/{seed}",
+            scale=SCALE,
+            power=None,
+            traffic_factory=factory,
+            # Past the smoke scale's warmup, so latency statistics are
+            # real numbers (NaN breaks the equality the test asserts).
+            seed=seed,
+            cycles=2500,
+            faults=FaultConfig(seed=seed, received_power_w=13e-6),
+        )
+        for seed in seeds
+    ]
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_identical_run(self):
+        rate = reference_rates(SCALE.network)["light"]
+        results = [
+            run_simulation(
+                SCALE, None, uniform_factory(rate), label="det", seed=9,
+                cycles=1500,
+                faults=FaultConfig(seed=9, received_power_w=13e-6),
+            )
+            for _ in range(2)
+        ]
+        assert results[0] == results[1]
+        assert results[0].reliability.flits_corrupted > 0
+
+    def test_different_fault_seed_changes_schedule(self):
+        rate = reference_rates(SCALE.network)["light"]
+        results = [
+            run_simulation(
+                SCALE, None, uniform_factory(rate), label="det", seed=9,
+                cycles=1500,
+                faults=FaultConfig(seed=fault_seed, received_power_w=12e-6),
+            )
+            for fault_seed in (1, 2)
+        ]
+        assert results[0].reliability != results[1].reliability
+
+    def test_serial_and_parallel_sweeps_identical(self):
+        points = _faulted_points([3, 4], jobs_label="sweep")
+        serial = run_sweep(points, max_workers=1)
+        parallel = run_sweep(points, max_workers=2)
+        assert serial == parallel
+        assert any(r.reliability.flits_corrupted > 0 for r in serial)
+
+
+class TestStatisticalAgreement:
+    def test_observed_corruption_rate_matches_analytic_ber(self):
+        """Fixed-seed corruption rate vs. the channel's analytic p_flit.
+
+        The baseline run pins every link at the maximum rate with full
+        light, so every corruption trial uses one constant per-flit error
+        probability — the observed rate is a binomial estimate of it.
+        """
+        rx_w = 13e-6
+        rate = reference_rates(SCALE.network)["light"]
+        result = run_simulation(
+            SCALE, None, uniform_factory(rate), label="stat", seed=1,
+            cycles=6000, faults=FaultConfig(seed=1, received_power_w=rx_w),
+        )
+        report = result.reliability
+
+        # The analytic expectation, straight from the receiver model the
+        # channel wraps (the sampling machinery is what's under test).
+        ber = ReceiverNoiseModel().ber(rx_w, MAX_BIT_RATE)
+        p_flit = 1.0 - (1.0 - ber) ** 16
+
+        trials = report.flits_carried + report.flits_corrupted
+        assert trials > 10_000
+        sigma = math.sqrt(p_flit * (1.0 - p_flit) / trials)
+        observed = report.observed_flit_error_rate
+        assert abs(observed - p_flit) < 5.0 * sigma
+        assert observed > 0.0

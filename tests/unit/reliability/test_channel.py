@@ -1,0 +1,91 @@
+"""Unit tests for the link channel model (operating point -> BER)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.photonics.ber import ReceiverNoiseModel
+from repro.photonics.constants import MAX_BIT_RATE, TARGET_BER
+from repro.reliability.channel import LinkChannelModel
+
+LADDER_RATES = [5e9, 6e9, 7e9, 8e9, 9e9, 10e9]
+
+
+def make_channel(**overrides):
+    kwargs = dict(
+        received_power_w=25e-6,
+        flit_bits=16,
+        max_bit_rate=MAX_BIT_RATE,
+        ber_scale=1.0,
+        drive_proportional=True,
+    )
+    kwargs.update(overrides)
+    return LinkChannelModel(ReceiverNoiseModel(), **kwargs)
+
+
+def test_nominal_point_meets_design_target():
+    channel = make_channel()
+    assert channel.ber(MAX_BIT_RATE) == pytest.approx(TARGET_BER, rel=0.05)
+
+
+def test_vcsel_descending_ladder_raises_ber():
+    """Descending the drive-proportional ladder must measurably raise BER."""
+    channel = make_channel(drive_proportional=True)
+    bers = [channel.ber(rate) for rate in LADDER_RATES]  # ascending rates
+    for slower_rate_ber, faster_rate_ber in zip(bers, bers[1:]):
+        assert slower_rate_ber > faster_rate_ber * 10  # decades, not epsilon
+
+    p_flit = [channel.flit_error_probability(rate) for rate in LADDER_RATES]
+    assert p_flit == sorted(p_flit, reverse=True)
+
+
+def test_modulator_band_drop_raises_ber():
+    channel = make_channel(drive_proportional=False)
+    full = channel.ber(MAX_BIT_RATE, band_fraction=1.0)
+    half = channel.ber(MAX_BIT_RATE, band_fraction=0.5)
+    quarter = channel.ber(MAX_BIT_RATE, band_fraction=0.25)
+    assert quarter > half > full
+
+
+def test_modulator_rate_cut_improves_ber():
+    """Same light, less noise bandwidth: lower rate helps a modulator."""
+    channel = make_channel(drive_proportional=False)
+    assert channel.ber(5e9, band_fraction=1.0) \
+        < channel.ber(10e9, band_fraction=1.0)
+
+
+def test_received_power_models():
+    vcsel = make_channel(drive_proportional=True)
+    assert vcsel.received_power(5e9) == pytest.approx(12.5e-6)
+    modulator = make_channel(drive_proportional=False)
+    assert modulator.received_power(5e9, band_fraction=0.5) \
+        == pytest.approx(12.5e-6)
+
+
+def test_scale_and_multiplier_are_applied_and_capped():
+    channel = make_channel(ber_scale=100.0)
+    base = make_channel().ber(MAX_BIT_RATE)
+    assert channel.ber(MAX_BIT_RATE) == pytest.approx(100.0 * base)
+    assert channel.ber(MAX_BIT_RATE, multiplier=1e30) == 0.5
+
+
+def test_flit_error_probability_formula_and_cache():
+    channel = make_channel(received_power_w=13e-6, flit_bits=16)
+    ber = channel.ber(MAX_BIT_RATE)
+    expected = 1.0 - (1.0 - ber) ** 16
+    assert channel.flit_error_probability(MAX_BIT_RATE) \
+        == pytest.approx(expected)
+    # Second call must come from the memo, not a fresh evaluation.
+    assert (MAX_BIT_RATE, 1.0, 1.0) in channel._cache
+    assert channel.flit_error_probability(MAX_BIT_RATE) == pytest.approx(
+        expected)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"received_power_w": 0.0},
+    {"flit_bits": 0},
+    {"max_bit_rate": 0.0},
+    {"ber_scale": 0.0},
+])
+def test_constructor_validation(kwargs):
+    with pytest.raises(ConfigError):
+        make_channel(**kwargs)

@@ -1,0 +1,108 @@
+"""Unit tests for the fault configuration and spec parser."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.reliability.config import (
+    DEFAULT_RECEIVED_POWER_W,
+    FaultConfig,
+    LinkDegradation,
+    LinkFailure,
+    StuckTransition,
+    neutral_fault_config,
+    parse_fault_spec,
+)
+
+
+class TestFaultConfig:
+    def test_defaults(self):
+        config = FaultConfig()
+        assert config.ber_injection
+        assert config.margin_guard
+        assert config.received_power_w == DEFAULT_RECEIVED_POWER_W
+        assert not config.has_scenarios
+
+    def test_scenarios_flag(self):
+        config = FaultConfig(failures=(LinkFailure(3, 100),))
+        assert config.has_scenarios
+
+    def test_duplicate_failures_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            FaultConfig(failures=(LinkFailure(3, 100), LinkFailure(3, 200)))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"seed": -1},
+        {"received_power_w": 0.0},
+        {"ber_scale": 0.0},
+        {"ack_timeout_cycles": -1},
+        {"retry_limit": -1},
+        {"backoff_base_cycles": -1},
+        {"guard_max_ber": 0.0},
+        {"guard_max_ber": 0.5},
+    ])
+    def test_field_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            FaultConfig(**kwargs)
+
+    def test_scenario_validation(self):
+        with pytest.raises(ConfigError):
+            LinkFailure(-1, 0)
+        with pytest.raises(ConfigError):
+            LinkDegradation(0, 0, duration_cycles=0)
+        with pytest.raises(ConfigError):
+            LinkDegradation(0, 0, duration_cycles=10, ber_multiplier=0.0)
+        with pytest.raises(ConfigError):
+            StuckTransition(0, -1, duration_cycles=5)
+
+
+class TestParseFaultSpec:
+    def test_empty_spec_is_default(self):
+        assert parse_fault_spec("") == FaultConfig()
+
+    def test_full_spec(self):
+        config = parse_fault_spec(
+            "seed=7, rx_uw=14, scale=2.5, retries=3, timeout=6, backoff=1,"
+            " max_ber=1e-6, ber=on, guard=off,"
+            " fail=12@4000, degrade=3@2000+1000x20, stuck=5@100+50"
+        )
+        assert config.seed == 7
+        assert config.received_power_w == pytest.approx(14e-6)
+        assert config.ber_scale == 2.5
+        assert config.retry_limit == 3
+        assert config.ack_timeout_cycles == 6
+        assert config.backoff_base_cycles == 1
+        assert config.guard_max_ber == 1e-6
+        assert config.ber_injection
+        assert not config.margin_guard
+        assert config.failures == (LinkFailure(12, 4000),)
+        assert config.degradations == (
+            LinkDegradation(3, 2000, 1000, ber_multiplier=20.0),)
+        assert config.stuck_transitions == (StuckTransition(5, 100, 50),)
+
+    def test_degrade_default_multiplier(self):
+        config = parse_fault_spec("degrade=3@2000+1000")
+        assert config.degradations[0].ber_multiplier == 10.0
+
+    def test_repeatable_entries(self):
+        config = parse_fault_spec("fail=1@10,fail=2@20")
+        assert [f.link_id for f in config.failures] == [1, 2]
+
+    @pytest.mark.parametrize("spec", [
+        "bogus=1",                 # unknown key
+        "seed",                    # not KEY=VALUE
+        "seed=x",                  # bad int
+        "fail=12",                 # missing @CYC
+        "degrade=3@2000",          # missing +DUR
+        "stuck=5@100+50x2",        # stuck takes no multiplier
+        "ber=maybe",               # bad toggle
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ConfigError):
+            parse_fault_spec(spec)
+
+
+def test_neutral_config_perturbs_nothing():
+    config = neutral_fault_config()
+    assert not config.ber_injection
+    assert not config.margin_guard
+    assert not config.has_scenarios

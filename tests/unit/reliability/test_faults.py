@@ -1,0 +1,204 @@
+"""Unit tests for per-link fault injection and retransmission."""
+
+import pytest
+
+from repro.network.flit import Flit
+from repro.network.links import MESH, Link
+from repro.network.packet import Packet
+from repro.photonics.ber import ReceiverNoiseModel
+from repro.photonics.constants import MAX_BIT_RATE
+from repro.reliability.channel import LinkChannelModel
+from repro.reliability.config import FaultConfig
+from repro.reliability.faults import LinkFaultState, fault_stream_seed
+
+TIMEOUT = 4
+BACKOFF = 2
+
+
+class FixedRng:
+    """A 'random' stream that always returns the same value."""
+
+    def __init__(self, value: float):
+        self.value = value
+
+    def random(self) -> float:
+        return self.value
+
+
+def make_flit(index: int = 0) -> Flit:
+    packet = Packet(index, src=0, dst=1, size=1, create_time=0)
+    return packet.make_flits()[0]
+
+
+def make_state(*, rx_uw: float = 25.0, retry_limit: int = 8,
+               seed: int = 1) -> LinkFaultState:
+    link = Link(0, MESH, propagation_cycles=1.0, service_time=1.0)
+    channel = LinkChannelModel(
+        ReceiverNoiseModel(),
+        received_power_w=rx_uw * 1e-6,
+        flit_bits=16,
+        max_bit_rate=MAX_BIT_RATE,
+    )
+    config = FaultConfig(
+        seed=seed, ack_timeout_cycles=TIMEOUT, retry_limit=retry_limit,
+        backoff_base_cycles=BACKOFF, received_power_w=rx_uw * 1e-6,
+    )
+    return LinkFaultState(link, channel, config)
+
+
+class TestStreamSeed:
+    def test_deterministic(self):
+        assert fault_stream_seed(1, 0) == fault_stream_seed(1, 0)
+
+    def test_distinct_per_link_and_base(self):
+        seeds = {fault_stream_seed(base, link)
+                 for base in range(4) for link in range(16)}
+        assert len(seeds) == 64
+
+
+class TestCleanPath:
+    def test_clean_arrivals_pass_through_in_order(self):
+        state = make_state()
+        state.rng = FixedRng(0.999999)  # never below any realistic p
+        link = state.link
+        first, second = make_flit(0), make_flit(1)
+        link.push(first, 0.0)
+        link.push(second, 1.0)
+        assert state.filter_arrivals(5.0) == [first, second]
+        assert state.flits_corrupted == 0
+        assert not link.has_in_flight
+
+    def test_not_yet_due_flit_stays(self):
+        state = make_state()
+        state.rng = FixedRng(0.999999)
+        state.link.push(make_flit(), 0.0)
+        assert state.filter_arrivals(0.0) == []
+        assert state.link.has_in_flight
+
+
+class TestRetransmission:
+    def test_corrupted_flit_is_rescheduled_at_front(self):
+        state = make_state(retry_limit=8)
+        state.rng = FixedRng(0.0)  # every trial corrupts
+        link = state.link
+        flit = make_flit()
+        link.push(flit, 0.0)  # arrives at 2.0 (service 1 + propagation 1)
+
+        assert state.filter_arrivals(2.0) == []
+        assert state.flits_corrupted == 1
+        assert state.flits_retransmitted == 1
+        assert state.flits_dropped == 0
+        # Re-arrival: now + timeout + backoff*2^0 + service + propagation.
+        expected = 2.0 + TIMEOUT + BACKOFF + 1.0 + 1.0
+        assert link._in_flight[0] == (expected, flit)
+        # The retransmission occupies the serialiser (busy time + free_at).
+        assert link.free_at == expected - 1.0
+        assert state.retry_busy_cycles == 1.0
+
+    def test_backoff_doubles_per_attempt(self):
+        state = make_state(retry_limit=8)
+        state.rng = FixedRng(0.0)
+        link = state.link
+        link.push(make_flit(), 0.0)
+        arrival = 2.0
+        for attempt in range(1, 4):
+            assert state.filter_arrivals(arrival) == []
+            delay = TIMEOUT + BACKOFF * 2 ** (attempt - 1)
+            arrival = arrival + delay + 2.0  # + service + propagation
+            assert link._in_flight[0][0] == arrival
+        assert state.flits_retransmitted == 3
+
+    def test_corrupted_front_blocks_later_flits(self):
+        state = make_state(retry_limit=8)
+        state.rng = FixedRng(0.0)
+        link = state.link
+        first, second = make_flit(0), make_flit(1)
+        link.push(first, 0.0)
+        link.push(second, 1.0)
+        # Both are due at cycle 3, but the corrupted front blocks delivery.
+        assert state.filter_arrivals(3.0) == []
+        assert len(link._in_flight) == 2
+        assert link._in_flight[1][1] is second
+
+    def test_budget_exhaustion_delivers_and_counts_drop(self):
+        state = make_state(retry_limit=0)
+        state.rng = FixedRng(0.0)
+        flit = make_flit()
+        state.link.push(flit, 0.0)
+        assert state.filter_arrivals(2.0) == [flit]
+        assert state.flits_corrupted == 1
+        assert state.flits_retransmitted == 0
+        assert state.flits_dropped == 1
+        assert not state.link.has_in_flight
+
+    def test_recovery_after_retries(self):
+        state = make_state(retry_limit=2)
+        state.rng = FixedRng(0.0)
+        link = state.link
+        flit = make_flit()
+        link.push(flit, 0.0)
+        assert state.filter_arrivals(2.0) == []      # attempt 1
+        assert state.filter_arrivals(100.0) == []    # attempt 2
+        state.rng = FixedRng(0.999999)               # channel recovers
+        assert state.filter_arrivals(300.0) == [flit]
+        assert state.flits_dropped == 0
+        assert state._attempts == {}
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        outcomes = []
+        for _ in range(2):
+            state = make_state(rx_uw=10.0, seed=42)
+            link = state.link
+            delivered = []
+            now = 0.0
+            for index in range(200):
+                if link.can_accept(now):
+                    link.push(make_flit(index), now)
+                delivered += [f.packet.packet_id
+                              for f in state.filter_arrivals(now)]
+                now += 1.0
+            # Drain the stragglers.
+            for _ in range(2000):
+                now += 1.0
+                delivered += [f.packet.packet_id
+                              for f in state.filter_arrivals(now)]
+                if not link.has_in_flight:
+                    break
+            outcomes.append((delivered, state.flits_corrupted,
+                             state.flits_retransmitted, state.flits_dropped))
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][1] > 0  # the scenario actually exercised faults
+
+    def test_in_order_delivery_under_faults(self):
+        state = make_state(rx_uw=10.0, seed=7)
+        link = state.link
+        delivered = []
+        now = 0.0
+        for index in range(300):
+            if link.can_accept(now):
+                link.push(make_flit(index), now)
+            delivered += [f.packet.packet_id
+                          for f in state.filter_arrivals(now)]
+            now += 1.0
+        while link.has_in_flight:
+            now += 1.0
+            delivered += [f.packet.packet_id
+                          for f in state.filter_arrivals(now)]
+        assert delivered == sorted(delivered)
+
+
+class TestDegradationWindow:
+    def test_multiplier_applies_only_inside_window(self):
+        state = make_state(rx_uw=25.0)
+        base = state.flit_error_probability(0.0)
+        state.degrade(1e6, until=100.0)
+        assert state.flit_error_probability(50.0) > base * 1e3
+        assert state.flit_error_probability(100.0) == pytest.approx(base)
+
+    def test_degrade_extends_not_shrinks(self):
+        state = make_state()
+        state.degrade(10.0, until=200.0)
+        state.degrade(10.0, until=50.0)
+        assert state.degrade_until == 200.0
