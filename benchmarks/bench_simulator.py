@@ -73,3 +73,30 @@ def test_loaded_power_aware_cycle_rate(benchmark):
     benchmark.pedantic(run_chunk, rounds=3, iterations=1, warmup_rounds=1)
     assert sim.stats.packets_delivered > 0
     assert sim.relative_power() < 1.0
+
+
+def test_light_load_power_aware_traced_cycle_rate(benchmark):
+    # Full-kind telemetry into a ring buffer must stay within 10% of the
+    # untraced power-aware run (the acceptance envelope for the recorder's
+    # hot-path cost); the run itself must stay bit-identical.
+    from repro.telemetry.config import TelemetryConfig
+
+    network = NetworkConfig(mesh_width=4, mesh_height=4, nodes_per_cluster=4)
+    config = SimulationConfig(
+        network=network,
+        power=PowerAwareConfig(),
+        sample_interval=1000,
+        telemetry=TelemetryConfig(buffer_events=4096),
+    )
+    traffic = UniformRandomTraffic(network.num_nodes, 0.02, seed=3)
+    sim = Simulator(config, traffic)
+
+    def run_chunk():
+        sim.run(2000)
+
+    benchmark.pedantic(run_chunk, rounds=3, iterations=1, warmup_rounds=1)
+    assert sim.stats.packets_delivered > 0
+    assert sim.telemetry is not None and sim.telemetry.counts
+    reference = make_sim(power=True, rate=0.02)
+    reference.run(sim.cycle)
+    assert reference.summary() == sim.summary()

@@ -60,18 +60,55 @@ def _add_run_parser(subparsers) -> None:
                              "(see docs/reliability.md)")
     parser.add_argument("--validate", action="store_true",
                         help="validate the wired topology before running")
+    parser.add_argument("--trace", default=None, metavar="OUT.JSONL",
+                        help="record a run trace to a JSONL file "
+                             "(see docs/telemetry.md; not combinable "
+                             "with --baseline)")
+    parser.add_argument("--trace-kinds", default="all", metavar="K[,K...]",
+                        help="event kinds to record (default: all); see "
+                             "docs/telemetry.md for the schema")
+    parser.add_argument("--trace-links", default=None, metavar="ID[,ID...]",
+                        help="record only these link ids "
+                             "(default: every link)")
+    parser.add_argument("--trace-sample-every", type=int, default=1,
+                        metavar="N",
+                        help="record every Nth delivered packet "
+                             "(default: 1 = all)")
 
 
 def _add_trace_parser(subparsers) -> None:
     parser = subparsers.add_parser(
-        "trace", help="synthesise a SPLASH2-like trace file")
-    parser.add_argument("benchmark", choices=["fft", "lu", "radix"])
-    parser.add_argument("--nodes", type=int, default=64)
-    parser.add_argument("--duration", type=int, default=100_000)
-    parser.add_argument("--intensity", type=float, default=1.0)
-    parser.add_argument("--seed", type=int, default=1)
-    parser.add_argument("--out", default=None,
-                        help="output path (default: <benchmark>.trace)")
+        "trace", help="traffic-trace synthesis and run-trace utilities")
+    commands = parser.add_subparsers(dest="trace_command", required=True)
+
+    synth = commands.add_parser(
+        "synth", help="synthesise a SPLASH2-like traffic trace file")
+    synth.add_argument("benchmark", choices=["fft", "lu", "radix"])
+    synth.add_argument("--nodes", type=int, default=64)
+    synth.add_argument("--duration", type=int, default=100_000)
+    synth.add_argument("--intensity", type=float, default=1.0)
+    synth.add_argument("--seed", type=int, default=1)
+    synth.add_argument("--out", default=None,
+                       help="output path (default: <benchmark>.trace)")
+
+    convert = commands.add_parser(
+        "convert", help="convert a run trace (JSONL) for other tools")
+    convert.add_argument("input", help="JSONL trace from 'repro run --trace'")
+    convert.add_argument("--format", default="chrome",
+                         choices=["chrome", "csv"],
+                         help="chrome = Perfetto-loadable trace-event "
+                              "JSON; csv = one kind as a time series")
+    convert.add_argument("--kind", default="power",
+                         help="event kind for --format csv "
+                              "(default: power)")
+    convert.add_argument("--out", default=None,
+                         help="output path (default: input + "
+                              "'.json'/'.csv')")
+
+    summarize = commands.add_parser(
+        "summarize", help="print per-kind counts and spans of a run trace")
+    summarize.add_argument("input",
+                           help="JSONL trace from 'repro run --trace'")
 
 
 def _add_sweep_parser(subparsers) -> None:
@@ -113,6 +150,11 @@ def _command_run(args) -> int:
         print("error: --profile cannot be combined with --baseline",
               file=sys.stderr)
         return 2
+    if args.trace is not None and args.baseline:
+        print("error: --trace cannot be combined with --baseline "
+              "(a single trace file cannot hold two runs)",
+              file=sys.stderr)
+        return 2
     scale = get_scale(args.scale)
     if args.traffic == "uniform":
         rate = args.rate if args.rate is not None else \
@@ -137,6 +179,21 @@ def _command_run(args) -> int:
         from repro.reliability.config import parse_fault_spec
 
         faults = parse_fault_spec(args.faults)
+    telemetry = None
+    if args.trace is not None:
+        from repro.telemetry.config import TelemetryConfig, parse_kinds
+
+        link_ids = None
+        if args.trace_links is not None:
+            link_ids = tuple(
+                int(part) for part in args.trace_links.split(",") if part
+            )
+        telemetry = TelemetryConfig(
+            kinds=parse_kinds(args.trace_kinds),
+            link_ids=link_ids,
+            packet_sample_every=args.trace_sample_every,
+            path=args.trace,
+        )
     print(f"{workload} on {scale.network.mesh_width}x"
           f"{scale.network.mesh_height}x{scale.network.nodes_per_cluster}, "
           f"{args.technology} links ...")
@@ -164,19 +221,24 @@ def _command_run(args) -> int:
             scale.network, power, factory, seed=args.seed,
             warmup_cycles=scale.warmup_cycles,
             sample_interval=scale.sample_interval,
-            faults=faults, validate=args.validate,
+            faults=faults, validate=args.validate, telemetry=telemetry,
         )
         profiler = PhaseProfiler().attach(sim.hooks)
         sim.run(args.cycles if args.cycles is not None
                 else scale.run_cycles)
         _print_result(collect_result(sim, "cli"))
+        if sim.telemetry is not None:
+            sim.telemetry.close()
         print("\nwall-time by phase:")
         print(profiler.report())
     else:
         result = run_simulation(scale, power, factory, label="cli",
                                 seed=args.seed, cycles=args.cycles,
-                                faults=faults, validate=args.validate)
+                                faults=faults, validate=args.validate,
+                                telemetry=telemetry)
         _print_result(result)
+    if args.trace is not None:
+        print(f"\ntrace written to {args.trace}")
     return 0
 
 
@@ -225,18 +287,58 @@ def _command_table2() -> int:
 
 
 def _command_trace(args) -> int:
-    from repro.traffic.splash import generate_splash_trace, mean_packet_size
-    from repro.traffic.trace import write_trace_file
+    if args.trace_command == "synth":
+        from repro.traffic.splash import generate_splash_trace, mean_packet_size
+        from repro.traffic.trace import write_trace_file
 
-    records = generate_splash_trace(
-        args.benchmark, args.nodes, args.duration,
-        seed=args.seed, intensity=args.intensity,
-    )
-    out = args.out or f"{args.benchmark}.trace"
-    count = write_trace_file(records, out)
-    print(f"wrote {count} records to {out} "
-          f"(mean packet {mean_packet_size(records):.1f} flits)")
-    return 0
+        records = generate_splash_trace(
+            args.benchmark, args.nodes, args.duration,
+            seed=args.seed, intensity=args.intensity,
+        )
+        out = args.out or f"{args.benchmark}.trace"
+        count = write_trace_file(records, out)
+        print(f"wrote {count} records to {out} "
+              f"(mean packet {mean_packet_size(records):.1f} flits)")
+        return 0
+    if args.trace_command == "convert":
+        from repro.telemetry.export import iter_trace, to_csv, \
+            write_chrome_trace
+
+        if args.format == "chrome":
+            out = args.out or f"{args.input}.json"
+            count = write_chrome_trace(iter_trace(args.input), out)
+            print(f"wrote {count} trace events to {out} "
+                  f"(open at https://ui.perfetto.dev)")
+        else:
+            out = args.out or f"{args.input}.{args.kind}.csv"
+            count = to_csv(iter_trace(args.input), args.kind, out)
+            print(f"wrote {count} {args.kind} rows to {out}")
+        return 0
+    if args.trace_command == "summarize":
+        from repro.telemetry.export import iter_trace, summarize_trace
+
+        summary = summarize_trace(iter_trace(args.input))
+        rows = [["events", summary["events"]],
+                ["first cycle", summary["first_cycle"]],
+                ["last cycle", summary["last_cycle"]],
+                ["links seen", summary["links_seen"]]]
+        for kind, count in sorted(summary["counts"].items()):
+            rows.append([f"  {kind}", count])
+        for key in ("power_min_w", "power_mean_w", "power_max_w",
+                    "packet_mean_latency"):
+            if key in summary:
+                rows.append([key, f"{summary[key]:.3f}"])
+        print(format_table(["metric", "value"], rows))
+        power_series = [
+            record["watts"] for record in iter_trace(args.input)
+            if record.get("kind") == "power"
+        ]
+        if power_series:
+            print("\npower over time:")
+            print("  " + sparkline(power_series))
+        return 0
+    raise AssertionError(
+        f"unhandled trace command {args.trace_command!r}")
 
 
 def _command_sweep(args) -> int:

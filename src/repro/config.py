@@ -22,8 +22,9 @@ from typing import TYPE_CHECKING
 from repro.errors import ConfigError
 from repro.photonics.constants import MAX_BIT_RATE
 
-if TYPE_CHECKING:  # pragma: no cover - typing-only import (cycle guard)
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports (cycle guard)
     from repro.reliability.config import FaultConfig
+    from repro.telemetry.config import TelemetryConfig
 
 VCSEL = "vcsel"
 MODULATOR = "modulator"
@@ -283,6 +284,10 @@ class SimulationConfig:
     #: Run :func:`repro.network.validation.validate_topology` on the wired
     #: mesh at simulator construction and refuse to start on any finding.
     validate_topology: bool = False
+    #: Optional run-trace recording (see :mod:`repro.telemetry`).  ``None``
+    #: (the default) builds no recorder and registers no hooks — the run
+    #: is bit-identical to a build without the telemetry subsystem.
+    telemetry: TelemetryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.warmup_cycles < 0:

@@ -149,13 +149,14 @@ class NetworkPowerManager:
     def on_cycle(self, now: int) -> None:
         """Advance transitions; run window/epoch logic on boundaries."""
         if self._transitioning:
-            done = []
-            for pal in self._transitioning:
+            # Iterate a snapshot sorted by link_id: the determinism contract
+            # forbids unordered-set iteration in any decision path, and the
+            # snapshot also makes the discards below safe.
+            for pal in sorted(self._transitioning,
+                              key=lambda p: p.link.link_id):
                 pal.advance(now)
                 if not pal.engine.in_transition:
-                    done.append(pal)
-            for pal in done:
-                self._transitioning.discard(pal)
+                    self._transitioning.discard(pal)
         if now > 0 and now % self.window == 0:
             self._run_window(now)
         if self.multi_optical and now > 0 and now % self.epoch == 0:
@@ -167,9 +168,13 @@ class NetworkPowerManager:
         start = now - self.window
         hooks = self.hooks
         transition_hooks = hooks.transition if hooks is not None else ()
+        policy_hooks = hooks.policy if hooks is not None else ()
         wheel = self._wheel
         for pal in self.links:
             decision = pal.on_window(start, now)
+            if policy_hooks:
+                for callback in policy_hooks:
+                    callback(pal, pal.last_lu, pal.last_bu, decision, now)
             if transition_hooks and decision != HOLD:
                 for callback in transition_hooks:
                     callback(pal, decision, now)
@@ -214,6 +219,10 @@ class NetworkPowerManager:
         """Record and return the instantaneous network link power, watts."""
         total = sum(pal.current_power() for pal in self.links)
         self.power_series.append((now, total))
+        hooks = self.hooks
+        if hooks is not None and hooks.power_sample:
+            for callback in hooks.power_sample:
+                callback(now, total)
         return total
 
     # -- results ---------------------------------------------------------------

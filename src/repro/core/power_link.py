@@ -20,6 +20,8 @@ every billing change with its precise timestamp.
 
 from __future__ import annotations
 
+import math
+
 from repro.config import PolicyConfig, TransitionConfig
 from repro.core.laser_policy import OpticalPowerController
 from repro.core.levels import BitRateLadder
@@ -37,6 +39,7 @@ class PowerAwareLink:
         "link", "ladder", "engine", "policy", "optical", "downstream_buffer",
         "level_powers", "energy_watt_cycles", "_last_charge", "pending_up",
         "windows_observed", "step_down_guard", "guard_holds",
+        "last_lu", "last_bu", "last_step_accepted",
     )
 
     def __init__(self, link: Link, ladder: BitRateLadder,
@@ -69,6 +72,14 @@ class PowerAwareLink:
         self.step_down_guard = None
         #: Down-steps vetoed by the margin guard.
         self.guard_holds = 0
+        #: Most recent window's utilisation readings (telemetry ``policy``
+        #: hook payload; NaN until the first window closes).
+        self.last_lu = math.nan
+        self.last_bu = math.nan
+        #: Whether this window's step request was accepted by the
+        #: transition engine (False for holds, deferred/rejected steps and
+        #: ladder-end no-ops) — telemetry ``transition`` hook payload.
+        self.last_step_accepted = False
 
     # -- energy accounting ----------------------------------------------------
 
@@ -105,7 +116,9 @@ class PowerAwareLink:
         """Window-boundary policy evaluation; returns the decision taken."""
         self.windows_observed += 1
         window = end - start
-        busy = self.link.take_busy_time()
+        # Pass the window end so serialisation time straddling the boundary
+        # is carried into the next window (exact per-window Lu).
+        busy = self.link.take_busy_time(end)
         pressure = self.link.take_pressure_time()
         if self.policy.config.pressure_aware_utilisation:
             busy = max(busy, pressure)
@@ -117,6 +130,9 @@ class PowerAwareLink:
             ) / len(buffers)
         else:
             bu = 0.0
+        self.last_lu = lu
+        self.last_bu = bu
+        self.last_step_accepted = False
         level = self.engine.level
         if level > 0:
             down_ratio = self.ladder.rate(level) / self.ladder.rate(level - 1)
@@ -134,7 +150,8 @@ class PowerAwareLink:
             )
             if self.optical.can_support(target_rate, end):
                 self.pending_up = False
-                self.engine.request_step(STEP_UP, end)
+                self.last_step_accepted = \
+                    self.engine.request_step(STEP_UP, end)
             return decision
 
         if decision == STEP_UP:
@@ -145,7 +162,8 @@ class PowerAwareLink:
                     self.optical.request_increase(target_rate, end)
                     self.pending_up = True
                 else:
-                    self.engine.request_step(STEP_UP, end)
+                    self.last_step_accepted = \
+                        self.engine.request_step(STEP_UP, end)
         elif decision == STEP_DOWN:
             guard = self.step_down_guard
             if guard is not None and self.engine.level > 0 \
@@ -156,7 +174,8 @@ class PowerAwareLink:
                 self.guard_holds += 1
                 decision = HOLD
             else:
-                self.engine.request_step(STEP_DOWN, end)
+                self.last_step_accepted = \
+                    self.engine.request_step(STEP_DOWN, end)
         return decision
 
     # -- reporting ------------------------------------------------------------

@@ -19,10 +19,23 @@ Events
 ``transition``
     ``cb(power_link, decision, now)`` for every non-hold policy decision
     (the :data:`~repro.core.policy.STEP_UP`/``STEP_DOWN`` constants).
+``policy``
+    ``cb(power_link, lu, bu, decision, now)`` for *every* link's
+    window-boundary policy evaluation (including holds), carrying the
+    utilisation readings the decision was made from.  Fired per link per
+    window, so it is cheap in aggregate but hotter than ``window``.
+``power_sample``
+    ``cb(now, watts)`` after each instantaneous network power sample is
+    recorded to the power series.
 ``delivery``
     ``cb(link, flit, now)`` for every flit delivered off a link into a
     downstream buffer or node sink.  This is the hottest hook; it is only
     evaluated while at least one callback is registered.
+``packet_delivered``
+    ``cb(packet, now)`` when a packet's tail flit reaches its destination
+    node (fired through the stats collector).  Use this for packet-level
+    observation: it fires once per packet, not once per flit per link
+    like ``delivery``, so it is orders of magnitude cheaper.
 ``fault``
     ``cb(link, flit, now)`` when a flit fails its CRC check at the
     receiving end of a link (fault-injected runs only).
@@ -40,8 +53,9 @@ from collections.abc import Callable
 from repro.errors import ConfigError
 
 #: The hook points a :class:`HookRegistry` exposes.
-EVENTS = ("phase_start", "phase_end", "window", "transition", "delivery",
-          "fault", "retransmit", "link_failure")
+EVENTS = ("phase_start", "phase_end", "window", "transition", "policy",
+          "power_sample", "delivery", "packet_delivered", "fault",
+          "retransmit", "link_failure")
 
 
 class HookRegistry:

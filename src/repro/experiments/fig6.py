@@ -154,6 +154,30 @@ def technology_power_comparison(scale: ExperimentScale, seed: int = 1
     return out
 
 
+def power_over_time_from_trace(trace_path: str) -> list[tuple[int, float]]:
+    """Rebuild the Fig. 6(d) ``(cycle, watts)`` series from a trace alone.
+
+    Any run recorded with the ``power`` telemetry kind (``repro run
+    --trace out.jsonl``) carries the full power-over-time series in its
+    trace file; no simulator state is needed to re-plot it.
+    """
+    from repro.telemetry.export import iter_trace, power_series_from_trace
+
+    return power_series_from_trace(iter_trace(trace_path))
+
+
+def relative_power_from_trace(trace_path: str, scale: ExperimentScale,
+                              power) -> list[tuple[int, float]]:
+    """Fig. 6(d) relative-power-over-time, rebuilt from a JSONL trace.
+
+    Normalises the trace's power samples against the scale's
+    non-power-aware baseline (every link at P_max), exactly like
+    :func:`technology_power_comparison` does for an in-process run.
+    """
+    series = power_over_time_from_trace(trace_path)
+    return normalise_power_series(series, baseline_link_power(scale, power))
+
+
 def _run_with_latency_series(scale: ExperimentScale, power,
                              factory: TrafficFactory, *, label: str,
                              seed: int) -> dict:

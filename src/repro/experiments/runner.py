@@ -30,6 +30,7 @@ from repro.experiments.configs import ExperimentScale
 from repro.metrics.summary import NormalisedResult, RunResult, normalise
 from repro.network.simulator import Simulator
 from repro.reliability.config import FaultConfig
+from repro.telemetry.config import TelemetryConfig
 from repro.traffic.base import TrafficSource
 
 #: Builds a fresh traffic source: (num_nodes, seed) -> source.  Sources are
@@ -45,7 +46,8 @@ def build_simulator(network: NetworkConfig,
                     *, seed: int, warmup_cycles: int,
                     sample_interval: int,
                     faults: FaultConfig | None = None,
-                    validate: bool = False) -> Simulator:
+                    validate: bool = False,
+                    telemetry: TelemetryConfig | None = None) -> Simulator:
     """Construct a ready-to-run simulator."""
     config = SimulationConfig(
         network=network,
@@ -55,6 +57,7 @@ def build_simulator(network: NetworkConfig,
         sample_interval=sample_interval,
         faults=faults,
         validate_topology=validate,
+        telemetry=telemetry,
     )
     traffic = traffic_factory(network.num_nodes, seed)
     return Simulator(config, traffic)
@@ -93,20 +96,24 @@ def run_simulation(scale: ExperimentScale,
                    cycles: int | None = None,
                    drain: bool = False,
                    faults: FaultConfig | None = None,
-                   validate: bool = False) -> RunResult:
+                   validate: bool = False,
+                   telemetry: TelemetryConfig | None = None) -> RunResult:
     """One configured run at an experiment scale."""
     sim = build_simulator(
         scale.network, power, traffic_factory,
         seed=seed, warmup_cycles=scale.warmup_cycles,
         sample_interval=scale.sample_interval,
-        faults=faults, validate=validate,
+        faults=faults, validate=validate, telemetry=telemetry,
     )
     budget = cycles if cycles is not None else scale.run_cycles
     if drain:
         sim.run_until_drained(budget)
     else:
         sim.run(budget)
-    return collect_result(sim, label)
+    result = collect_result(sim, label)
+    if sim.telemetry is not None:
+        sim.telemetry.close()
+    return result
 
 
 def run_pair(scale: ExperimentScale, power: PowerAwareConfig,

@@ -175,10 +175,26 @@ class Link:
             raise ConfigError(f"disable cycles must be >= 0, got {cycles!r}")
         self.disabled_until = max(self.disabled_until, now + cycles)
 
-    def take_busy_time(self) -> float:
-        """Return and reset the accumulated busy time (Eq. 10 numerator)."""
+    def take_busy_time(self, now: float | None = None) -> float:
+        """Return and reset the accumulated busy time (Eq. 10 numerator).
+
+        ``push`` bills a flit's full service time up front, so a flit that
+        straddles a sampling-window boundary would otherwise be counted
+        entirely in the window where the push happened.  Passing the window
+        end as ``now`` pro-rates that flit: the serialisation time still
+        ahead (``free_at - now``) is carried into the next window instead of
+        being billed to this one, making per-window Lu exact.  With ``now``
+        omitted the full accumulator is taken (manual probes, tests).
+        """
         busy = self.busy_accum
-        self.busy_accum = 0.0
+        if now is not None and self.free_at > now:
+            carry = self.free_at - now
+            if carry > busy:  # pragma: no cover - defensive (push invariant)
+                carry = busy
+            busy -= carry
+            self.busy_accum = carry
+        else:
+            self.busy_accum = 0.0
         return busy
 
     def take_pressure_time(self) -> float:

@@ -52,6 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only imports (cycle guard)
     from repro.core.manager import NetworkPowerManager
     from repro.network.router import Router
     from repro.reliability.manager import ReliabilityManager
+    from repro.telemetry.recorder import TraceRecorder
 
 #: Cycles between stall-watchdog progress checks.
 WATCHDOG_INTERVAL = 256
@@ -75,7 +76,10 @@ class StallWatchdog:
     def __init__(self, sim: "Simulator", limit: int):
         self.sim = sim
         self.limit = limit
-        self._last_progress_cycle = 0
+        # Start from the simulator's current cycle, not 0: a watchdog
+        # attached to a simulator that has already run would otherwise
+        # report a bogus stall spanning the whole pre-attach history.
+        self._last_progress_cycle = sim.cycle
 
     def attach(self) -> "StallWatchdog":
         self.sim.hooks.add("delivery", self._on_delivery)
@@ -134,6 +138,9 @@ class Simulator:
             )
         self.cycle = 0
         self.hooks = HookRegistry()
+        # Alias (not copy): the stats collector fires the registry's
+        # packet_delivered list directly, so add/remove stay in sync.
+        self.stats.packet_hooks = self.hooks.packet_delivered
         if self.power is not None:
             self.power.hooks = self.hooks
         self.step_all = step_all
@@ -144,6 +151,15 @@ class Simulator:
         self._last_delivery_count = 0
         self._last_delivery_cycle = 0
         self.reliability: "ReliabilityManager | None" = None
+        self.telemetry: "TraceRecorder | None" = None
+        if config.telemetry is not None:
+            # Imported here to break the package cycle (the recorder
+            # observes simulator hooks).  Attaching is pure observation:
+            # runs with and without a recorder are bit-identical
+            # (property-tested), in either engine mode.
+            from repro.telemetry.recorder import TraceRecorder
+
+            self.telemetry = TraceRecorder(config.telemetry).attach(self)
         if step_all:
             if config.faults is not None:
                 raise ConfigError(
@@ -331,6 +347,12 @@ class Simulator:
         drain check runs every ``poll_interval`` cycles *relative to the
         starting cycle*, so resuming from an arbitrary cycle still polls on
         schedule.
+
+        Each poll interval is executed as one :meth:`run` batch, so the
+        cycles between drain checks go through the same uninstrumented fast
+        path ``run`` uses instead of paying the per-call :meth:`step` hook
+        check every cycle (regression-tested bit-identical to the stepped
+        loop).
         """
         if max_cycles < 1:
             raise ConfigError("max_cycles must be >= 1")
@@ -341,9 +363,9 @@ class Simulator:
         start = self.cycle
         deadline = start + max_cycles
         while self.cycle < deadline:
-            self.step()
-            if (self.cycle - start) % poll_interval == 0 \
-                    and self._is_drained():
+            chunk = min(poll_interval, deadline - self.cycle)
+            self.run(chunk)
+            if chunk == poll_interval and self._is_drained():
                 return True
         return self._is_drained()
 
@@ -362,9 +384,11 @@ class Simulator:
         )
 
     def finalize(self) -> None:
-        """Flush power-accounting integrals at the end of a run."""
+        """Flush power-accounting integrals and telemetry buffers."""
         if self.power is not None:
             self.power.finalize(self.cycle)
+        if self.telemetry is not None:
+            self.telemetry.flush()
 
     # -- results ----------------------------------------------------------------
 

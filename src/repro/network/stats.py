@@ -18,6 +18,7 @@ transients.
 from __future__ import annotations
 
 import math
+from bisect import insort
 
 from repro.errors import ConfigError
 from repro.network.packet import Packet
@@ -39,8 +40,20 @@ class StatsCollector:
         self.measured_delivered = 0
         self.latency_sum = 0.0
         self.latency_max = 0.0
-        self.latencies: list[float] = []
+        # Latencies are kept as a sorted value -> count histogram rather
+        # than one unbounded list per packet: memory is O(distinct latency
+        # values) instead of O(packets), and percentile queries walk the
+        # already-sorted keys instead of re-sorting millions of samples on
+        # every summary() call.  Latency values repeat heavily (they are
+        # integer cycle counts), so multi-million-packet runs stay small.
+        self._latency_counts: dict[float, int] = {}
+        self._latency_order: list[float] = []
         self.in_flight = 0
+        #: ``cb(packet, now)`` callbacks fired once per delivered packet.
+        #: The simulator aliases this to its hook registry's
+        #: ``packet_delivered`` list, so observers attach through
+        #: ``Simulator.hooks`` as usual; empty costs one truthiness check.
+        self.packet_hooks: list = []
         # Time series: one bucket per sample_interval of (created, delivered)
         # counts and delivered-latency sums (for mean-latency-over-time).
         self._created_series: list[int] = []
@@ -77,9 +90,18 @@ class StatsCollector:
             latency = now - packet.create_time
             self.measured_delivered += 1
             self.latency_sum += latency
-            self.latencies.append(latency)
+            count = self._latency_counts.get(latency)
+            if count is None:
+                insort(self._latency_order, latency)
+                self._latency_counts[latency] = 1
+            else:
+                self._latency_counts[latency] = count + 1
             if latency > self.latency_max:
                 self.latency_max = latency
+        hooks = self.packet_hooks
+        if hooks:
+            for callback in hooks:
+                callback(packet, now)
 
     @property
     def mean_latency(self) -> float:
@@ -88,15 +110,28 @@ class StatsCollector:
             return math.nan
         return self.latency_sum / self.measured_delivered
 
+    @property
+    def latencies(self) -> list[float]:
+        """Every measured latency, in ascending order (expanded view)."""
+        out: list[float] = []
+        for value in self._latency_order:
+            out.extend([value] * self._latency_counts[value])
+        return out
+
     def latency_percentile(self, fraction: float) -> float:
         """Latency percentile over measured packets (``fraction`` in [0,1])."""
         if not 0.0 <= fraction <= 1.0:
             raise ConfigError(f"fraction must lie in [0, 1], got {fraction!r}")
-        if not self.latencies:
+        total = self.measured_delivered
+        if total == 0:
             return math.nan
-        ordered = sorted(self.latencies)
-        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
-        return ordered[index]
+        index = min(total - 1, int(round(fraction * (total - 1))))
+        seen = 0
+        for value in self._latency_order:
+            seen += self._latency_counts[value]
+            if index < seen:
+                return value
+        return self._latency_order[-1]  # pragma: no cover - defensive
 
     def accepted_rate(self, total_cycles: int) -> float:
         """Delivered packets per cycle over the whole run."""

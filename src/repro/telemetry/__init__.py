@@ -1,0 +1,61 @@
+"""Run telemetry: typed trace events, bounded sinks, Perfetto/CSV export.
+
+The subsystem is default-off and attaches purely through
+:attr:`Simulator.hooks <repro.network.simulator.Simulator.hooks>`: set
+``SimulationConfig.telemetry`` to a :class:`TelemetryConfig` (or attach a
+:class:`TraceRecorder` by hand) and the run streams typed, timestamped
+events — ladder transitions, per-window policy records, power samples,
+reliability events and packet lifecycle samples — to a bounded sink.  See
+``docs/telemetry.md`` for the event schema and the Perfetto workflow.
+"""
+
+from repro.telemetry.config import ALL_KINDS, TelemetryConfig, parse_kinds
+from repro.telemetry.events import (
+    EVENT_TYPES,
+    FaultEvent,
+    LinkFailureEvent,
+    PacketEvent,
+    PolicyEvent,
+    PowerEvent,
+    RetransmitEvent,
+    TransitionEvent,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.telemetry.export import (
+    iter_trace,
+    power_series_from_trace,
+    read_trace,
+    summarize_trace,
+    to_chrome_trace,
+    to_csv,
+    write_chrome_trace,
+)
+from repro.telemetry.recorder import TraceRecorder
+from repro.telemetry.sinks import JsonlFileSink, RingBufferSink
+
+__all__ = [
+    "ALL_KINDS",
+    "TelemetryConfig",
+    "parse_kinds",
+    "EVENT_TYPES",
+    "TransitionEvent",
+    "PolicyEvent",
+    "PowerEvent",
+    "PacketEvent",
+    "FaultEvent",
+    "RetransmitEvent",
+    "LinkFailureEvent",
+    "event_to_dict",
+    "event_from_dict",
+    "iter_trace",
+    "read_trace",
+    "power_series_from_trace",
+    "summarize_trace",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_csv",
+    "TraceRecorder",
+    "RingBufferSink",
+    "JsonlFileSink",
+]

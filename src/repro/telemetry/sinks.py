@@ -1,0 +1,116 @@
+"""Bounded event sinks.
+
+Both sinks accept the typed events of :mod:`repro.telemetry.events` via
+``emit`` and guarantee O(config) memory however long the run:
+
+* :class:`RingBufferSink` keeps the newest ``capacity`` events in memory
+  and counts what it dropped;
+* :class:`JsonlFileSink` streams events as one JSON object per line and
+  rotates the file when it would exceed ``rotate_bytes`` (keeping at most
+  ``max_files`` rotated segments: ``trace.jsonl.1`` is the newest).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.telemetry.events import event_to_dict
+
+
+class RingBufferSink:
+    """Keep the newest ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 65_536):
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        self._events: deque[Any] = deque(maxlen=capacity)
+        #: Events evicted because the buffer was full.
+        self.dropped = 0
+        self.emitted = 0
+
+    def emit(self, event: Any) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+        self.emitted += 1
+
+    def events(self) -> list[Any]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def flush(self) -> None:
+        """No-op (memory sink); present for sink interface symmetry."""
+
+    def close(self) -> None:
+        """No-op (memory sink); present for sink interface symmetry."""
+
+
+class JsonlFileSink:
+    """Stream events to a JSONL file, rotating past a byte budget."""
+
+    def __init__(self, path: str, *, rotate_bytes: int | None = None,
+                 max_files: int = 4):
+        if rotate_bytes is not None and rotate_bytes < 1:
+            raise ConfigError(
+                f"rotate_bytes must be >= 1 or None, got {rotate_bytes!r}"
+            )
+        if max_files < 1:
+            raise ConfigError(f"max_files must be >= 1, got {max_files!r}")
+        self.path = path
+        self.rotate_bytes = rotate_bytes
+        self.max_files = max_files
+        self.emitted = 0
+        self.rotations = 0
+        self._bytes = 0
+        self._file = open(path, "w", encoding="utf-8")
+
+    def emit(self, event: Any) -> None:
+        line = json.dumps(event_to_dict(event), separators=(",", ":"))
+        size = len(line) + 1
+        if self.rotate_bytes is not None and self._bytes > 0 \
+                and self._bytes + size > self.rotate_bytes:
+            self._rotate()
+        self._file.write(line)
+        self._file.write("\n")
+        self._bytes += size
+        self.emitted += 1
+
+    def _rotate(self) -> None:
+        """Shift ``path`` -> ``path.1`` -> ... -> ``path.max_files``."""
+        self._file.close()
+        oldest = f"{self.path}.{self.max_files}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for index in range(self.max_files - 1, 0, -1):
+            src = f"{self.path}.{index}"
+            if os.path.exists(src):
+                os.replace(src, f"{self.path}.{index + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        self._file = open(self.path, "w", encoding="utf-8")
+        self._bytes = 0
+        self.rotations += 1
+
+    def flush(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlFileSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

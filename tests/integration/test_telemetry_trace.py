@@ -1,0 +1,77 @@
+"""Integration: a JSONL trace is self-sufficient for the Fig. 6(d) plot.
+
+Runs the scaled hot-spot workload with telemetry streaming to disk, then
+rebuilds the power-over-time series from the trace file *alone* and checks
+it is exactly the series the simulator reported in-process.
+"""
+
+from repro.config import (
+    NetworkConfig,
+    PolicyConfig,
+    PowerAwareConfig,
+    TransitionConfig,
+)
+from repro.experiments.configs import ExperimentScale, baseline_link_power
+from repro.experiments.fig6 import (
+    hotspot_factory,
+    power_over_time_from_trace,
+    relative_power_from_trace,
+)
+from repro.experiments.runner import run_simulation
+from repro.metrics.energy import normalise_power_series
+from repro.telemetry.config import KIND_POWER, TelemetryConfig
+
+NETWORK = NetworkConfig(mesh_width=2, mesh_height=2, nodes_per_cluster=2,
+                        buffer_depth=8, num_vcs=2)
+
+SCALE = ExperimentScale(
+    name="trace-test", network=NETWORK, run_cycles=2000,
+    slow_constant_divisor=1, warmup_cycles=0, sample_interval=100,
+    policy_window_cycles=60,
+)
+
+POWER = PowerAwareConfig(
+    policy=PolicyConfig(window_cycles=60, history_windows=1),
+    transitions=TransitionConfig(
+        bit_rate_transition_cycles=2, voltage_transition_cycles=10,
+        optical_transition_cycles=300, laser_epoch_cycles=400,
+    ),
+)
+
+
+class TestFig6FromTrace:
+    def test_power_series_rebuilt_exactly_from_trace(self, tmp_path):
+        trace = tmp_path / "fig6.jsonl"
+        telemetry = TelemetryConfig(kinds=(KIND_POWER,), path=str(trace))
+        result = run_simulation(
+            SCALE, POWER, hotspot_factory(SCALE),
+            label="fig6d/traced", seed=3, telemetry=telemetry,
+        )
+        assert trace.exists()
+        rebuilt = power_over_time_from_trace(str(trace))
+        assert rebuilt == [tuple(p) for p in result.power_series]
+        assert len(rebuilt) > 10
+
+        relative = relative_power_from_trace(str(trace), SCALE, POWER)
+        expected = normalise_power_series(
+            list(result.power_series), baseline_link_power(SCALE, POWER)
+        )
+        assert relative == expected
+        # The power-aware run must actually modulate power for the plot
+        # to be interesting.
+        fractions = [fraction for _, fraction in relative]
+        assert min(fractions) < max(fractions) <= 1.0
+
+    def test_traced_run_matches_untraced_run(self, tmp_path):
+        telemetry = TelemetryConfig(
+            path=str(tmp_path / "all.jsonl"),  # every kind enabled
+        )
+        traced = run_simulation(
+            SCALE, POWER, hotspot_factory(SCALE),
+            label="fig6d/x", seed=3, telemetry=telemetry,
+        )
+        plain = run_simulation(
+            SCALE, POWER, hotspot_factory(SCALE),
+            label="fig6d/x", seed=3,
+        )
+        assert traced == plain

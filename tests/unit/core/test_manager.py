@@ -231,3 +231,47 @@ class TestModelReplacement:
         assert manager.baseline_power() == pytest.approx(
             len(manager.links) * model.max_power
         )
+
+
+class TestTransitionIterationDeterminism:
+    """Regression: on_cycle used to iterate the ``_transitioning`` set
+    directly.  PowerAwareLink hashes by identity, so the visit order varied
+    between processes — a violation of the determinism contract ("no
+    unordered-set iteration in any decision path").  The fix iterates a
+    snapshot sorted by link_id."""
+
+    def test_on_cycle_advances_transitioning_links_in_id_order(
+            self, monkeypatch):
+        from repro.core.power_link import PowerAwareLink
+
+        manager, _ = make_manager(window=50)
+        order: list[int] = []
+        original = PowerAwareLink.advance
+
+        def spy(self, now):
+            order.append(self.link.link_id)
+            original(self, now)
+
+        monkeypatch.setattr(PowerAwareLink, "advance", spy)
+        # An idle first window makes every link request a down-step at the
+        # same boundary: all of them enter _transitioning together.
+        for now in range(1, 51):
+            manager.on_cycle(now)
+        assert len(manager._transitioning) == len(manager.links)
+        order.clear()
+        manager.on_cycle(51)
+        assert len(order) == len(manager.links)
+        assert order == sorted(order)
+
+    def test_completed_transitions_discarded_during_iteration(self):
+        manager, _ = make_manager(window=50)
+        for now in range(1, 51):
+            manager.on_cycle(now)
+        assert manager._transitioning
+        # The 12-cycle down transitions (2 relock + 10 ramp) all finish
+        # well before the next window; the snapshot iteration must be able
+        # to discard every one of them mid-loop without skipping any.
+        for now in range(51, 70):
+            manager.on_cycle(now)
+        assert not manager._transitioning
+        assert all(pal.engine.steps_down == 1 for pal in manager.links)

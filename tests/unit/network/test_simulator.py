@@ -199,3 +199,96 @@ class TestSummary:
         summary = sim.summary()
         assert 0.0 < summary["relative_power"] <= 1.0
         assert summary["cycles"] == 1000.0
+
+
+class DelayedOneShot(TrafficSource):
+    """Injects one packet at a configurable (late) cycle."""
+
+    def __init__(self, num_nodes, at, src=0, dst=None, size=4):
+        super().__init__(num_nodes)
+        self.at = at
+        self.src = src
+        self.dst = num_nodes - 1 if dst is None else dst
+        self.size = size
+        self._sent = False
+
+    def generate(self, now):
+        if now == self.at and not self._sent:
+            self._sent = True
+            return [self._make_packet(self.src, self.dst, self.size, now)]
+        return []
+
+    def exhausted(self, now):
+        return self._sent
+
+
+class TestStallWatchdogLateAttach:
+    """Regression: StallWatchdog initialised ``_last_progress_cycle`` to 0,
+    so one attached to a simulator that had already run reported a bogus
+    stall spanning the whole pre-attach history.  It must start from the
+    simulator's current cycle."""
+
+    def test_no_bogus_stall_after_late_attach(self, tiny_network):
+        from repro.config import SimulationConfig
+        from repro.network.simulator import StallWatchdog
+
+        config = SimulationConfig(network=tiny_network, power=None,
+                                  sample_interval=100,
+                                  stall_limit_cycles=0)
+        nodes = tiny_network.num_nodes
+        sim = Simulator(config, DelayedOneShot(nodes, at=1000))
+        sim.run(1000)  # a silent kilocycle before the watchdog exists
+        watchdog = StallWatchdog(sim, limit=256).attach()
+        assert watchdog._last_progress_cycle == 1000
+        # The packet injected at cycle 1000 is in flight when the first
+        # check fires; with the old zero init this raised SimulationError
+        # ("no flit delivered for 1000 cycles").
+        sim.run(300)
+        assert sim.stats.packets_delivered == 1
+
+
+class TestDrainBatching:
+    """Regression: run_until_drained must stay bit-identical to the
+    stepped reference loop it replaced (one step() per cycle, drain check
+    on poll-interval boundaries relative to the start)."""
+
+    def _stepped_reference(self, sim, max_cycles, poll_interval):
+        start = sim.cycle
+        while sim.cycle - start < max_cycles:
+            sim.step()
+            if (sim.cycle - start) % poll_interval == 0 \
+                    and sim._is_drained():
+                return True
+        return sim._is_drained()
+
+    def test_batched_matches_stepped_reference(self, tiny_sim_config):
+        nodes = tiny_sim_config.network.num_nodes
+
+        def make():
+            return Simulator(tiny_sim_config,
+                             OneShotTraffic(nodes, 0, nodes - 1, 4))
+
+        batched = make()
+        reference = make()
+        poll = 7  # deliberately not a divisor of anything interesting
+        drained_a = batched.run_until_drained(2000, poll_interval=poll)
+        drained_b = self._stepped_reference(reference, 2000, poll)
+        assert drained_a is True and drained_b is True
+        assert batched.cycle == reference.cycle
+        assert batched.summary() == reference.summary()
+
+    def test_batched_matches_reference_when_never_draining(
+            self, tiny_sim_config):
+        nodes = tiny_sim_config.network.num_nodes
+
+        def make():
+            traffic = UniformRandomTraffic(nodes, 0.1, seed=5)
+            return Simulator(tiny_sim_config, traffic)
+
+        batched = make()
+        reference = make()
+        drained_a = batched.run_until_drained(500, poll_interval=64)
+        drained_b = self._stepped_reference(reference, 500, 64)
+        assert drained_a is False and drained_b is False
+        assert batched.cycle == reference.cycle == 500
+        assert batched.summary() == reference.summary()

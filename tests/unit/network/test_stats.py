@@ -118,3 +118,40 @@ class TestSeries:
                     "p95_latency", "max_latency", "accepted_rate",
                     "in_flight"):
             assert key in summary
+
+
+class TestLatencyHistogram:
+    """Regression: latencies used to be an unbounded per-packet list,
+    re-sorted on every summary() call.  The sorted value->count histogram
+    must report the exact same percentiles with O(distinct values) memory."""
+
+    def test_percentile_matches_sorted_list_reference(self):
+        import random
+
+        rng = random.Random(7)
+        stats = StatsCollector()
+        reference = []
+        for pid in range(500):
+            create = rng.randrange(0, 1000)
+            eject = create + rng.randrange(1, 60)
+            deliver(stats, create, eject, pid)
+            reference.append(eject - create)
+        reference.sort()
+        for fraction in (0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0):
+            index = min(len(reference) - 1,
+                        int(round(fraction * (len(reference) - 1))))
+            assert stats.latency_percentile(fraction) == reference[index]
+
+    def test_memory_bounded_by_distinct_values(self):
+        stats = StatsCollector()
+        for pid in range(10_000):
+            deliver(stats, 0, 1 + pid % 7, pid)
+        assert len(stats._latency_order) == 7
+        assert len(stats._latency_counts) == 7
+        assert sum(stats._latency_counts.values()) == 10_000
+
+    def test_latencies_property_expands_sorted(self):
+        stats = StatsCollector()
+        for pid, latency in enumerate((5, 2, 5, 9, 2, 2)):
+            deliver(stats, 0, latency, pid)
+        assert stats.latencies == [2, 2, 2, 5, 5, 9]

@@ -1,0 +1,97 @@
+"""Unit tests for the bounded event sinks."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry.events import PowerEvent
+from repro.telemetry.sinks import JsonlFileSink, RingBufferSink
+
+
+def make_events(n):
+    return [PowerEvent(cycle=i, watts=float(i)) for i in range(n)]
+
+
+class TestRingBufferSink:
+    def test_keeps_newest_and_counts_drops(self):
+        sink = RingBufferSink(capacity=3)
+        for event in make_events(5):
+            sink.emit(event)
+        assert sink.emitted == 5
+        assert sink.dropped == 2
+        assert [e.cycle for e in sink.events()] == [2, 3, 4]
+
+    def test_no_drops_under_capacity(self):
+        sink = RingBufferSink(capacity=10)
+        for event in make_events(4):
+            sink.emit(event)
+        assert sink.dropped == 0
+        assert len(sink.events()) == 4
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigError):
+            RingBufferSink(capacity=0)
+
+    def test_flush_and_close_are_noops(self):
+        sink = RingBufferSink(capacity=2)
+        sink.flush()
+        sink.close()
+        assert sink.events() == []
+
+
+class TestJsonlFileSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlFileSink(str(path)) as sink:
+            for event in make_events(3):
+                sink.emit(event)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert json.loads(lines[0]) == {"kind": "power", "cycle": 0,
+                                        "watts": 0.0}
+
+    def test_rotation_shifts_segments(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlFileSink(str(path), rotate_bytes=80, max_files=2)
+        for event in make_events(20):
+            sink.emit(event)
+        sink.close()
+        assert sink.rotations > 0
+        assert os.path.exists(f"{path}.1")
+        # At most max_files rotated segments survive.
+        assert not os.path.exists(f"{path}.3")
+        # Newest rotated segment holds older events than the live file.
+        live_first = json.loads(path.read_text().splitlines()[0])
+        rot_first = json.loads(
+            (tmp_path / "t.jsonl.1").read_text().splitlines()[0])
+        assert rot_first["cycle"] < live_first["cycle"]
+        # Every surviving line is valid JSON.
+        for name in (path, tmp_path / "t.jsonl.1", tmp_path / "t.jsonl.2"):
+            if os.path.exists(name):
+                for line in open(name, encoding="utf-8"):
+                    json.loads(line)
+
+    def test_oldest_segment_deleted(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlFileSink(str(path), rotate_bytes=40, max_files=1)
+        for event in make_events(30):
+            sink.emit(event)
+        sink.close()
+        assert sink.rotations >= 3
+        assert os.path.exists(f"{path}.1")
+        assert not os.path.exists(f"{path}.2")
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JsonlFileSink(str(tmp_path / "t.jsonl"))
+        sink.emit(make_events(1)[0])
+        sink.close()
+        sink.close()
+        sink.flush()  # flush after close must not raise
+
+    def test_parameters_validated(self, tmp_path):
+        with pytest.raises(ConfigError):
+            JsonlFileSink(str(tmp_path / "a"), rotate_bytes=0)
+        with pytest.raises(ConfigError):
+            JsonlFileSink(str(tmp_path / "b"), max_files=0)

@@ -24,9 +24,27 @@ class TestParser:
 
     def test_trace_arguments(self):
         args = build_parser().parse_args(
-            ["trace", "lu", "--nodes", "16", "--duration", "500"])
+            ["trace", "synth", "lu", "--nodes", "16", "--duration", "500"])
         assert args.benchmark == "lu"
         assert args.nodes == 16
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_trace_convert_arguments(self):
+        args = build_parser().parse_args(
+            ["trace", "convert", "run.jsonl", "--format", "csv",
+             "--kind", "policy"])
+        assert args.trace_command == "convert"
+        assert args.kind == "policy"
+
+    def test_run_trace_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "--trace", "out.jsonl", "--trace-kinds",
+             "power,policy", "--trace-links", "0,3"])
+        assert args.trace == "out.jsonl"
+        assert args.trace_kinds == "power,policy"
 
 
 class TestCommands:
@@ -36,16 +54,44 @@ class TestCommands:
         assert "vcsel" in out
         assert "OK" in out
 
-    def test_trace_command(self, tmp_path, capsys):
+    def test_trace_synth_command(self, tmp_path, capsys):
         out_file = tmp_path / "lu.trace"
-        code = main(["trace", "lu", "--nodes", "8", "--duration", "2000",
-                     "--out", str(out_file)])
+        code = main(["trace", "synth", "lu", "--nodes", "8",
+                     "--duration", "2000", "--out", str(out_file)])
         assert code == 0
         assert out_file.exists()
         from repro.traffic.trace import read_trace_file
 
         records = read_trace_file(out_file)
         assert records
+
+    def test_run_trace_then_convert_and_summarize(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        code = main(["run", "--scale", "smoke", "--rate", "0.1",
+                     "--cycles", "2500", "--trace", str(trace)])
+        assert code == 0
+        assert trace.exists()
+        code = main(["trace", "summarize", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "power" in out
+        chrome = tmp_path / "run.json"
+        code = main(["trace", "convert", str(trace),
+                     "--out", str(chrome)])
+        assert code == 0
+        import json
+
+        assert json.loads(chrome.read_text())["traceEvents"]
+        csv_out = tmp_path / "power.csv"
+        code = main(["trace", "convert", str(trace), "--format", "csv",
+                     "--kind", "power", "--out", str(csv_out)])
+        assert code == 0
+        assert csv_out.read_text().startswith("cycle,watts")
+
+    def test_run_trace_refuses_baseline(self, capsys):
+        code = main(["run", "--trace", "x.jsonl", "--baseline"])
+        assert code == 2
+        assert "--trace" in capsys.readouterr().err
 
     def test_run_command_quick(self, capsys):
         code = main(["run", "--scale", "smoke", "--rate", "0.1",
