@@ -54,6 +54,26 @@ def test_light_load_power_aware_cycle_rate(benchmark):
     assert sim.relative_power() < 1.0
 
 
+def test_moderate_load_power_aware_cycle_rate(benchmark):
+    # 0.25 pkt/node/cyc is the contended-but-not-saturated regime the
+    # router work-list optimisations target: every router has work most
+    # cycles, but most (port, VC) pairs are still empty.  A fresh
+    # reference run cross-checks that the engine's specialised run() loop
+    # and the phase-by-phase step path stay bit-identical.
+    sim = make_sim(power=True, rate=0.25)
+
+    def run_chunk():
+        sim.run(2000)
+
+    benchmark.pedantic(run_chunk, rounds=3, iterations=1, warmup_rounds=1)
+    assert sim.stats.packets_delivered > 0
+    assert sim.relative_power() < 1.0
+    reference = make_sim(power=True, rate=0.25)
+    while reference.cycle < sim.cycle:
+        reference.step()
+    assert reference.summary() == sim.summary()
+
+
 def test_loaded_baseline_cycle_rate(benchmark):
     sim = make_sim(power=False, rate=0.8)
 

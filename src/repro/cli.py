@@ -12,6 +12,10 @@ Commands
 ``report``
     Regenerate EXPERIMENTS.md (delegates to
     :mod:`repro.experiments.report`).
+``bench``
+    Run the persistent performance trajectory and write/compare a
+    ``BENCH_<pr>.json`` snapshot (see :mod:`repro.perfbench` and
+    docs/performance.md).
 """
 
 from __future__ import annotations
@@ -125,6 +129,29 @@ def _add_sweep_parser(subparsers) -> None:
                              "whatever the job count)")
 
 
+def _add_bench_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "bench", help="run the performance benchmark trajectory")
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter runs / fewer repeats (CI gate); "
+                             "calibration-normalised comparison still holds")
+    parser.add_argument("--out", default=None, metavar="OUT.json",
+                        help="write the snapshot to this path "
+                             "(default: BENCH_<pr>.json with --pr, else "
+                             "print only)")
+    parser.add_argument("--pr", type=int, default=None,
+                        help="PR number recorded in the snapshot (and the "
+                             "default output filename)")
+    parser.add_argument("--compare", default=None, metavar="BASELINE.json",
+                        help="compare against a committed snapshot; exits "
+                             "1 on regression beyond --tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed normalised throughput drop vs the "
+                             "baseline (default: 0.15)")
+    parser.add_argument("--no-profile", action="store_true",
+                        help="skip the per-phase profile runs")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -136,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("table2", help="print the Table 2 power budget")
     _add_trace_parser(subparsers)
     _add_sweep_parser(subparsers)
+    _add_bench_parser(subparsers)
     report = subparsers.add_parser(
         "report", help="regenerate EXPERIMENTS.md (slow)")
     report.add_argument("--scale", default="bench",
@@ -383,6 +411,32 @@ def _command_sweep(args) -> int:
     return 0
 
 
+def _command_bench(args) -> int:
+    from repro import perfbench
+
+    snapshot = perfbench.run_benchmarks(
+        quick=args.quick, pr=args.pr, profile=not args.no_profile)
+    print(perfbench.format_snapshot(snapshot))
+    out = args.out
+    if out is None and args.pr is not None:
+        out = f"BENCH_{args.pr}.json"
+    if out is not None:
+        perfbench.write_snapshot(snapshot, out)
+        print(f"\nsnapshot written to {out}")
+    if args.compare is not None:
+        baseline = perfbench.load_snapshot(args.compare)
+        regressions = perfbench.compare(snapshot, baseline,
+                                        tolerance=args.tolerance)
+        if regressions:
+            print(f"\nREGRESSION vs {args.compare}:", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\nwithin {args.tolerance:.0%} of {args.compare} "
+              f"(calibration-normalised)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -394,6 +448,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_trace(args)
         if args.command == "sweep":
             return _command_sweep(args)
+        if args.command == "bench":
+            return _command_bench(args)
         if args.command == "report":
             from repro.experiments.report import main as report_main
 

@@ -167,10 +167,14 @@ class OpticalBands:
         require_positive("rate", rate)
         return bisect.bisect_right(self.upper_rates, rate)
 
-    def attenuation_db(self, band: int) -> float:
-        """VOA attenuation relative to the highest band, dB."""
+    def fraction(self, band: int) -> float:
+        """Optical supply of a band as a fraction of the highest band."""
         if not 0 <= band < self.num_bands:
             raise ConfigError(
                 f"band must be in [0, {self.num_bands}), got {band!r}"
             )
-        return -10.0 * math.log10(self.power_fractions[band])
+        return self.power_fractions[band]
+
+    def attenuation_db(self, band: int) -> float:
+        """VOA attenuation relative to the highest band, dB."""
+        return -10.0 * math.log10(self.fraction(band))

@@ -25,6 +25,7 @@ from repro.core.laser_policy import OpticalPowerController
 from repro.core.levels import BitRateLadder, OpticalBands
 from repro.core.policy import HOLD
 from repro.core.power_link import PowerAwareLink
+from repro.core.tables import OperatingPointTable
 from repro.engine.wheel import (
     PRI_EPOCH,
     PRI_SAMPLE,
@@ -83,6 +84,12 @@ class NetworkPowerManager:
                     f"got optical_levels={config.optical_levels!r}"
                 )
             bands = OpticalBands.paper_three_level()
+        self.bands = bands
+
+        #: The analytic model evaluated once per (band x level) operating
+        #: point; every link indexes this one shared table.
+        self.table = OperatingPointTable.build(self.power_model, ladder, bands)
+        level_powers = self.table.level_powers
 
         self.links: list[PowerAwareLink] = []
         for link, buffer in zip(topology.links, topology.downstream_buffers):
@@ -100,9 +107,16 @@ class NetworkPowerManager:
                     service_time_fn=service_time_fn,
                     downstream_buffer=buffer,
                     optical=optical,
+                    level_powers=level_powers,
                 )
             )
         self._transitioning: set[PowerAwareLink] = set()
+        #: Non-power-aware network power (all links at max), cached once —
+        #: ``relative_power()`` divides by it per summary call.
+        self._baseline_power = len(self.links) * self.table.max_power
+        #: Network energy total, cached by :meth:`finalize` so repeated
+        #: ``summary()`` calls after a run are O(1), not O(links).
+        self._energy_total: float | None = None
         self.window = config.policy.window_cycles
         self.epoch = config.transitions.laser_epoch_cycles
         #: (cycle, total watts) samples for power-over-time figures.
@@ -240,13 +254,22 @@ class NetworkPowerManager:
         for pal in self.links:
             pal.finalize(now)
         self._finalized_at = now
+        self._energy_total = sum(pal.energy_watt_cycles for pal in self.links)
 
     def total_energy_watt_cycles(self) -> float:
+        """Network energy integral, watt-cycles.
+
+        O(1) once :meth:`finalize` has run (every caller in the run/summary
+        path finalizes first); walks the links only before finalize or
+        after running further — a later-cycle finalize refreshes the cache.
+        """
+        if self._energy_total is not None:
+            return self._energy_total
         return sum(pal.energy_watt_cycles for pal in self.links)
 
     def baseline_power(self) -> float:
         """Power of the non-power-aware network, watts (all links at max)."""
-        return len(self.links) * self.power_model.max_power
+        return self._baseline_power
 
     def average_power(self, total_cycles: float) -> float:
         """Mean network link power over the run, watts."""
@@ -292,7 +315,9 @@ class NetworkPowerManager:
                 "swap models before running the simulator"
             )
         self.power_model = model
-        levels = tuple(model.power(rate) for rate in self.ladder.rates)
+        self.table = OperatingPointTable.build(model, self.ladder, self.bands)
+        self._baseline_power = len(self.links) * self.table.max_power
+        levels = self.table.level_powers
         for pal in self.links:
             pal.level_powers = levels
 

@@ -48,13 +48,17 @@ class PowerAwareLink:
                  service_time_fn,
                  downstream_buffer: tuple[InputBuffer, ...] | None,
                  optical: OpticalPowerController | None = None,
-                 initial_level: int | None = None):
+                 initial_level: int | None = None,
+                 level_powers: tuple[float, ...] | None = None):
         self.link = link
         self.ladder = ladder
-        #: Power (watts) per ladder level, precomputed from the model.
-        self.level_powers = tuple(
-            power_model.power(rate) for rate in ladder.rates
-        )
+        #: Power (watts) per ladder level.  The manager passes in one shared
+        #: :class:`~repro.core.tables.OperatingPointTable` row so the model
+        #: is evaluated once per network, not once per link; standalone
+        #: construction (unit tests) falls back to evaluating the model.
+        if level_powers is None:
+            level_powers = tuple(power_model.power(r) for r in ladder.rates)
+        self.level_powers = level_powers
         self.policy = LinkPolicyController(policy_config)
         self.engine = LinkTransitionEngine(
             link, ladder, transition_config, service_time_fn, initial_level

@@ -1,0 +1,148 @@
+"""Arrival-time delivery schedule for fault-free links.
+
+The deliver phase's job is "hand over every flit whose link arrival time
+has passed".  The :class:`~repro.engine.active.ActiveSet` formulation scans
+every link with *any* flit in flight, every cycle — but at load most active
+links' next arrival is one or two cycles in the future (multi-cycle service
+times at reduced bit rates plus propagation), so most of the scan is wasted.
+
+A link's arrival times are fully known the moment a flit is pushed, and
+they are monotonic per link.  :class:`DeliverySchedule` exploits that: it
+keeps a calendar of per-cycle wake-up buckets, where a link is filed under
+``due_cycle = ceil(arrival)`` — exactly the first integer cycle at which
+the old scan's ``arrival <= now`` test would fire.  The deliver phase pops
+the current cycle's bucket instead of scanning; a link with remaining
+flits is re-armed for its next arrival.  A plain dict-of-lists beats a
+heap here because the simulator visits every integer cycle in order, and
+arrivals are always armed for *future* cycles (service time is >= the
+bit-period, so ``ceil(arrival) > now`` at push time): each bucket is
+built, popped once, and never revisited.  Buckets are sorted by link id
+before delivery, so same-cycle deliveries come out in ascending link
+order — the same order the sorted active-set scan (and the legacy
+step-everything loop) produces, keeping runs bit-identical
+(property-tested).
+
+Only fault-free runs use the schedule.  Fault injection may *reschedule*
+in-flight arrivals (retransmission backoff), which would invalidate armed
+wake-ups; those runs keep the scan path, where per-cycle re-checks are the
+point.
+
+Duck-type compatibility: ``add``/``discard``/``__len__``/``__bool__``/
+``__contains__`` match the ``ActiveSet`` registry protocol that
+:class:`~repro.network.links.Link` and the simulator's drain check speak.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.network.links import Link
+
+
+class DeliverySchedule:
+    """A per-cycle calendar of wake-up buckets over in-flight links."""
+
+    __slots__ = ("_buckets", "_members", "_cursor")
+
+    def __init__(self) -> None:
+        #: due_cycle -> [(link_id, link), ...] wake-ups, unsorted until
+        #: popped; each bucket is built, popped once, never revisited.
+        self._buckets: dict[int, list[tuple[int, "Link"]]] = {}
+        #: link_id -> link for every link with flits in flight (the drain
+        #: check's membership view, mirroring the ActiveSet contract).
+        self._members: dict[int, "Link"] = {}
+        #: Next cycle whose bucket has not been popped yet.  The engine
+        #: loop advances one cycle at a time, so :meth:`pop_due` normally
+        #: pops exactly one bucket; the cursor makes a hypothetical cycle
+        #: skip drain older buckets instead of stranding them.
+        self._cursor = 0
+
+    # -- registry protocol (Link.push calls add on empty -> nonempty) ----------
+
+    def add(self, link: "Link") -> None:
+        """Arm a wake-up for a link that just went nonempty."""
+        link_id = link.link_id
+        self._members[link_id] = link
+        due = ceil(link._in_flight[0][0])
+        bucket = self._buckets.get(due)
+        if bucket is None:
+            self._buckets[due] = [(link_id, link)]
+        else:
+            bucket.append((link_id, link))
+
+    def discard(self, link: "Link") -> None:
+        """Deregister a drained link (stale bucket entries prune lazily)."""
+        self._members.pop(link.link_id, None)
+
+    def __contains__(self, link: "Link") -> bool:
+        return link.link_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __bool__(self) -> bool:
+        return bool(self._members)
+
+    # -- deliver-phase driver --------------------------------------------------
+
+    def pop_due(self, now: int) -> list["Link"]:
+        """Links with at least one arrival due at ``now``, id-ascending.
+
+        Re-arms nothing: the caller delivers each link's due arrivals and
+        must call :meth:`rearm` (flits remain) or :meth:`retire` (drained)
+        afterwards.  Entries whose link has no arrival actually due —
+        possible only if an armed link drained through some path other
+        than the deliver phase — are re-armed or dropped here.
+        """
+        cycle = int(now)
+        cursor = self._cursor
+        if cycle < cursor:
+            return _NO_LINKS
+        self._cursor = cycle + 1
+        buckets = self._buckets
+        if not buckets:
+            return _NO_LINKS
+        if cycle == cursor:  # the common case: exactly one bucket to pop
+            bucket = buckets.pop(cycle, None)
+        else:
+            bucket = []
+            for due in range(cursor, cycle + 1):
+                entries = buckets.pop(due, None)
+                if entries is not None:
+                    bucket.extend(entries)
+        if not bucket:
+            return _NO_LINKS
+        bucket.sort()
+        due_links: list["Link"] = []
+        members = self._members
+        for link_id, link in bucket:
+            if link_id not in members:
+                continue
+            in_flight = link._in_flight
+            if not in_flight:
+                del members[link_id]
+                continue
+            if in_flight[0][0] > now:
+                self.rearm(link)
+                continue
+            due_links.append(link)
+        return due_links
+
+    def rearm(self, link: "Link") -> None:
+        """Schedule a link's next wake-up after a partial drain."""
+        due = ceil(link._in_flight[0][0])
+        bucket = self._buckets.get(due)
+        if bucket is None:
+            self._buckets[due] = [(link.link_id, link)]
+        else:
+            bucket.append((link.link_id, link))
+
+    def retire(self, link: "Link") -> None:
+        """Deregister a link the deliver phase fully drained."""
+        del self._members[link.link_id]
+
+
+#: Shared empty result for cycles with nothing due (the common case).
+_NO_LINKS: list["Link"] = []

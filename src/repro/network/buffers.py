@@ -76,19 +76,24 @@ class InputBuffer:
         Overflow is a credit-protocol violation, so it raises
         :class:`SimulationError` instead of dropping silently.
         """
-        if len(self._fifo) >= self.capacity:
+        fifo = self._fifo
+        if len(fifo) >= self.capacity:
             raise SimulationError(
                 "input buffer overflow: upstream sent a flit without credit"
             )
-        self._advance(now)
-        self._fifo.append(flit)
+        # _advance(), inlined: push/pop run once per flit per hop.
+        self._occ_integral += len(fifo) * (now - self._last_event)
+        self._last_event = now
+        fifo.append(flit)
 
     def pop(self, now: float) -> Flit:
         """Remove and return the oldest flit at cycle ``now``."""
-        if not self._fifo:
+        fifo = self._fifo
+        if not fifo:
             raise SimulationError("pop() on an empty input buffer")
-        self._advance(now)
-        return self._fifo.popleft()
+        self._occ_integral += len(fifo) * (now - self._last_event)
+        self._last_event = now
+        return fifo.popleft()
 
     def mean_utilisation(self, window_start: float, window_end: float) -> float:
         """Average fraction of slots occupied over a closed window.
@@ -108,31 +113,34 @@ class InputBuffer:
 
 
 class CreditCounter:
-    """Upstream credit state for one downstream input buffer."""
+    """Upstream credit state for one downstream input buffer.
 
-    __slots__ = ("capacity", "_credits")
+    ``available`` is a plain slot attribute (not a property): the router's
+    switch-allocation loop reads it once per candidate VC per cycle, and a
+    property descriptor call there is measurable.  Treat it as read-only
+    outside this class — mutate through :meth:`consume`/:meth:`refill`,
+    which enforce the credit-protocol bounds.
+    """
+
+    __slots__ = ("capacity", "available")
 
     def __init__(self, capacity: int):
         if capacity < 1:
             raise ConfigError(f"credit capacity must be >= 1, got {capacity!r}")
         self.capacity = capacity
-        self._credits = capacity
-
-    @property
-    def available(self) -> int:
-        return self._credits
+        self.available = capacity
 
     def can_send(self) -> bool:
-        return self._credits > 0
+        return self.available > 0
 
     def consume(self) -> None:
         """Spend one credit when forwarding a flit downstream."""
-        if self._credits <= 0:
+        if self.available <= 0:
             raise SimulationError("credit underflow: sent a flit with zero credits")
-        self._credits -= 1
+        self.available -= 1
 
     def refill(self) -> None:
         """Return one credit when the downstream buffer drains a flit."""
-        if self._credits >= self.capacity:
+        if self.available >= self.capacity:
             raise SimulationError("credit overflow: more credits than buffer slots")
-        self._credits += 1
+        self.available += 1

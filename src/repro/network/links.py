@@ -125,7 +125,7 @@ class Link:
         :class:`~repro.errors.LinkStateError` — callers must gate on
         :meth:`can_accept`.
         """
-        if not self.can_accept(now):
+        if now < self.disabled_until or now < self.free_at:
             if now < self.disabled_until:
                 reason = (
                     "disabled for a bit-rate transition until cycle "
@@ -139,12 +139,17 @@ class Link:
                 f"(free_at={self.free_at}, "
                 f"disabled_until={self.disabled_until})"
             )
-        self.free_at = now + self.service_time
-        self.busy_accum += self.service_time
+        service_time = self.service_time
+        self.free_at = now + service_time
+        self.busy_accum += service_time
         self.flits_carried += 1
-        if not self._in_flight and self.registry is not None:
+        in_flight = self._in_flight
+        was_empty = not in_flight
+        in_flight.append((self.free_at + self.propagation_cycles, flit))
+        # Register after appending: a DeliverySchedule registry reads the
+        # new arrival time to arm the link's delivery wake-up.
+        if was_empty and self.registry is not None:
             self.registry.add(self)
-        self._in_flight.append((self.free_at + self.propagation_cycles, flit))
 
     def pop_arrivals(self, now: float) -> list[Flit]:
         """Remove and return every flit whose arrival time has passed.

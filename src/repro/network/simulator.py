@@ -36,11 +36,13 @@ in a fixed priority order).
 
 from __future__ import annotations
 
+from math import ceil
 from typing import TYPE_CHECKING
 
 from repro.config import SimulationConfig
 from repro.engine.active import ActiveSet
 from repro.engine.hooks import HookRegistry
+from repro.engine.schedule import DeliverySchedule
 from repro.engine.wheel import PRI_WATCHDOG, EventWheel
 from repro.errors import ConfigError, SimulationError
 from repro.network.links import Link
@@ -59,6 +61,20 @@ WATCHDOG_INTERVAL = 256
 
 #: Step-phase names, in execution order (also the profiler's row labels).
 PHASES = ("deliver", "route", "inject", "generate", "control")
+
+
+def _stall_error(sim: "Simulator", description: str) -> SimulationError:
+    """Build a stall diagnosis (failure path only).
+
+    The ``congestion_report`` import and its network-wide snapshot walk
+    live here so the periodic stall *checks* — which run for the whole
+    life of every healthy simulation — never pay for the diagnosis
+    machinery: the common path is a couple of integer compares and
+    allocates nothing (regression-tested).
+    """
+    from repro.metrics.inspect import congestion_report
+
+    return SimulationError(f"{description}\n{congestion_report(sim)}")
 
 
 class StallWatchdog:
@@ -92,12 +108,11 @@ class StallWatchdog:
     def _check(self, now: int) -> None:
         stalled = now - self._last_progress_cycle
         if self.sim.stats.in_flight > 0 and stalled >= self.limit:
-            from repro.metrics.inspect import congestion_report
-
-            raise SimulationError(
+            raise _stall_error(
+                self.sim,
                 f"no flit delivered for {stalled} cycles with "
                 f"{self.sim.stats.in_flight} packets in flight — likely a "
-                f"flow-control bug.\n{congestion_report(self.sim)}"
+                f"flow-control bug.",
             )
         self.sim.wheel.schedule(now + WATCHDOG_INTERVAL, self._check,
                                 PRI_WATCHDOG)
@@ -169,12 +184,19 @@ class Simulator:
             # Legacy mode: visit every component every cycle and poll for
             # control work.  Kept as the reference for equivalence tests.
             self.wheel = None
-            self._active_links: ActiveSet[Link] | None = None
+            self._active_links: ActiveSet[Link] | DeliverySchedule | None = \
+                None
             self._active_routers: ActiveSet["Router"] | None = None
             self._active_nodes: ActiveSet[Node] | None = None
             return
         self.wheel = EventWheel()
-        self._active_links = ActiveSet(_link_key)
+        if config.faults is None:
+            # Fault-free links never reschedule an in-flight arrival, so
+            # delivery can be event-armed instead of scanned (bit-identical;
+            # see engine/schedule.py).
+            self._active_links = DeliverySchedule()
+        else:
+            self._active_links = ActiveSet(_link_key)
         self._active_routers = ActiveSet(_router_key)
         self._active_nodes = ActiveSet(_node_key)
         for link in self.network.links:
@@ -227,6 +249,51 @@ class Simulator:
         order identical to the step-everything iteration over all links.
         """
         active = self._active_links
+        if type(active) is DeliverySchedule:
+            # Event-armed delivery: only links with an arrival actually due
+            # are visited, in ascending link-id order (same order as the
+            # scans below).
+            due = active.pop_due(now)
+            if not due:
+                return
+            delivery_hooks = self.hooks.delivery
+            if not delivery_hooks:
+                # Hot loop: the schedule's rearm/retire bodies are inlined
+                # against its bucket/member dicts (one wake-up per link per
+                # arrival made the method calls a measurable share).
+                buckets = active._buckets
+                members = active._members
+                for link in due:
+                    in_flight = link._in_flight
+                    deliver = link.deliver
+                    while in_flight and in_flight[0][0] <= now:
+                        deliver(in_flight.popleft()[1], now)
+                    if in_flight:
+                        due_cycle = ceil(in_flight[0][0])
+                        bucket = buckets.get(due_cycle)
+                        if bucket is None:
+                            buckets[due_cycle] = [(link.link_id, link)]
+                        else:
+                            bucket.append((link.link_id, link))
+                    else:
+                        del members[link.link_id]
+                return
+            for link in due:
+                in_flight = link._in_flight
+                deliver = link.deliver
+                arrivals = []
+                while in_flight and in_flight[0][0] <= now:
+                    arrivals.append(in_flight.popleft()[1])
+                for flit in arrivals:
+                    deliver(flit, now)
+                for flit in arrivals:
+                    for callback in delivery_hooks:
+                        callback(link, flit, now)
+                if in_flight:
+                    active.rearm(link)
+                else:
+                    active.retire(link)
+            return
         if active is not None:
             if not active:
                 return
@@ -235,6 +302,36 @@ class Simulator:
             links = self.network.links
         delivery_hooks = self.hooks.delivery
         for link in links:
+            if link.faults is None:
+                # Fast path: peek the arrival deque directly.  At load most
+                # active links have their next arrival in the future, and a
+                # ``pop_arrivals`` call returning an empty list per link per
+                # cycle was a measurable share of the deliver phase.
+                in_flight = link._in_flight
+                if not in_flight:
+                    if active is not None:
+                        active.discard(link)
+                    continue
+                if in_flight[0][0] > now:
+                    continue
+                deliver = link.deliver
+                if delivery_hooks:
+                    arrivals = []
+                    while in_flight and in_flight[0][0] <= now:
+                        arrivals.append(in_flight.popleft()[1])
+                    for flit in arrivals:
+                        deliver(flit, now)
+                    for flit in arrivals:
+                        for callback in delivery_hooks:
+                            callback(link, flit, now)
+                else:
+                    while in_flight and in_flight[0][0] <= now:
+                        deliver(in_flight.popleft()[1], now)
+                if active is not None and not in_flight:
+                    active.discard(link)
+                continue
+            # Fault-injected links delegate to the fault state's arrival
+            # filter (CRC trials, retransmission protocol).
             arrivals = link.pop_arrivals(now)
             if arrivals:
                 deliver = link.deliver
@@ -307,12 +404,11 @@ class Simulator:
             self._last_delivery_cycle = now
         elif self.stats.in_flight > 0 and \
                 now - self._last_delivery_cycle >= limit:
-            from repro.metrics.inspect import congestion_report
-
-            raise SimulationError(
+            raise _stall_error(
+                self,
                 f"no packet delivered for {now - self._last_delivery_cycle} "
                 f"cycles with {self.stats.in_flight} in flight — likely a "
-                f"flow-control bug.\n{congestion_report(self)}"
+                f"flow-control bug.",
             )
 
     # -- driving -----------------------------------------------------------------
@@ -331,11 +427,44 @@ class Simulator:
             for _ in range(cycles):
                 step()
             return
-        phases = self._phase_fns
+        # Uninstrumented fast loop: the route/inject/generate/control phase
+        # bodies are inlined here (loop-invariant bindings hoisted) — keep
+        # them in sync with the ``_phase_*`` methods, which remain the
+        # source of truth for the instrumented :meth:`step` path.
+        deliver = self._phase_deliver
+        active_routers = self._active_routers
+        active_nodes = self._active_nodes
+        wheel = self.wheel
+        routers = self.network.routers
+        nodes = self.network.nodes
+        stats = self.stats
+        generate = self.traffic.generate
         for _ in range(cycles):
             now = self.cycle
-            for phase in phases:
-                phase(now)
+            deliver(now)
+            if active_routers is not None:
+                if active_routers:
+                    for router in active_routers.snapshot():
+                        router.step(now)
+            else:
+                for router in routers:
+                    router.step(now)
+            if active_nodes is not None:
+                if active_nodes:
+                    for node in active_nodes.snapshot():
+                        node.step(now)
+            else:
+                for node in nodes:
+                    if node.queue:
+                        node.step(now)
+            for packet in generate(now):
+                stats.packet_created(packet, now)
+                nodes[packet.src].enqueue_packet(packet)
+            if wheel is not None:
+                if wheel.next_cycle <= now:
+                    wheel.service(now)
+            else:
+                self._phase_control(now)
             self.cycle = now + 1
 
     def run_until_drained(self, max_cycles: int,

@@ -19,6 +19,7 @@ credits — node sinks always accept.
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 
 from repro.config import NetworkConfig
 from repro.errors import ConfigError
@@ -73,12 +74,14 @@ class Node:
 
     def step(self, now: float) -> None:
         """Inject at most one flit into the rack's router this cycle."""
-        if not self.queue:
+        queue = self.queue
+        if not queue:
             return
-        self.link.pressure_accum += 1.0
-        if not self.link.can_accept(now):
+        link = self.link
+        link.pressure_accum += 1.0
+        if now < link.disabled_until or now < link.free_at:
             return
-        flit = self.queue[0]
+        flit = queue[0]
         if flit.is_head:
             chosen, best = -1, 0
             for index, counter in enumerate(self.credits):
@@ -89,12 +92,22 @@ class Node:
                 return
             self._vc = chosen
         credits = self.credits[self._vc]
-        if not credits.can_send():
+        if credits.available <= 0:
             return
         credits.consume()
         flit.vc = self._vc
-        self.link.push(self.queue.popleft(), now)
-        if not self.queue and self.registry is not None:
+        queue.popleft()
+        # link.push inlined (the gate above already verified acceptance).
+        service_time = link.service_time
+        link.free_at = now + service_time
+        link.busy_accum += service_time
+        link.flits_carried += 1
+        in_flight = link._in_flight
+        was_empty = not in_flight
+        in_flight.append((link.free_at + link.propagation_cycles, flit))
+        if was_empty and link.registry is not None:
+            link.registry.add(link)
+        if not queue and self.registry is not None:
             self.registry.discard(self)
 
     def receive_flit(self, flit: Flit, now: float) -> None:
@@ -146,6 +159,8 @@ class ClusteredMesh:
 
         self._wire_local_links()
         self._wire_mesh_links()
+        for router in self.routers:
+            router.build_route_table(len(self.routers))
 
     # -- construction helpers ------------------------------------------------
 
@@ -259,11 +274,8 @@ class ClusteredMesh:
 def _make_router_sink(router: Router, port: int):
     """Bind a delivery callback for a link feeding ``router``'s ``port``.
 
-    A module-level factory (not a lambda in a loop) so each closure captures
-    its own ``router``/``port`` pair.
+    A C-level ``partial`` rather than a Python closure: the callback runs
+    once per delivered flit, and the extra interpreter frame a closure
+    would add is pure overhead on the deliver phase.
     """
-
-    def deliver(flit: Flit, now: float) -> None:
-        router.receive_flit(port, flit, now)
-
-    return deliver
+    return partial(router.receive_flit, port)

@@ -1,0 +1,293 @@
+"""Persistent performance benchmarking: the ``repro bench`` trajectory.
+
+Every perf-focused PR records a machine-readable snapshot of simulator
+throughput (``BENCH_<pr>.json``) so later work has a baseline to compare
+against instead of a number in a commit message.  The snapshot holds
+cycles/second at three canonical injection loads, peak RSS, a per-phase
+time profile, and a calibration score for the machine that produced it.
+
+Methodology notes (learned the hard way):
+
+- **CPU time, not wall clock.**  Wall-clock throughput on a shared or
+  thermally-throttled machine swings by 2x between runs; ``process_time``
+  best-of-``repeats`` is stable to a few percent.  Speedup claims between
+  snapshots should only ever be made on ``cycles_per_sec_cpu``.
+- **Calibration.**  ``calibrate()`` scores a fixed arithmetic loop on the
+  current interpreter/machine.  Comparing two snapshots from different
+  machines, normalise each throughput by its calibration score first —
+  that is what :func:`compare` does.
+- **Determinism is asserted, not assumed.**  Each datapoint runs the same
+  configuration ``repeats`` times and requires every repeat's
+  :meth:`~repro.network.simulator.Simulator.summary` to be bit-identical
+  before timing is trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.config import NetworkConfig, PowerAwareConfig, SimulationConfig
+from repro.errors import ConfigError
+
+#: Canonical injection loads (network-wide packets/cycle), shared with
+#: ``benchmarks/bench_simulator.py``.
+RATES: dict[str, float] = {
+    "light": 0.02,
+    "moderate": 0.25,
+    "heavy": 0.8,
+}
+
+#: Traffic seed shared with the benchmark suite.
+BENCH_SEED = 3
+
+SCHEMA_VERSION = 1
+
+
+def bench_config() -> SimulationConfig:
+    """The benchmark network: 4x4 mesh, 4 nodes/cluster, power-aware."""
+    network = NetworkConfig(mesh_width=4, mesh_height=4, nodes_per_cluster=4)
+    return SimulationConfig(network=network, power=PowerAwareConfig(),
+                            sample_interval=1000)
+
+
+def make_bench_sim(rate: float):
+    """Build one benchmark simulator at ``rate`` (fresh every call)."""
+    from repro.network.simulator import Simulator
+    from repro.traffic.uniform import UniformRandomTraffic
+
+    config = bench_config()
+    traffic = UniformRandomTraffic(config.network.num_nodes, rate,
+                                   seed=BENCH_SEED)
+    return Simulator(config, traffic)
+
+
+def calibrate(rounds: int = 3) -> float:
+    """Score this machine/interpreter with a fixed arithmetic loop.
+
+    Returns loop iterations per CPU-second (best of ``rounds``).  The loop
+    mixes integer and float work roughly like the simulator hot path does;
+    the absolute number is meaningless, only ratios between machines are.
+    """
+    best = None
+    for _ in range(rounds):
+        t0 = time.process_time()
+        acc = 0.0
+        n = 1
+        for i in range(200_000):
+            n = (n * 29 + i) & 0xFFFF
+            acc += n * 0.5
+            if acc > 1e9:
+                acc *= 0.5
+        elapsed = time.process_time() - t0
+        if elapsed > 0 and (best is None or elapsed < best):
+            best = elapsed
+    if best is None:  # pragma: no cover - degenerate clock resolution
+        raise ConfigError("calibration loop measured zero CPU time")
+    return 200_000 / best
+
+
+def _peak_rss_kb() -> int | None:
+    """Peak resident set size of this process in KiB (None if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if platform.system() == "Darwin":  # pragma: no cover - linux CI
+        return int(usage // 1024)
+    return int(usage)
+
+
+def _phase_profile(rate: float, cycles: int) -> dict[str, float]:
+    """Fraction of simulated CPU time per phase (instrumented run).
+
+    Uses a separate, shorter run: attaching the profiler switches the step
+    loop to its instrumented form, which must never contaminate the timed
+    datapoint runs.
+    """
+    from repro.engine import PhaseProfiler
+
+    sim = make_bench_sim(rate)
+    profiler = PhaseProfiler(clock=time.process_time).attach(sim.hooks)
+    sim.run(cycles)
+    grand = profiler.total_seconds
+    if grand <= 0:  # pragma: no cover - degenerate clock resolution
+        return {}
+    return {name: round(spent / grand, 4)
+            for name, spent in sorted(profiler.seconds.items())}
+
+
+@dataclass
+class Datapoint:
+    """One measured load point."""
+
+    label: str
+    injection_rate: float
+    cycles: int
+    repeats: int
+    cycles_per_sec_cpu: float
+    summary: dict[str, Any]
+    phase_profile: dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "injection_rate": self.injection_rate,
+            "cycles": self.cycles,
+            "repeats": self.repeats,
+            "cycles_per_sec_cpu": round(self.cycles_per_sec_cpu, 1),
+            "summary": self.summary,
+            "phase_profile": self.phase_profile,
+        }
+
+
+def measure_rate(label: str, rate: float, cycles: int,
+                 repeats: int = 3, profile: bool = True) -> Datapoint:
+    """Benchmark one injection load: best-of CPU time + determinism check.
+
+    Raises :class:`~repro.errors.ConfigError` if the repeated runs are not
+    bit-identical — a nondeterministic simulator makes every performance
+    number meaningless, so the benchmark refuses to report one.
+    """
+    best: float | None = None
+    reference: dict[str, Any] | None = None
+    for _ in range(repeats):
+        sim = make_bench_sim(rate)
+        t0 = time.process_time()
+        sim.run(cycles)
+        elapsed = time.process_time() - t0
+        summary = sim.summary()
+        if reference is None:
+            reference = summary
+        elif summary != reference:
+            raise ConfigError(
+                f"benchmark run at rate {rate} was not bit-identical "
+                f"across repeats: {summary!r} != {reference!r}"
+            )
+        if elapsed > 0 and (best is None or elapsed < best):
+            best = elapsed
+    if best is None:  # pragma: no cover - degenerate clock resolution
+        raise ConfigError("benchmark run measured zero CPU time")
+    assert reference is not None
+    return Datapoint(
+        label=label,
+        injection_rate=rate,
+        cycles=cycles,
+        repeats=repeats,
+        cycles_per_sec_cpu=cycles / best,
+        summary=reference,
+        phase_profile=_phase_profile(rate, max(cycles // 4, 500))
+        if profile else {},
+    )
+
+
+def run_benchmarks(quick: bool = False, pr: int | None = None,
+                   profile: bool = True) -> dict[str, Any]:
+    """Run the full trajectory and return the snapshot document."""
+    cycles = 1500 if quick else 4000
+    repeats = 2 if quick else 3
+    points = [
+        measure_rate(label, rate, cycles, repeats, profile=profile)
+        for label, rate in RATES.items()
+    ]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "pr": pr,
+        "quick": quick,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "calibration_ops_per_sec": round(calibrate(), 1),
+        "peak_rss_kb": _peak_rss_kb(),
+        "datapoints": [point.to_json() for point in points],
+    }
+
+
+def write_snapshot(snapshot: dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def load_snapshot(path: str) -> dict[str, Any]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except OSError as exc:
+        raise ConfigError(f"cannot read benchmark snapshot {path}: "
+                          f"{exc.strerror or exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"malformed benchmark snapshot {path}: "
+                          f"{exc}") from exc
+    if snapshot.get("schema_version") != SCHEMA_VERSION:
+        raise ConfigError(
+            f"unsupported benchmark snapshot schema "
+            f"{snapshot.get('schema_version')!r} in {path}"
+        )
+    return snapshot
+
+
+def compare(current: dict[str, Any], baseline: dict[str, Any],
+            tolerance: float = 0.15) -> list[str]:
+    """Compare two snapshots, calibration-normalised.
+
+    Returns a list of human-readable regression descriptions (empty when
+    the current snapshot is within ``tolerance`` of the baseline at every
+    shared load point).  Throughputs are divided by each snapshot's
+    calibration score first, so a slower CI machine does not read as a
+    code regression.
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise ConfigError(f"tolerance must be in (0, 1), got {tolerance!r}")
+    cur_cal = current.get("calibration_ops_per_sec")
+    base_cal = baseline.get("calibration_ops_per_sec")
+    if not cur_cal or not base_cal:
+        raise ConfigError("both snapshots need a calibration score")
+    baseline_points = {
+        point["label"]: point for point in baseline.get("datapoints", [])
+    }
+    regressions: list[str] = []
+    for point in current.get("datapoints", []):
+        label = point["label"]
+        base = baseline_points.get(label)
+        if base is None:
+            continue
+        cur_norm = point["cycles_per_sec_cpu"] / cur_cal
+        base_norm = base["cycles_per_sec_cpu"] / base_cal
+        ratio = cur_norm / base_norm
+        if ratio < 1.0 - tolerance:
+            regressions.append(
+                f"{label}: normalised throughput fell to {ratio:.2f}x of "
+                f"baseline ({point['cycles_per_sec_cpu']:,.0f} vs "
+                f"{base['cycles_per_sec_cpu']:,.0f} cyc/s raw, calibration "
+                f"{cur_cal:,.0f} vs {base_cal:,.0f})"
+            )
+    return regressions
+
+
+def format_snapshot(snapshot: dict[str, Any]) -> str:
+    """Human-readable one-screen rendering of a snapshot."""
+    lines = [
+        f"python {snapshot['python']} ({snapshot['implementation']}, "
+        f"{snapshot['machine']}), calibration "
+        f"{snapshot['calibration_ops_per_sec']:,.0f} ops/s, peak RSS "
+        f"{snapshot.get('peak_rss_kb') or '?'} KiB",
+    ]
+    for point in snapshot["datapoints"]:
+        lines.append(
+            f"  {point['label']:>8} (rate {point['injection_rate']:.2f}): "
+            f"{point['cycles_per_sec_cpu']:>12,.0f} cyc/s CPU over "
+            f"{point['cycles']} cycles x {point['repeats']}"
+        )
+        profile = point.get("phase_profile")
+        if profile:
+            shares = ", ".join(
+                f"{name} {share:.0%}" for name, share in profile.items()
+            )
+            lines.append(f"           phases: {shares}")
+    return "\n".join(lines)

@@ -28,6 +28,7 @@ same budget; :func:`physics_table2` cross-checks the two views.
 from __future__ import annotations
 
 import enum
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -178,6 +179,15 @@ class LinkPowerModel:
         """
         supply = vdd_for_bit_rate(bit_rate, self.max_bit_rate) if vdd is None else vdd
         return sum(c.power(bit_rate, supply) for c in self.components)
+
+    def tabulate(self, rates: Sequence[float]) -> tuple[float, ...]:
+        """Evaluate :meth:`power` over a rate ladder, for table builders.
+
+        The build-time entry point of the precomputed operating-point
+        tables (:class:`~repro.core.tables.OperatingPointTable`): hot paths
+        index the result instead of re-running the component scaling math.
+        """
+        return tuple(self.power(rate) for rate in rates)
 
     def component_powers(
         self, bit_rate: float, vdd: float | None = None

@@ -202,13 +202,15 @@ class ReliabilityManager:
             return
         link.failed = True
         self.failed_links += 1
-        self._sweep_stale_routes(link)
+        router, dead_port = self._owner_of(link)
+        router.invalidate_routes_via(dead_port)
+        self._sweep_stale_routes(router, dead_port)
         if self.hooks.link_failure:
             for callback in self.hooks.link_failure:
                 callback(link, now)
 
-    def _sweep_stale_routes(self, dead: Link) -> None:
-        """Un-latch routes over ``dead`` whose worm has not started.
+    def _sweep_stale_routes(self, router: Router, dead_port: int) -> None:
+        """Un-latch routes over a dead link whose worm has not started.
 
         A virtual channel whose head flit is still at the buffer front has
         sent nothing over the link: release its claimed downstream VC and
@@ -216,7 +218,6 @@ class ReliabilityManager:
         VC whose front is a body flit — or that is mid-worm with flits in
         flight — committed before the failure and drains over the link.
         """
-        router, dead_port = self._owner_of(dead)
         op = router.outputs[dead_port]
         for in_port in router.inputs:
             for vc in in_port.vcs:

@@ -133,6 +133,40 @@ class TestMultiLinkSimultaneousTransitions:
         assert engine_peak >= 2
 
 
+class TestTableDrivenEquivalence:
+    """The shared operating-point table must be a pure cache: a run billed
+    through per-link, freshly evaluated analytical rows is bit-identical
+    to the same run billed through the one table row every link shares."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        rate=st.floats(min_value=0.0, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_fresh_analytic_rows_match_the_shared_table(self, rate, seed):
+        def run(detach_table: bool):
+            config = SimulationConfig(
+                network=NETWORK, power=make_power(), sample_interval=50,
+                stall_limit_cycles=50_000,
+            )
+            traffic = UniformRandomTraffic(NETWORK.num_nodes, rate,
+                                           seed=seed)
+            sim = Simulator(config, traffic)
+            if detach_table:
+                manager = sim.power
+                for pal in manager.links:
+                    assert pal.level_powers is manager.table.level_powers
+                    pal.level_powers = tuple(
+                        manager.power_model.power(r)
+                        for r in manager.ladder.rates
+                    )
+            sim.run(700)
+            return (sim.summary(), tuple(sim.power.power_series),
+                    tuple(sim.power.level_histogram()))
+
+        assert run(detach_table=False) == run(detach_table=True)
+
+
 class TestSweepEquivalence:
     def test_parallel_sweep_matches_serial(self):
         from repro.experiments.configs import ExperimentScale

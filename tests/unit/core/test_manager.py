@@ -150,6 +150,38 @@ class TestFinalizeIdempotence:
         manager.finalize(2000)
         assert manager.total_energy_watt_cycles() > first
 
+    class _PoisonLinks:
+        """Raises if the summary path walks the per-link list again."""
+
+        def __iter__(self):
+            raise AssertionError("post-finalize summary walked the links")
+
+        def __len__(self):  # pragma: no cover - shape compatibility only
+            return 0
+
+    def test_post_finalize_summary_is_o1(self):
+        # baseline_power is cached at construction and the energy total at
+        # finalize; repeated summary-path queries must not touch the links.
+        manager, _ = make_manager(window=50)
+        for now in range(1, 1000):
+            manager.on_cycle(now)
+        manager.finalize(1000)
+        expected_energy = manager.total_energy_watt_cycles()
+        expected_baseline = manager.baseline_power()
+        manager.links = self._PoisonLinks()
+        assert manager.total_energy_watt_cycles() == expected_energy
+        assert manager.baseline_power() == expected_baseline
+        assert manager.relative_power(1000) == \
+            expected_energy / 1000 / expected_baseline
+        manager.finalize(1000)  # idempotent re-finalize must not walk either
+        manager.finalize(800)
+
+    def test_baseline_power_cached_at_construction(self):
+        manager, topology = make_manager()
+        expected = len(topology.links) * manager.table.max_power
+        manager.links = self._PoisonLinks()
+        assert manager.baseline_power() == pytest.approx(expected)
+
     def test_simulator_summary_is_repeatable(self, tiny_sim_config):
         from repro.network.simulator import Simulator
         from repro.traffic.uniform import UniformRandomTraffic

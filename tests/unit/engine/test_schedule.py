@@ -1,0 +1,125 @@
+"""Unit tests for the calendar-bucket delivery schedule.
+
+Exercised through stub in-flight queues rather than full simulator runs
+(the property suite covers end-to-end equivalence); here the calendar
+semantics are pinned down cycle by cycle: arming, due-bucket pops in link
+id order, lazy pruning of stale entries, and the cursor's catch-up
+behaviour on a skipped cycle.
+"""
+
+from collections import deque
+
+from repro.engine.schedule import DeliverySchedule
+from repro.network.links import MESH, Link
+
+
+def make_link(link_id: int, *arrivals: float) -> Link:
+    link = Link(link_id, MESH)
+    link._in_flight = deque((arrival, object()) for arrival in arrivals)
+    return link
+
+
+class TestRegistryProtocol:
+    def test_add_contains_len_bool(self):
+        schedule = DeliverySchedule()
+        assert not schedule and len(schedule) == 0
+        link = make_link(0, 2.0)
+        schedule.add(link)
+        assert link in schedule
+        assert schedule and len(schedule) == 1
+
+    def test_discard_removes_membership(self):
+        schedule = DeliverySchedule()
+        link = make_link(0, 2.0)
+        schedule.add(link)
+        schedule.discard(link)
+        assert link not in schedule
+        assert not schedule
+        schedule.discard(link)  # idempotent, like set.discard
+
+    def test_retire_after_full_drain(self):
+        schedule = DeliverySchedule()
+        link = make_link(3, 1.0)
+        schedule.add(link)
+        assert schedule.pop_due(1) == [link]
+        link._in_flight.clear()
+        schedule.retire(link)
+        assert link not in schedule
+
+
+class TestCalendarSemantics:
+    def test_link_not_due_until_ceil_of_arrival(self):
+        schedule = DeliverySchedule()
+        link = make_link(0, 2.4)  # due at ceil(2.4) = 3
+        schedule.add(link)
+        assert schedule.pop_due(0) == []
+        assert schedule.pop_due(1) == []
+        assert schedule.pop_due(2) == []
+        assert schedule.pop_due(3) == [link]
+
+    def test_same_cycle_pops_come_out_in_link_id_order(self):
+        schedule = DeliverySchedule()
+        links = [make_link(link_id, 1.0) for link_id in (7, 2, 5, 0)]
+        for link in links:
+            schedule.add(link)
+        popped = schedule.pop_due(1)
+        assert [link.link_id for link in popped] == [0, 2, 5, 7]
+
+    def test_rearm_schedules_the_next_arrival(self):
+        schedule = DeliverySchedule()
+        link = make_link(0, 1.0, 4.5)
+        schedule.add(link)
+        assert schedule.pop_due(1) == [link]
+        link._in_flight.popleft()  # the deliver phase hands over flit 1
+        schedule.rearm(link)
+        assert schedule.pop_due(2) == []
+        assert schedule.pop_due(3) == []
+        assert schedule.pop_due(4) == []
+        assert schedule.pop_due(5) == [link]
+
+    def test_early_armed_link_is_rearmed_not_delivered(self):
+        # An armed link whose head arrival moved later (e.g. the bucket
+        # was armed for an arrival the deliver phase already consumed via
+        # another path) must be re-armed for the true due cycle.
+        schedule = DeliverySchedule()
+        link = make_link(0, 1.0)
+        schedule.add(link)
+        link._in_flight[0] = (3.0, link._in_flight[0][1])
+        assert schedule.pop_due(1) == []
+        assert link in schedule  # still a member, just re-armed
+        assert schedule.pop_due(3) == [link]
+
+    def test_drained_member_is_pruned_lazily(self):
+        schedule = DeliverySchedule()
+        link = make_link(0, 1.0)
+        schedule.add(link)
+        link._in_flight.clear()  # drained through some other path
+        assert schedule.pop_due(1) == []
+        assert link not in schedule
+
+    def test_discarded_link_never_comes_out_of_its_bucket(self):
+        schedule = DeliverySchedule()
+        link = make_link(0, 1.0)
+        schedule.add(link)
+        schedule.discard(link)
+        assert schedule.pop_due(1) == []
+
+
+class TestCursor:
+    def test_skipped_cycles_drain_older_buckets(self):
+        schedule = DeliverySchedule()
+        early = make_link(1, 1.0)
+        late = make_link(2, 3.0)
+        schedule.add(early)
+        schedule.add(late)
+        # The caller jumps straight to cycle 3: both buckets must come out
+        # (id-ascending), not just cycle 3's.
+        assert schedule.pop_due(3) == [early, late]
+
+    def test_already_popped_cycle_returns_nothing(self):
+        schedule = DeliverySchedule()
+        link = make_link(0, 1.0)
+        schedule.add(link)
+        assert schedule.pop_due(2) == [link]
+        assert schedule.pop_due(1) == []  # behind the cursor: a no-op
+        assert schedule.pop_due(2) == []

@@ -210,6 +210,154 @@ class TestConstruction:
             run_steps(router, 6)
 
 
+def make_mesh():
+    """A fully wired 2x2 mesh (the route tables need attached outputs)."""
+    from repro.config import NetworkConfig
+    from repro.network.stats import StatsCollector
+    from repro.network.topology import ClusteredMesh
+
+    network = NetworkConfig(mesh_width=2, mesh_height=2, nodes_per_cluster=2,
+                            buffer_depth=8, num_vcs=2)
+    return ClusteredMesh(network, StatsCollector())
+
+
+class TestRouteTable:
+    def test_table_matches_the_routing_function_everywhere(self):
+        mesh = make_mesh()
+        for router in mesh.routers:
+            table = router._route_table
+            assert table is not None and len(table) == len(mesh.routers)
+            for dst_router, out in enumerate(table):
+                if dst_router == router.router_id:
+                    assert out == -1
+                    continue
+                direction = router.route_fn(
+                    router.x, router.y,
+                    dst_router % router.mesh_width,
+                    dst_router // router.mesh_width,
+                )
+                assert out == router.num_local + direction
+
+    def test_route_uses_the_table(self):
+        mesh = make_mesh()
+        router = mesh.routers[0]
+        packet = Packet(1, src=0, dst=7, size=1, create_time=0)
+        (flit,) = packet.make_flits()
+        # dst node 7 -> router 3: XY goes east first.
+        assert router._route(flit) == router._route_table[3]
+        assert router._route_table[3] == router.num_local + EAST
+
+    def test_local_delivery_resolves_before_the_table(self):
+        mesh = make_mesh()
+        router = mesh.routers[0]
+        packet = Packet(1, src=2, dst=1, size=1, create_time=0)
+        (flit,) = packet.make_flits()
+        assert router._route(flit) == 1  # local ejection port
+
+    def test_invalidate_clears_only_routes_through_the_port(self):
+        mesh = make_mesh()
+        router = mesh.routers[0]
+        east_port = router.num_local + EAST
+        before = list(router._route_table)
+        router.invalidate_routes_via(east_port)
+        for dst, out in enumerate(router._route_table):
+            if before[dst] == east_port:
+                assert out == -1
+            else:
+                assert out == before[dst]
+
+    def test_invalidated_route_falls_back_to_the_routing_function(self):
+        mesh = make_mesh()
+        router = mesh.routers[0]
+        east_port = router.num_local + EAST
+        router.invalidate_routes_via(east_port)
+        packet = Packet(1, src=0, dst=7, size=1, create_time=0)
+        (flit,) = packet.make_flits()
+        # The link is alive, so the slow path recomputes the same answer.
+        assert router._route(flit) == east_port
+
+    def test_stale_table_hit_never_routes_onto_a_failed_link(self):
+        mesh = make_mesh()
+        router = mesh.routers[0]
+        east_port = router.num_local + EAST
+        router.outputs[east_port].link.failed = True
+        # The table still names the east port (no invalidation happened);
+        # the defensive check must reject it and detour south instead.
+        assert router._route_table[3] == east_port
+        packet = Packet(1, src=0, dst=7, size=1, create_time=0)
+        (flit,) = packet.make_flits()
+        detour = router._route(flit)
+        assert detour != east_port
+        assert not router.outputs[detour].link.failed
+
+    def test_standalone_router_has_no_table(self):
+        router = make_router()
+        attach_all_outputs(router)
+        assert router._route_table is None
+        packet = Packet(1, src=0, dst=2, size=1, create_time=0)
+        (flit,) = packet.make_flits()
+        assert router._route(flit) == router.num_local + EAST
+
+
+class TestWorkListInvariants:
+    """The incremental work-list state (`_active_mask`, per-port `nonempty`
+    VC masks, per-port `occupancy` counters) must mirror the buffers at
+    every step boundary."""
+
+    def assert_consistent(self, router: Router) -> None:
+        for index, ip in enumerate(router.inputs):
+            expected_occupancy = 0
+            expected_nonempty = 0
+            for v, vc in enumerate(ip.vcs):
+                held = len(vc.buffer)
+                expected_occupancy += held
+                if held:
+                    expected_nonempty |= 1 << v
+            assert ip.occupancy == expected_occupancy
+            assert ip.nonempty == expected_nonempty
+            assert bool(router._active_mask & (1 << index)) == \
+                bool(expected_nonempty)
+
+    def test_receive_sets_masks_and_counts(self):
+        router = make_router()
+        attach_all_outputs(router)
+        packet = Packet(1, src=0, dst=1, size=3, create_time=0)
+        inject(router, 0, packet, now=0.0, vc=1)
+        assert router.inputs[0].occupancy == 3
+        assert router.inputs[0].nonempty == 1 << 1
+        assert router._active_mask == 1 << 0
+        self.assert_consistent(router)
+
+    def test_masks_clear_as_the_router_drains(self):
+        router = make_router()
+        attach_all_outputs(router)
+        a = Packet(1, src=0, dst=1, size=2, create_time=0)
+        b = Packet(2, src=1, dst=2, size=2, create_time=0)
+        inject(router, 0, a, now=0.0, vc=0)
+        inject(router, 1, b, now=0.0, vc=1)
+        for t in range(12):
+            router.step(float(t))
+            self.assert_consistent(router)
+        assert router._active_mask == 0
+        assert all(ip.occupancy == 0 for ip in router.inputs)
+        assert all(ip.nonempty == 0 for ip in router.inputs)
+
+    def test_blocked_router_keeps_its_masks(self):
+        router = make_router()
+        attach_all_outputs(router)
+        east_port = router.num_local + EAST
+        for credits in router.outputs[east_port].credits:
+            while credits.can_send():
+                credits.consume()
+        packet = Packet(1, src=0, dst=2, size=1, create_time=0)
+        inject(router, 0, packet, now=0.0)
+        for t in range(8):
+            router.step(float(t))
+            self.assert_consistent(router)
+        assert router._active_mask == 1 << 0
+        assert router.inputs[0].occupancy == 1
+
+
 class TestMalformedInput:
     def test_out_of_range_vc_rejected(self):
         router = make_router()

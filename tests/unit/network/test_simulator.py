@@ -292,3 +292,47 @@ class TestDrainBatching:
         assert drained_a is False and drained_b is False
         assert batched.cycle == reference.cycle == 500
         assert batched.summary() == reference.summary()
+
+
+class TestStallDiagnosticsStayLazy:
+    """The congestion report (``repro.metrics.inspect``) walks the whole
+    network and is only worth building when a stall is actually being
+    diagnosed.  Its import must therefore stay out of the watchdog's
+    healthy path: a progressing run — in either engine or step-all mode —
+    must never load the module, while raising the stall error must."""
+
+    def _run_progressing(self, tiny_network, step_all):
+        from repro.config import SimulationConfig
+
+        config = SimulationConfig(network=tiny_network, power=None,
+                                  sample_interval=100,
+                                  stall_limit_cycles=256)
+        nodes = tiny_network.num_nodes
+        sim = Simulator(config, UniformRandomTraffic(nodes, 0.1, seed=4),
+                        step_all=step_all)
+        sim.run(2000)
+        assert sim.stats.packets_delivered > 0
+        return sim
+
+    @pytest.mark.parametrize("step_all", [False, True])
+    def test_healthy_watchdog_never_imports_inspect(
+            self, tiny_network, step_all, monkeypatch):
+        import sys
+
+        monkeypatch.delitem(sys.modules, "repro.metrics.inspect",
+                            raising=False)
+        self._run_progressing(tiny_network, step_all)
+        assert "repro.metrics.inspect" not in sys.modules
+
+    def test_stall_error_imports_and_embeds_report(self, tiny_network,
+                                                   monkeypatch):
+        import sys
+
+        from repro.network.simulator import _stall_error
+
+        sim = self._run_progressing(tiny_network, step_all=False)
+        monkeypatch.delitem(sys.modules, "repro.metrics.inspect",
+                            raising=False)
+        err = _stall_error(sim, "synthetic stall for the test.")
+        assert "repro.metrics.inspect" in sys.modules
+        assert "synthetic stall for the test." in str(err)

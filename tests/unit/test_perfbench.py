@@ -1,0 +1,178 @@
+"""Unit tests for the persistent benchmark trajectory (``repro bench``)."""
+
+import json
+
+import pytest
+
+from repro import perfbench
+from repro.errors import ConfigError
+
+
+def fake_snapshot(throughputs: dict[str, float],
+                  calibration: float = 1_000_000.0) -> dict:
+    return {
+        "schema_version": perfbench.SCHEMA_VERSION,
+        "pr": 4,
+        "quick": True,
+        "python": "3.11.7",
+        "implementation": "CPython",
+        "machine": "x86_64",
+        "calibration_ops_per_sec": calibration,
+        "peak_rss_kb": 40_000,
+        "datapoints": [
+            {
+                "label": label,
+                "injection_rate": perfbench.RATES[label],
+                "cycles": 1500,
+                "repeats": 2,
+                "cycles_per_sec_cpu": cps,
+                "summary": {},
+                "phase_profile": {},
+            }
+            for label, cps in throughputs.items()
+        ],
+    }
+
+
+class TestCompare:
+    def test_identical_snapshots_pass(self):
+        snapshot = fake_snapshot({"light": 100_000.0, "moderate": 20_000.0})
+        assert perfbench.compare(snapshot, snapshot) == []
+
+    def test_regression_beyond_tolerance_is_reported(self):
+        baseline = fake_snapshot({"light": 100_000.0, "moderate": 20_000.0})
+        current = fake_snapshot({"light": 100_000.0, "moderate": 15_000.0})
+        regressions = perfbench.compare(current, baseline, tolerance=0.15)
+        assert len(regressions) == 1
+        assert regressions[0].startswith("moderate:")
+
+    def test_drop_within_tolerance_passes(self):
+        baseline = fake_snapshot({"moderate": 20_000.0})
+        current = fake_snapshot({"moderate": 18_000.0})
+        assert perfbench.compare(current, baseline, tolerance=0.15) == []
+
+    def test_calibration_normalisation_forgives_a_slower_machine(self):
+        # Half the raw throughput on a machine scoring half the
+        # calibration: identical code, no regression.
+        baseline = fake_snapshot({"moderate": 20_000.0},
+                                 calibration=2_000_000.0)
+        current = fake_snapshot({"moderate": 10_000.0},
+                                calibration=1_000_000.0)
+        assert perfbench.compare(current, baseline) == []
+
+    def test_calibration_normalisation_catches_a_masked_regression(self):
+        # Same raw throughput on a machine twice as fast IS a regression.
+        baseline = fake_snapshot({"moderate": 20_000.0},
+                                 calibration=1_000_000.0)
+        current = fake_snapshot({"moderate": 20_000.0},
+                                calibration=2_000_000.0)
+        assert perfbench.compare(current, baseline) != []
+
+    def test_unshared_labels_are_ignored(self):
+        baseline = fake_snapshot({"light": 100_000.0})
+        current = fake_snapshot({"moderate": 1.0})
+        assert perfbench.compare(current, baseline) == []
+
+    def test_missing_calibration_rejected(self):
+        good = fake_snapshot({"light": 1.0})
+        bad = fake_snapshot({"light": 1.0})
+        del bad["calibration_ops_per_sec"]
+        with pytest.raises(ConfigError):
+            perfbench.compare(good, bad)
+
+    def test_bad_tolerance_rejected(self):
+        snapshot = fake_snapshot({"light": 1.0})
+        for tolerance in (0.0, 1.0, -0.5):
+            with pytest.raises(ConfigError):
+                perfbench.compare(snapshot, snapshot, tolerance=tolerance)
+
+
+class TestSnapshotIO:
+    def test_write_load_round_trip(self, tmp_path):
+        snapshot = fake_snapshot({"light": 100_000.0})
+        path = tmp_path / "bench.json"
+        perfbench.write_snapshot(snapshot, str(path))
+        assert perfbench.load_snapshot(str(path)) == snapshot
+
+    def test_missing_file_is_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            perfbench.load_snapshot(str(tmp_path / "absent.json"))
+
+    def test_malformed_json_is_config_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="malformed"):
+            perfbench.load_snapshot(str(path))
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        snapshot = fake_snapshot({"light": 1.0})
+        snapshot["schema_version"] = 99
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(snapshot))
+        with pytest.raises(ConfigError, match="schema"):
+            perfbench.load_snapshot(str(path))
+
+
+class TestMeasurement:
+    def test_measure_rate_smoke(self):
+        point = perfbench.measure_rate("light", 0.02, cycles=300,
+                                       repeats=2, profile=False)
+        assert point.cycles_per_sec_cpu > 0
+        assert point.summary["cycles"] == 300
+        assert point.phase_profile == {}
+        json.dumps(point.to_json())  # must be serialisable as-is
+
+    def test_phase_profile_shares_sum_to_one(self):
+        profile = perfbench._phase_profile(0.02, cycles=300)
+        assert set(profile) == {"deliver", "route", "inject", "generate",
+                                "control"}
+        assert sum(profile.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_calibration_is_positive(self):
+        assert perfbench.calibrate(rounds=1) > 0
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["bench", "--quick"])
+        assert args.quick and args.tolerance == 0.15
+        assert args.out is None and args.compare is None
+
+    def test_bench_command_writes_and_gates(self, tmp_path, capsys,
+                                            monkeypatch):
+        from repro import cli
+
+        snapshot = fake_snapshot({"light": 100_000.0})
+
+        def fast_run(quick=False, pr=None, profile=True):
+            return dict(snapshot, pr=pr, quick=quick)
+
+        monkeypatch.setattr(perfbench, "run_benchmarks", fast_run)
+        out = tmp_path / "BENCH_t.json"
+        assert cli.main(["bench", "--quick", "--out", str(out)]) == 0
+        assert perfbench.load_snapshot(str(out))["quick"] is True
+
+        # Gate against itself: passes; against an inflated baseline: fails.
+        assert cli.main(["bench", "--quick", "--compare", str(out)]) == 0
+        inflated = fake_snapshot({"light": 1_000_000.0})
+        baseline = tmp_path / "baseline.json"
+        perfbench.write_snapshot(inflated, str(baseline))
+        assert cli.main(["bench", "--quick",
+                         "--compare", str(baseline)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+
+    def test_pr_number_names_the_default_output(self, tmp_path, capsys,
+                                                monkeypatch):
+        from repro import cli
+
+        monkeypatch.setattr(
+            perfbench, "run_benchmarks",
+            lambda quick=False, pr=None, profile=True:
+            dict(fake_snapshot({"light": 1.0}), pr=pr))
+        monkeypatch.chdir(tmp_path)
+        assert cli.main(["bench", "--quick", "--pr", "9"]) == 0
+        assert perfbench.load_snapshot(str(tmp_path / "BENCH_9.json"))[
+            "pr"] == 9
