@@ -1,0 +1,15 @@
+"""``python -m repro.analysis`` — standalone entry for the checker.
+
+Same engine as ``repro check``; exists so the analysis pass can run
+without importing the simulator CLI (and so CI can call it even if the
+CLI ever grows heavier imports).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Argument parsing and exit codes for the ``repro check`` pass.
+
+Shared by ``repro check`` (the simulator CLI subcommand) and
+``python -m repro.analysis``.  Exit codes: 0 clean, 1 findings,
+2 usage error (argparse's own convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.framework import run_check
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description=("project-specific static analysis: determinism, "
+                     "unit-consistency, hook-contract and hot-path rules "
+                     "(see docs/static-analysis.md)"),
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to check (default: the repro package)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--rules", metavar="ID[,ID...]", default=None,
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="directory findings are reported relative to")
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="also write the report to this file")
+    return parser
+
+
+def run(args: argparse.Namespace) -> int:
+    rule_ids = None
+    if args.rules:
+        rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
+    try:
+        result = run_check(
+            paths=args.paths or None,
+            root=args.root,
+            rule_ids=rule_ids,
+        )
+    except ValueError as exc:  # unknown rule id
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+    report = result.to_json() if args.format == "json" else result.format_text()
+    print(report)
+    if args.output is not None:
+        args.output.write_text(report + "\n", encoding="utf-8")
+    return 0 if result.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    return run(parser.parse_args(argv))

@@ -1,0 +1,322 @@
+"""The rule framework behind ``repro check``.
+
+A :class:`Rule` inspects parsed source and yields :class:`Finding`\\ s; the
+runner (:func:`run_check`) collects the project's files, parses each one
+once, applies every rule, filters suppressed findings and renders the
+result as human-readable text or JSON.
+
+Suppression
+-----------
+A finding is suppressed by a comment on the flagged line::
+
+    total = margin_db + power_w  # repro: noqa[UN001] intentional: doc'd
+
+or for a whole file, by a comment anywhere in it (conventionally at the
+top)::
+
+    # repro: noqa-file[DT004] wall-time profiler measures wall time
+
+Several ids may share one comment: ``# repro: noqa[DT001,DT004]``.  Every
+suppression should carry a short justification after the bracket; the
+text is free-form but reviewers treat an unexplained suppression as a
+finding of its own.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Severity levels, mild to fatal.  Any non-suppressed finding fails the
+#: check regardless of severity; the level exists so reports can rank.
+WARNING = "warning"
+ERROR = "error"
+Severity = str
+
+#: ``# repro: noqa[ID,...]`` (line) / ``# repro: noqa-file[ID,...]`` (file).
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<file>-file)?\[(?P<ids>[A-Z]{2}\d{3}"
+    r"(?:\s*,\s*[A-Z]{2}\d{3})*)\]"
+)
+
+#: Output-schema version stamped into every JSON report.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: Severity = ERROR
+    hint: str = ""
+
+    def format(self) -> str:
+        """``path:line:col: RULE message (hint: ...)`` — one line."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if self.hint:
+            text += f"  (hint: {self.hint})"
+        return text
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Finding":
+        """Inverse of :meth:`as_dict` (JSON report round-trip)."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            rule_id=str(data["rule"]),
+            message=str(data["message"]),
+            severity=str(data.get("severity", ERROR)),
+            hint=str(data.get("hint", "")),
+        )
+
+
+@dataclass
+class SourceFile:
+    """One parsed file: AST, raw lines and its suppression comments."""
+
+    path: Path
+    rel: str
+    text: str
+    tree: ast.AST
+    #: line number -> rule ids suppressed on that line.
+    line_suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: rule ids suppressed for the whole file.
+    file_suppressions: set[str] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, path: Path, rel: str) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=rel)
+        src = cls(path=path, rel=rel, text=text, tree=tree)
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if "repro:" not in line:
+                continue
+            for match in _SUPPRESS_RE.finditer(line):
+                ids = {part.strip() for part in match.group("ids").split(",")}
+                if match.group("file"):
+                    src.file_suppressions |= ids
+                else:
+                    src.line_suppressions.setdefault(lineno, set()).update(ids)
+        return src
+
+    def suppresses(self, finding: Finding) -> bool:
+        if finding.rule_id in self.file_suppressions:
+            return True
+        on_line = self.line_suppressions.get(finding.line)
+        return on_line is not None and finding.rule_id in on_line
+
+
+class Project:
+    """Every parsed file of one check run, keyed by repo-relative path."""
+
+    def __init__(self, files: Sequence[SourceFile], root: Path):
+        self.files = list(files)
+        self.root = root
+        self.by_rel = {src.rel: src for src in self.files}
+
+    def __iter__(self) -> Iterator[SourceFile]:
+        return iter(self.files)
+
+
+class Rule:
+    """Base class: one invariant, one stable id, one severity.
+
+    Subclasses override :meth:`check_file` (per-file rules) and/or
+    :meth:`check_project` (cross-file rules that need the whole
+    :class:`Project`, e.g. the hook-contract family).  ``scope`` decides
+    which files a per-file rule sees; project rules receive everything
+    and scope themselves.
+    """
+
+    rule_id: str = "XX000"
+    name: str = "unnamed"
+    severity: Severity = ERROR
+    description: str = ""
+
+    def scope(self, rel: str) -> bool:
+        """Whether this rule applies to the file at repo-relative ``rel``."""
+        return True
+
+    def check_file(self, src: SourceFile, project: Project) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, src_rel: str, node: ast.AST | None, message: str,
+                *, hint: str | None = None, line: int | None = None,
+                col: int | None = None) -> Finding:
+        """Build a :class:`Finding` for ``node`` (or an explicit line)."""
+        return Finding(
+            path=src_rel,
+            line=line if line is not None else getattr(node, "lineno", 1),
+            col=col if col is not None else getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+            severity=self.severity,
+            hint=self.hint if hint is None else hint,
+        )
+
+    #: Default fix hint attached to findings (subclasses set it).
+    hint: str = ""
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one ``repro check`` run."""
+
+    findings: list[Finding]
+    suppressed: int
+    files_checked: int
+    root: str
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "root": self.root,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "counts": self.counts_by_rule(),
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def format_text(self) -> str:
+        """The human report: one line per finding plus a summary."""
+        lines = [finding.format() for finding in self.findings]
+        counts = self.counts_by_rule()
+        if counts:
+            breakdown = ", ".join(
+                f"{rule} x{count}" for rule, count in sorted(counts.items())
+            )
+            lines.append(
+                f"\n{len(self.findings)} finding(s) in {self.files_checked} "
+                f"file(s) [{breakdown}] ({self.suppressed} suppressed)"
+            )
+        else:
+            lines.append(
+                f"clean: 0 findings in {self.files_checked} file(s) "
+                f"({self.suppressed} suppressed)"
+            )
+        return "\n".join(lines)
+
+
+def collect_files(paths: Sequence[Path], root: Path) -> list[SourceFile]:
+    """Parse every ``*.py`` under ``paths`` (files or directories)."""
+    seen: dict[str, Path] = {}
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            try:
+                rel = str(candidate.resolve().relative_to(root.resolve()))
+            except ValueError:
+                rel = str(candidate)
+            seen[rel] = candidate
+    return [SourceFile.parse(path, rel) for rel, path in sorted(seen.items())]
+
+
+def run_check(paths: Sequence[Path | str] | None = None,
+              rules: Sequence[Rule] | None = None,
+              root: Path | str | None = None,
+              rule_ids: Sequence[str] | None = None) -> CheckResult:
+    """Run ``rules`` over ``paths`` and return the filtered result.
+
+    ``paths`` defaults to the package's own source tree (``src/repro``
+    resolved relative to this installation), so the CI invocation and the
+    meta-test need no arguments.  ``rule_ids`` restricts the run to a
+    subset of rule ids (for bisecting a report).
+    """
+    from repro.analysis.rules import all_rules
+
+    if root is None:
+        root = default_root()
+    root = Path(root)
+    if paths is None:
+        paths = [default_source_tree()]
+    resolved = [Path(p) for p in paths]
+    if rules is None:
+        rules = all_rules()
+    if rule_ids is not None:
+        wanted = set(rule_ids)
+        unknown = wanted - {rule.rule_id for rule in rules}
+        if unknown:
+            raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+    files = collect_files(resolved, root)
+    project = Project(files, root)
+
+    raw: list[Finding] = []
+    for rule in rules:
+        for src in project:
+            if rule.scope(src.rel):
+                raw.extend(rule.check_file(src, project))
+        raw.extend(rule.check_project(project))
+
+    findings: list[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        src = project.by_rel.get(finding.path)
+        if src is not None and src.suppresses(finding):
+            suppressed += 1
+        else:
+            findings.append(finding)
+    findings.sort()
+    return CheckResult(
+        findings=findings,
+        suppressed=suppressed,
+        files_checked=len(files),
+        root=str(root),
+    )
+
+
+def default_source_tree() -> Path:
+    """The installed package's own source directory (``src/repro``)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def default_root() -> Path:
+    """The directory repo-relative paths are reported against.
+
+    ``src``'s parent when running from a checkout (reports read
+    ``src/repro/...``); the package parent otherwise.
+    """
+    src_dir = default_source_tree().parent
+    return src_dir.parent if src_dir.name == "src" else src_dir

@@ -1,0 +1,73 @@
+"""The rule catalogue for ``repro check``.
+
+Four families, sixteen rules (see ``docs/static-analysis.md``):
+
+=========  ==================================================
+family     invariant
+=========  ==================================================
+``DT0xx``  determinism: identical seeds give identical runs
+``UN0xx``  unit consistency across the photonics layer
+``HC0xx``  hook contract between engine and subscribers
+``HP0xx``  purity of the inlined hot loop
+=========  ==================================================
+
+To add a rule: subclass :class:`repro.analysis.framework.Rule` in the
+matching family module, give it the next free id, and list it here.
+``all_rules`` is the single registration point — tests assert id
+uniqueness against it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.framework import Rule
+from repro.analysis.rules.determinism import (
+    IdOrderingRule,
+    UnseededRandomRule,
+    UnsortedSetIterationRule,
+    WallClockRule,
+)
+from repro.analysis.rules.hookcontract import (
+    SignatureMismatchRule,
+    UnfiredEventRule,
+    UnknownFireRule,
+    UnknownRegistrationRule,
+)
+from repro.analysis.rules.hotpath import (
+    ClosureInHotPathRule,
+    ComprehensionInHotPathRule,
+    LocalImportRule,
+    LoggingInHotPathRule,
+)
+from repro.analysis.rules.units import (
+    InlineDbMathRule,
+    MagicScaleConstantRule,
+    MixedUnitArithmeticRule,
+    SuffixContradictionRule,
+)
+
+_RULE_CLASSES: tuple[type[Rule], ...] = (
+    UnseededRandomRule,
+    UnsortedSetIterationRule,
+    IdOrderingRule,
+    WallClockRule,
+    MixedUnitArithmeticRule,
+    MagicScaleConstantRule,
+    SuffixContradictionRule,
+    InlineDbMathRule,
+    UnknownRegistrationRule,
+    UnknownFireRule,
+    UnfiredEventRule,
+    SignatureMismatchRule,
+    LocalImportRule,
+    LoggingInHotPathRule,
+    ClosureInHotPathRule,
+    ComprehensionInHotPathRule,
+)
+
+
+def all_rules() -> list[Rule]:
+    """One fresh instance of every registered rule, in report order."""
+    return [cls() for cls in _RULE_CLASSES]
+
+
+__all__ = ["all_rules"]

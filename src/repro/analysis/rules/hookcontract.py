@@ -1,0 +1,199 @@
+"""Hook-contract rules (HC).
+
+Cross-checks the three legs of the engine's observer contract (see
+:mod:`repro.analysis.project`): the ``EVENTS`` vocabulary in
+:mod:`repro.engine.hooks`, the registrations made by subscribers, and
+the fire sites in the engine/simulator/manager.
+
+* ``HC001`` — a registration (``hooks.add``/``remove``) naming an event
+  the registry does not define.  The registry raises at runtime too, but
+  only when that code path executes; the rule catches it at lint time.
+* ``HC002`` — a read of ``hooks.<attr>`` for an attribute that is
+  neither an event list nor registry API: a fire site nothing can
+  subscribe to.
+* ``HC003`` — an event the registry defines but nothing ever fires:
+  subscribers can register and will silently never be called.
+* ``HC004`` — a call-signature mismatch: a fire site passing a different
+  number of arguments than the event's other fire sites, or a registered
+  callback that cannot accept what the fire sites pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.framework import Finding, Project, Rule
+from repro.analysis.project import (
+    HOOKS_MODULE_SUFFIX,
+    REGISTRY_API,
+    HookModel,
+    build_hook_model,
+    is_hooks_base,
+)
+
+
+class _HookRuleBase(Rule):
+    """Shared lazily-built :class:`HookModel` per project run."""
+
+    def _model(self, project: Project) -> HookModel:
+        cached = getattr(project, "_hook_model", None)
+        if cached is None:
+            cached = build_hook_model(project)
+            project._hook_model = cached  # type: ignore[attr-defined]
+        return cached
+
+
+class UnknownRegistrationRule(_HookRuleBase):
+    """HC001: registration for an event the registry does not define."""
+
+    rule_id = "HC001"
+    name = "unknown-hook-registration"
+    description = ("hooks.add()/remove() with an event name missing from "
+                   "repro.engine.hooks.EVENTS")
+    hint = "fix the name or add the event to EVENTS (and document it)"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = self._model(project)
+        if not model.events:
+            return
+        known = set(model.events)
+        for registration in model.registrations:
+            if registration.kind == "wiring":
+                continue  # structurally matched, name already validated
+            if registration.event not in known:
+                yield Finding(
+                    path=registration.rel, line=registration.line,
+                    col=registration.col, rule_id=self.rule_id,
+                    message=(f"hooks.{registration.kind}() for unknown "
+                             f"event {registration.event!r}"),
+                    severity=self.severity, hint=self.hint,
+                )
+
+
+class UnknownFireRule(_HookRuleBase):
+    """HC002: reading an event list the registry does not define."""
+
+    rule_id = "HC002"
+    name = "unknown-hook-fire"
+    description = ("a read of hooks.<name> where <name> is not in EVENTS "
+                   "fires callbacks nothing can ever register")
+    hint = "add the event to EVENTS or fix the attribute name"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = self._model(project)
+        if not model.events:
+            return
+        allowed = set(model.events) | REGISTRY_API
+        for src in project:
+            if src.rel.endswith(HOOKS_MODULE_SUFFIX):
+                continue
+            for node in ast.walk(src.tree):
+                if (isinstance(node, ast.Attribute)
+                        and isinstance(node.ctx, ast.Load)
+                        and is_hooks_base(node.value)
+                        and node.attr not in allowed
+                        and not node.attr.startswith("__")):
+                    yield Finding(
+                        path=src.rel, line=node.lineno,
+                        col=node.col_offset, rule_id=self.rule_id,
+                        message=(f"read of undefined hook event "
+                                 f"{node.attr!r}"),
+                        severity=self.severity, hint=self.hint,
+                    )
+
+
+class UnfiredEventRule(_HookRuleBase):
+    """HC003: an event the registry defines but nothing fires."""
+
+    rule_id = "HC003"
+    name = "unfired-hook-event"
+    description = ("an EVENTS entry with no fire/forward site anywhere: "
+                   "registrations for it are silently dead")
+    hint = "fire the event from the engine or retire it from EVENTS"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        model = self._model(project)
+        if not model.events:
+            return
+        hooks_rel = next(
+            (src.rel for src in project
+             if src.rel.endswith(HOOKS_MODULE_SUFFIX)), None)
+        if hooks_rel is None:
+            return
+        live = {load.event for load in model.loads}
+        live |= {fire.event for fire in model.fires}
+        for event in model.events:
+            if event not in live:
+                yield Finding(
+                    path=hooks_rel, line=model.events_line, col=0,
+                    rule_id=self.rule_id,
+                    message=(f"event {event!r} is defined but never "
+                             "fired by any scanned module"),
+                    severity=self.severity, hint=self.hint,
+                )
+
+
+class SignatureMismatchRule(_HookRuleBase):
+    """HC004: fire sites and registered callbacks disagree on arity."""
+
+    rule_id = "HC004"
+    name = "hook-signature-mismatch"
+    description = ("every fire site of an event must pass the same "
+                   "arguments, and registered callbacks must accept them")
+    hint = "align the callback/fire signature with docs/simulator.md"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        from repro.analysis.project import resolve_callback_arity
+
+        model = self._model(project)
+        if not model.events:
+            return
+        canonical: dict[str, int] = {}
+        by_event: dict[str, list] = {}
+        for fire in model.fires:
+            by_event.setdefault(fire.event, []).append(fire)
+        for event, fires in by_event.items():
+            counts: dict[int, int] = {}
+            for fire in fires:
+                counts[fire.arity] = counts.get(fire.arity, 0) + 1
+            # Modal arity wins; ties break toward the smaller arity so the
+            # report is deterministic.
+            modal = sorted(counts.items(),
+                           key=lambda item: (-item[1], item[0]))[0][0]
+            canonical[event] = modal
+            if len(counts) > 1:
+                for fire in fires:
+                    if fire.arity != modal:
+                        yield Finding(
+                            path=fire.rel, line=fire.line, col=fire.col,
+                            rule_id=self.rule_id,
+                            message=(f"{event!r} fired with {fire.arity} "
+                                     f"argument(s); other sites pass "
+                                     f"{modal}"),
+                            severity=self.severity, hint=self.hint,
+                        )
+        for registration in model.registrations:
+            if registration.kind == "remove":
+                continue
+            expected = canonical.get(registration.event)
+            if expected is None:
+                continue
+            arity = resolve_callback_arity(model, registration)
+            if arity is None:
+                continue
+            minimum, maximum, has_varargs = arity
+            if has_varargs:
+                continue
+            if not minimum <= expected <= maximum:
+                accepts = str(maximum) if minimum == maximum else \
+                    f"{minimum}..{maximum}"
+                yield Finding(
+                    path=registration.rel, line=registration.line,
+                    col=registration.col, rule_id=self.rule_id,
+                    message=(f"callback registered for "
+                             f"{registration.event!r} accepts {accepts} "
+                             f"positional argument(s) but fire sites "
+                             f"pass {expected}"),
+                    severity=self.severity, hint=self.hint,
+                )

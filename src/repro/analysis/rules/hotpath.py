@@ -1,0 +1,209 @@
+"""Hot-path purity rules (HP).
+
+The hot loop (``Simulator.run``'s inlined fast path, the router
+work-list scan, the delivery schedule and event wheel) runs hundreds of
+millions of iterations per benchmark.  The perf pass that built it (see
+``docs/performance.md``) relies on a handful of disciplines that decay
+silently under maintenance; these rules pin them:
+
+* ``HP001`` — no function-local imports: import-lock and module-dict
+  lookups per iteration.
+* ``HP002`` — no logging/print/warnings calls: even a disabled logger
+  call costs an attribute lookup, an arg tuple and a level check per
+  event; telemetry belongs in hooks on the *instrumented* path.
+* ``HP003`` — no lambdas or nested ``def``: building a closure object
+  per call defeats the method-alias prebinding the fast path uses.
+* ``HP004`` — no comprehensions/generator expressions: each one
+  allocates a list/iterator per iteration; the hot loop indexes into
+  preallocated work lists instead.
+
+The hot set is named explicitly (``HOT_FUNCTIONS``) rather than guessed
+from profiles, so a reviewer can see exactly which bodies are under the
+stricter contract.  Code outside the set is untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.framework import Finding, Project, Rule, SourceFile
+
+#: repo-relative module path (without the ``src/`` prefix) -> set of
+#: ``Class.method`` / function names whose bodies are hot.
+HOT_FUNCTIONS: dict[str, frozenset[str]] = {
+    "repro/network/simulator.py": frozenset({
+        "Simulator.run",
+        "Simulator.step",
+        "Simulator._phase_deliver",
+        "Simulator._phase_route",
+        "Simulator._phase_inject",
+    }),
+    "repro/network/router.py": frozenset({
+        "Router.step",
+        "Router._forward",
+        "Router._route",
+        "Router.receive_flit",
+    }),
+    "repro/engine/schedule.py": frozenset({
+        "DeliverySchedule.add",
+        "DeliverySchedule.discard",
+        "DeliverySchedule.pop_due",
+        "DeliverySchedule.rearm",
+        "DeliverySchedule.retire",
+    }),
+    "repro/engine/wheel.py": frozenset({
+        "EventWheel.schedule",
+        "EventWheel.service",
+    }),
+    "repro/engine/active.py": frozenset({
+        "ActiveSet.add",
+        "ActiveSet.discard",
+        "ActiveSet.snapshot",
+    }),
+    "repro/network/stats.py": frozenset({
+        "StatsCollector.packet_created",
+        "StatsCollector.packet_delivered",
+    }),
+}
+
+#: Call names that mean "this line produces log/console output".
+_LOGGING_CALLS = frozenset({
+    "print", "debug", "info", "warning", "warn", "error", "exception",
+    "critical", "log",
+})
+_LOGGING_BASES = frozenset({"logging", "logger", "log", "warnings"})
+
+
+def _hot_bodies(src: SourceFile) -> Iterable[tuple[str, ast.FunctionDef]]:
+    """Yield ``(qualified_name, node)`` for this file's hot functions."""
+    wanted = HOT_FUNCTIONS.get(src.rel.removeprefix("src/"))
+    if not wanted:
+        return
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    qualified = f"{node.name}.{item.name}"
+                    if qualified in wanted:
+                        yield qualified, item
+        elif isinstance(node, ast.FunctionDef) and node.name in wanted:
+            yield node.name, node
+
+
+class _HotPathRule(Rule):
+    """Per-file rule that only looks inside ``HOT_FUNCTIONS`` bodies."""
+
+    def scope(self, rel: str) -> bool:
+        return rel.removeprefix("src/") in HOT_FUNCTIONS
+
+    def check_file(self, src: SourceFile,
+                   project: Project) -> Iterable[Finding]:
+        for qualified, fn in _hot_bodies(src):
+            yield from self.check_hot_function(src, qualified, fn)
+
+    def check_hot_function(self, src: SourceFile, qualified: str,
+                           fn: ast.FunctionDef) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class LocalImportRule(_HotPathRule):
+    """HP001: an import statement inside a hot function body."""
+
+    rule_id = "HP001"
+    name = "hot-path-local-import"
+    description = ("imports inside the hot loop pay the import lock and "
+                   "sys.modules lookup on every call")
+    hint = "move the import to module scope"
+
+    def check_hot_function(self, src: SourceFile, qualified: str,
+                           fn: ast.FunctionDef) -> Iterable[Finding]:
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield self.finding(
+                    src.rel, node,
+                    f"function-local import inside hot path {qualified}",
+                )
+
+
+class LoggingInHotPathRule(_HotPathRule):
+    """HP002: logging/print/warnings calls inside a hot function body."""
+
+    rule_id = "HP002"
+    name = "hot-path-logging"
+    description = ("print/logging/warnings calls in the hot loop cost an "
+                   "allocation and a level check per event even when "
+                   "disabled; use hooks on the instrumented path")
+    hint = "emit through a hook, or log outside the loop"
+
+    def check_hot_function(self, src: SourceFile, qualified: str,
+                           fn: ast.FunctionDef) -> Iterable[Finding]:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                yield self.finding(
+                    src.rel, node,
+                    f"print() inside hot path {qualified}",
+                )
+            elif (isinstance(func, ast.Attribute)
+                    and func.attr in _LOGGING_CALLS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id.lower() in _LOGGING_BASES):
+                yield self.finding(
+                    src.rel, node,
+                    f"{func.value.id}.{func.attr}() inside hot path "
+                    f"{qualified}",
+                )
+
+
+class ClosureInHotPathRule(_HotPathRule):
+    """HP003: lambda or nested def inside a hot function body."""
+
+    rule_id = "HP003"
+    name = "hot-path-closure"
+    description = ("lambdas and nested defs in the hot loop build a "
+                   "closure object per call; prebind a method alias "
+                   "outside the loop instead")
+    hint = "hoist to a module-level function or a prebound method"
+
+    def check_hot_function(self, src: SourceFile, qualified: str,
+                           fn: ast.FunctionDef) -> Iterable[Finding]:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Lambda):
+                yield self.finding(
+                    src.rel, node,
+                    f"lambda inside hot path {qualified}",
+                )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node is not fn:
+                yield self.finding(
+                    src.rel, node,
+                    f"nested function {node.name!r} inside hot path "
+                    f"{qualified}",
+                )
+
+
+class ComprehensionInHotPathRule(_HotPathRule):
+    """HP004: comprehension or generator expression in a hot body."""
+
+    rule_id = "HP004"
+    name = "hot-path-comprehension"
+    severity = "warning"
+    description = ("each comprehension in the hot loop allocates a fresh "
+                   "container per call; the fast path reuses preallocated "
+                   "work lists")
+    hint = ("reuse a preallocated list, or suppress with a justification "
+            "if the branch is demonstrably cold")
+
+    def check_hot_function(self, src: SourceFile, qualified: str,
+                           fn: ast.FunctionDef) -> Iterable[Finding]:
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                 ast.GeneratorExp)):
+                kind = type(node).__name__
+                yield self.finding(
+                    src.rel, node,
+                    f"{kind} inside hot path {qualified}",
+                )

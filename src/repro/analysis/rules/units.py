@@ -1,0 +1,302 @@
+"""Unit-consistency rules (UN).
+
+The photonics layer keeps a strict internal convention (watts, bits per
+second, seconds — see :mod:`repro.units`), with unit-suffixed names
+(``fiber_loss_db``, ``received_power_w``) marking everything that is
+*not* in base units.  These rules lint that convention:
+
+* ``UN001`` — additive arithmetic or comparison between operands whose
+  inferred units disagree (``margin_db + power_w``).
+* ``UN002`` — a raw scale-factor literal (``* 1e9``, ``* 1e-6``) doing a
+  conversion that :mod:`repro.units` owns.
+* ``UN003`` — an assignment whose target suffix contradicts the value's
+  inferred unit (``power_w = watts_to_dbm(...)``).
+* ``UN004`` — inline dB/linear math (``10.0 ** (x / 10.0)``) instead of
+  the :func:`repro.units.db_to_ratio` family.
+
+Unit inference is deliberately shallow — suffixes, :mod:`repro.units`
+helper calls, and propagation through names/ternaries — so every finding
+is explainable by looking at the flagged line alone.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.framework import Finding, Project, Rule, SourceFile
+
+#: identifier suffix -> unit tag.
+SUFFIX_UNITS = {
+    "_w": "W",
+    "_mw": "mW",
+    "_uw": "uW",
+    "_dbm": "dBm",
+    "_db": "dB",
+    "_gbps": "Gb/s",
+    "_bps": "b/s",
+    "_hz": "Hz",
+    "_ghz": "GHz",
+    "_s": "s",
+    "_ns": "ns",
+    "_ps": "ps",
+    "_cycles": "cycles",
+    "_j": "J",
+    "_fj": "fJ",
+}
+
+#: :mod:`repro.units` helper -> unit tag of its return value.
+HELPER_RETURNS = {
+    "gbps": "b/s",
+    "to_gbps": "Gb/s",
+    "mw": "W",
+    "to_mw": "mW",
+    "uw": "W",
+    "dbm_to_watts": "W",
+    "watts_to_dbm": "dBm",
+    "db_to_ratio": "ratio",
+    "ratio_to_db": "dB",
+    "wavelength_to_frequency": "Hz",
+}
+
+#: Unit pairs that may legitimately mix under + / - / comparison
+#: (a dB offset applied to an absolute dBm level yields dBm).
+ALLOWED_MIXES = frozenset({("dB", "dBm"), ("dBm", "dB")})
+
+#: Scale factors that are conversions in disguise.  Maps the literal to
+#: the :mod:`repro.units` spelling reviewers should reach for.
+SCALE_LITERALS = {
+    1e3: "units.GIGA/units.MILLI scaling or an explicit helper",
+    1e6: "a repro.units helper (e.g. wavelength/frequency helpers)",
+    1e9: "units.gbps()/units.GIGA",
+    1e12: "units.PICO's inverse — add a helper instead",
+    1e-3: "units.mw()/units.MILLI",
+    1e-6: "units.uw()/units.MICRO",
+    1e-9: "units.NANO",
+    1e-12: "units.PICO",
+    1e-15: "units.FEMTO",
+}
+
+#: Files that define the conversions and constants themselves.
+CONVERSION_OWNERS = (
+    "repro/units.py",
+    "repro/photonics/constants.py",
+)
+
+#: The package the inference rules (UN001/UN003) run on.
+PHOTONICS_PACKAGE = "repro/photonics/"
+
+
+def _suffix_unit(identifier: str) -> str | None:
+    lowered = identifier.lower()
+    for suffix, unit in SUFFIX_UNITS.items():
+        if lowered.endswith(suffix):
+            return unit
+    return None
+
+
+class _UnitInference:
+    """Per-function shallow unit inference."""
+
+    def __init__(self) -> None:
+        self.locals: dict[str, str] = {}
+
+    def unit_of(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Name):
+            from_suffix = _suffix_unit(node.id)
+            if from_suffix is not None:
+                return from_suffix
+            return self.locals.get(node.id)
+        if isinstance(node, ast.Attribute):
+            return _suffix_unit(node.attr)
+        if isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            if name is None:
+                return None
+            if name in HELPER_RETURNS:
+                return HELPER_RETURNS[name]
+            return _suffix_unit(name)
+        if isinstance(node, ast.UnaryOp):
+            return self.unit_of(node.operand)
+        if isinstance(node, ast.IfExp):
+            return self.unit_of(node.body) or self.unit_of(node.orelse)
+        if isinstance(node, ast.BinOp) and \
+                isinstance(node.op, (ast.Add, ast.Sub)):
+            left = self.unit_of(node.left)
+            right = self.unit_of(node.right)
+            if left is not None and right is not None:
+                if left == right:
+                    return left
+                if (left, right) in ALLOWED_MIXES:
+                    return "dBm"
+                return None
+            return left or right
+        return None
+
+
+class MixedUnitArithmeticRule(Rule):
+    """UN001: additive arithmetic between different inferred units."""
+
+    rule_id = "UN001"
+    name = "mixed-unit-arithmetic"
+    description = ("+, - and comparisons require operands in the same "
+                   "unit; convert through repro.units first")
+    hint = "convert one operand with a repro.units helper"
+
+    def scope(self, rel: str) -> bool:
+        return rel.removeprefix("src/").startswith(PHOTONICS_PACKAGE)
+
+    def check_file(self, src: SourceFile,
+                   project: Project) -> Iterable[Finding]:
+        for fn in ast.walk(src.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            inference = _UnitInference()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign):
+                    unit = inference.unit_of(node.value)
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            if unit is not None:
+                                inference.locals[target.id] = unit
+                            else:
+                                inference.locals.pop(target.id, None)
+                elif isinstance(node, ast.BinOp) and \
+                        isinstance(node.op, (ast.Add, ast.Sub)):
+                    yield from self._check_pair(
+                        src, node, inference.unit_of(node.left),
+                        inference.unit_of(node.right), "arithmetic")
+                elif isinstance(node, ast.Compare):
+                    operands = [node.left, *node.comparators]
+                    for left, right in zip(operands, operands[1:]):
+                        yield from self._check_pair(
+                            src, right, inference.unit_of(left),
+                            inference.unit_of(right), "comparison")
+
+    def _check_pair(self, src: SourceFile, node: ast.expr,
+                    left: str | None, right: str | None,
+                    what: str) -> Iterable[Finding]:
+        if left is None or right is None or left == right:
+            return
+        if (left, right) in ALLOWED_MIXES:
+            return
+        yield self.finding(
+            src.rel, node,
+            f"mixed-unit {what}: {left} combined with {right}",
+        )
+
+
+class MagicScaleConstantRule(Rule):
+    """UN002: a raw scale-factor literal doing a unit conversion."""
+
+    rule_id = "UN002"
+    name = "magic-scale-constant"
+    description = ("unit conversions belong in repro.units; raw 1e9/1e-6 "
+                   "factors hide which unit a value is in")
+    hint = "use the matching repro.units helper or named constant"
+
+    def scope(self, rel: str) -> bool:
+        return not rel.removeprefix("src/").startswith(CONVERSION_OWNERS)
+
+    def check_file(self, src: SourceFile,
+                   project: Project) -> Iterable[Finding]:
+        for node in ast.walk(src.tree):
+            if not (isinstance(node, ast.BinOp)
+                    and isinstance(node.op, (ast.Mult, ast.Div))):
+                continue
+            for operand in (node.left, node.right):
+                if (isinstance(operand, ast.Constant)
+                        and isinstance(operand.value, float)
+                        and operand.value in SCALE_LITERALS):
+                    yield self.finding(
+                        src.rel, operand,
+                        f"raw scale factor {operand.value!r} in arithmetic",
+                        hint=f"use {SCALE_LITERALS[operand.value]}",
+                    )
+
+
+class SuffixContradictionRule(Rule):
+    """UN003: assignment target suffix contradicts the value's unit."""
+
+    rule_id = "UN003"
+    name = "unit-suffix-contradiction"
+    description = ("a ``*_w`` name must hold watts; assigning it a value "
+                   "inferred to be in another unit is a latent bug")
+    hint = "rename the variable or convert the value"
+
+    def scope(self, rel: str) -> bool:
+        return rel.removeprefix("src/").startswith(PHOTONICS_PACKAGE)
+
+    def check_file(self, src: SourceFile,
+                   project: Project) -> Iterable[Finding]:
+        for fn in ast.walk(src.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            inference = _UnitInference()
+            for node in ast.walk(fn):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                value = node.value
+                if value is None:
+                    continue
+                value_unit = inference.unit_of(value)
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    name = None
+                    if isinstance(target, ast.Name):
+                        name = target.id
+                    elif isinstance(target, ast.Attribute):
+                        name = target.attr
+                    if name is None:
+                        continue
+                    target_unit = _suffix_unit(name)
+                    if target_unit is None or value_unit is None:
+                        if isinstance(target, ast.Name) and \
+                                value_unit is not None:
+                            inference.locals[target.id] = value_unit
+                        continue
+                    if target_unit != value_unit and \
+                            (target_unit, value_unit) not in ALLOWED_MIXES:
+                        yield self.finding(
+                            src.rel, node,
+                            f"{name} ({target_unit}) assigned a value "
+                            f"inferred to be {value_unit}",
+                        )
+
+
+class InlineDbMathRule(Rule):
+    """UN004: open-coded dB/linear conversion."""
+
+    rule_id = "UN004"
+    name = "inline-db-math"
+    description = ("``10 ** (x / 10)`` re-implements db_to_ratio; "
+                   "scattered copies drift and hide the unit change")
+    hint = "use repro.units.db_to_ratio / ratio_to_db / dbm_to_watts"
+
+    def scope(self, rel: str) -> bool:
+        return rel.removeprefix("src/") != "repro/units.py"
+
+    def check_file(self, src: SourceFile,
+                   project: Project) -> Iterable[Finding]:
+        for node in ast.walk(src.tree):
+            if not (isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.Pow)):
+                continue
+            base = node.left
+            if not (isinstance(base, ast.Constant)
+                    and base.value in (10, 10.0)):
+                continue
+            exponent = node.right
+            if (isinstance(exponent, ast.BinOp)
+                    and isinstance(exponent.op, ast.Div)
+                    and isinstance(exponent.right, ast.Constant)
+                    and exponent.right.value in (10, 10.0)):
+                yield self.finding(
+                    src.rel, node,
+                    "inline dB-to-linear conversion (10 ** (x / 10))",
+                )

@@ -28,6 +28,7 @@ from repro.errors import ConfigError
 from repro.experiments.configs import get_scale, power_config, reference_rates
 from repro.experiments.fig5 import uniform_factory
 from repro.experiments.fig6 import hotspot_factory
+from repro.units import gbps
 from repro.experiments.runner import run_pair, run_simulation
 from repro.metrics.ascii import format_table, sparkline
 
@@ -152,6 +153,22 @@ def _add_bench_parser(subparsers) -> None:
                         help="skip the per-phase profile runs")
 
 
+def _add_check_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "check", help="run the project static-analysis pass "
+                      "(determinism/units/hooks/hot-path rules)")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to check "
+                             "(default: the repro package)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--rules", metavar="ID[,ID...]", default=None,
+                        help="comma-separated rule ids to run")
+    parser.add_argument("--root", default=None,
+                        help="directory findings are reported relative to")
+    parser.add_argument("--output", default=None, metavar="REPORT",
+                        help="also write the report to this file")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -164,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_parser(subparsers)
     _add_sweep_parser(subparsers)
     _add_bench_parser(subparsers)
+    _add_check_parser(subparsers)
     report = subparsers.add_parser(
         "report", help="regenerate EXPERIMENTS.md (slow)")
     report.add_argument("--scale", default="bench",
@@ -199,7 +217,7 @@ def _command_run(args) -> int:
         workload = f"splash/{args.benchmark} trace"
     power = power_config(
         scale, technology=args.technology,
-        min_bit_rate=args.min_rate_gbps * 1e9,
+        min_bit_rate=gbps(args.min_rate_gbps),
         optical_levels=args.optical_levels,
     )
     faults = None
@@ -437,6 +455,17 @@ def _command_bench(args) -> int:
     return 0
 
 
+def _command_check(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.cli import run as check_run
+
+    args.paths = [Path(p) for p in args.paths]
+    args.root = Path(args.root) if args.root else None
+    args.output = Path(args.output) if args.output else None
+    return check_run(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -450,6 +479,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_sweep(args)
         if args.command == "bench":
             return _command_bench(args)
+        if args.command == "check":
+            return _command_check(args)
         if args.command == "report":
             from repro.experiments.report import main as report_main
 

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
 from repro.photonics.constants import MAX_BIT_RATE
+from repro.units import MICRO
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports (cycle guard)
     from repro.reliability.config import FaultConfig
@@ -101,7 +102,7 @@ class NetworkConfig:
 
     def microseconds_to_cycles(self, microseconds: float) -> int:
         """Convert wall time to router cycles (rounded up)."""
-        return math.ceil(microseconds * 1e-6 * self.router_frequency_hz)
+        return math.ceil(microseconds * MICRO * self.router_frequency_hz)
 
 
 @dataclass(frozen=True)

@@ -29,9 +29,27 @@ interpolation) that needs power at an off-ladder operating point.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
 from repro.core.levels import BitRateLadder, OpticalBands
 from repro.errors import ConfigError
+
+
+class PowerModel(Protocol):
+    """What :meth:`OperatingPointTable.build` needs from a power model.
+
+    Satisfied structurally by the analytic
+    :class:`~repro.photonics.power_model.LinkPowerModel` and by any
+    measured Section 5 model.  Models whose receiver power depends on the
+    optical band may additionally expose
+    ``power_at_band(bit_rate, fraction)``; that extension stays
+    duck-typed because most models legitimately lack it.
+    """
+
+    @property
+    def max_power(self) -> float: ...
+
+    def power(self, bit_rate: float) -> float: ...
 
 
 @dataclass(frozen=True)
@@ -62,16 +80,15 @@ class OperatingPointTable:
             raise ConfigError("one band fraction per band row required")
 
     @classmethod
-    def build(cls, power_model, ladder: BitRateLadder,
+    def build(cls, power_model: PowerModel, ladder: BitRateLadder,
               bands: OpticalBands | None = None) -> "OperatingPointTable":
         """Evaluate ``power_model`` once per (ladder level x optical band).
 
-        ``power_model`` is duck-typed (anything with ``power(bit_rate)``
-        and ``max_power``, e.g. the analytic
-        :class:`~repro.photonics.power_model.LinkPowerModel` or a measured
-        Section 5 model).  Models whose receiver power depends on the
-        optical band may expose ``power_at_band(bit_rate, fraction)``;
-        otherwise the electrical row is band-invariant and shared.
+        ``power_model`` is any :class:`PowerModel` — structurally, anything
+        with ``power(bit_rate)`` and ``max_power``.  Models whose receiver
+        power depends on the optical band may expose
+        ``power_at_band(bit_rate, fraction)``; otherwise the electrical
+        row is band-invariant and shared.
 
         ``bands=None`` builds the single-band table (VCSEL systems and
         single-optical-level modulator systems).

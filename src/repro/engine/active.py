@@ -76,7 +76,9 @@ class ActiveSet(Generic[T]):
         if len(members) < 2:
             cache = list(members.values())
         else:
-            cache = [members[k] for k in sorted(members)]
+            # Runs only on a cache miss (membership changed since the last
+            # snapshot); steady-state windows reuse the memoised list.
+            cache = [members[k] for k in sorted(members)]  # repro: noqa[HP004] cache-miss path only
         self._cache = cache
         return cache
 

@@ -57,11 +57,30 @@ EVENTS = ("phase_start", "phase_end", "window", "transition", "policy",
           "power_sample", "delivery", "packet_delivered", "fault",
           "retransmit", "link_failure")
 
+#: A hook callback.  Signatures are per-event (see the module docstring);
+#: return values are ignored.
+Hook = Callable[..., object]
+
 
 class HookRegistry:
     """Callback lists for each engine event."""
 
     __slots__ = EVENTS
+
+    # One list per EVENTS entry.  The explicit annotations mirror EVENTS
+    # so attribute access type-checks; test_hooks asserts they stay in
+    # sync with the tuple.
+    phase_start: list[Hook]
+    phase_end: list[Hook]
+    window: list[Hook]
+    transition: list[Hook]
+    policy: list[Hook]
+    power_sample: list[Hook]
+    delivery: list[Hook]
+    packet_delivered: list[Hook]
+    fault: list[Hook]
+    retransmit: list[Hook]
+    link_failure: list[Hook]
 
     def __init__(self) -> None:
         for event in EVENTS:
@@ -72,7 +91,7 @@ class HookRegistry:
         """Whether any phase-boundary hook is registered."""
         return bool(self.phase_start or self.phase_end)
 
-    def add(self, event: str, callback: Callable) -> Callable:
+    def add(self, event: str, callback: Hook) -> Hook:
         """Register ``callback`` for ``event``; returns the callback."""
         if event not in EVENTS:
             raise ConfigError(
@@ -80,17 +99,19 @@ class HookRegistry:
             )
         if not callable(callback):
             raise ConfigError(f"hook callback must be callable, got {callback!r}")
-        getattr(self, event).append(callback)
+        hooks: list[Hook] = getattr(self, event)
+        hooks.append(callback)
         return callback
 
-    def remove(self, event: str, callback: Callable) -> None:
+    def remove(self, event: str, callback: Hook) -> None:
         """Deregister a previously added callback."""
         if event not in EVENTS:
             raise ConfigError(
                 f"unknown hook event {event!r}; known: {EVENTS}"
             )
+        hooks: list[Hook] = getattr(self, event)
         try:
-            getattr(self, event).remove(callback)
+            hooks.remove(callback)
         except ValueError:
             raise ConfigError(
                 f"callback {callback!r} is not registered for {event!r}"

@@ -31,6 +31,7 @@ from repro.experiments.runner import (
 )
 from repro.metrics.ascii import format_table
 from repro.reliability.config import FaultConfig
+from repro.units import uw
 
 #: Received optical powers swept, microwatts.  25 uW is the paper's
 #: receiver sensitivity at 10 Gb/s; the tail values walk down the margin
@@ -51,7 +52,7 @@ def margin_sweep_points(scale: ExperimentScale, *, seed: int = 1,
     for rx_uw in received_powers_uw:
         faults = FaultConfig(
             seed=derive_seed(seed, "faultsweep", rx_uw),
-            received_power_w=rx_uw * 1e-6,
+            received_power_w=uw(rx_uw),
         )
         points.append(SweepPoint(
             label=f"faults/rx{rx_uw:g}uW",

@@ -71,7 +71,7 @@ def find_throughput(latency_at: Callable[[float], float],
 
     def exceeds(rate: float) -> bool:
         latency = latency_at(rate)
-        return not latency == latency or latency > threshold  # NaN-safe
+        return latency != latency or latency > threshold  # NaN-safe
 
     if exceeds(low):
         return low

@@ -77,9 +77,13 @@ class MatrixArbiter:
             if not 0 <= r < self.size:
                 raise ConfigError(f"request index {r!r} outside [0, {self.size})")
             active.add(r)
+        # The matrix invariant makes the winner unique, but scan a sorted
+        # view anyway: if the invariant ever breaks, the failure mode is a
+        # deterministic (reproducible) mis-grant rather than a heisenbug.
+        ordered = sorted(active)
         winner = -1
-        for i in active:
-            if all(self._beats[i][j] for j in active if j != i):
+        for i in ordered:
+            if all(self._beats[i][j] for j in ordered if j != i):
                 winner = i
                 break
         if winner < 0:

@@ -20,7 +20,12 @@ from repro.errors import ConfigError
 from repro.photonics.detector import Photodetector
 from repro.photonics.laser import ExternalLaserSource, VariableOpticalAttenuator
 from repro.photonics.modulator import MqwModulator
-from repro.units import ratio_to_db, require_non_negative, require_positive
+from repro.units import (
+    db_to_ratio,
+    ratio_to_db,
+    require_non_negative,
+    require_positive,
+)
 
 
 @dataclass(frozen=True)
@@ -53,11 +58,11 @@ class LinkBudget:
         ``attenuation_db`` is the VOA setting on this fiber.
         """
         require_non_negative("attenuation_db", attenuation_db)
-        at_modulator = self.source.power_per_fiber() / (
-            10.0 ** (attenuation_db / 10.0)
+        at_modulator = self.source.power_per_fiber() / db_to_ratio(
+            attenuation_db
         )
         after_modulator = self.modulator.transmitted_on(at_modulator)
-        return after_modulator / (10.0 ** (self.fiber_loss_db / 10.0))
+        return after_modulator / db_to_ratio(self.fiber_loss_db)
 
     def margin_db(self, bit_rate: float, attenuation_db: float = 0.0) -> float:
         """Optical margin over the receiver sensitivity, dB.
@@ -94,15 +99,15 @@ class LinkBudget:
         """Laser output power needed to close every fiber with margin, watts."""
         require_non_negative("margin_db", margin_db)
         require_positive("bit_rate", bit_rate)
-        needed_received = self.detector.sensitivity(bit_rate) * (
-            10.0 ** (margin_db / 10.0)
+        needed_received = self.detector.sensitivity(bit_rate) * db_to_ratio(
+            margin_db
         )
         path_loss_db = (
             self.source.tree.total_loss_db
             + self.fiber_loss_db
             - ratio_to_db(1.0 - self.modulator.insertion_loss)
         )
-        return needed_received * (10.0 ** (path_loss_db / 10.0))
+        return needed_received * db_to_ratio(path_loss_db)
 
     def band_report(
         self,

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigError
+from repro.units import uw
 
 #: Default received optical power at the receiver when every knob is at its
 #: maximum (top optical band, full VCSEL drive), watts.  25 uW is the
@@ -239,7 +240,7 @@ def parse_fault_spec(spec: str) -> FaultConfig:
             if key == "seed":
                 kwargs["seed"] = int(value)
             elif key == "rx_uw":
-                kwargs["received_power_w"] = float(value) * 1e-6
+                kwargs["received_power_w"] = uw(float(value))
             elif key == "scale":
                 kwargs["ber_scale"] = float(value)
             elif key == "retries":

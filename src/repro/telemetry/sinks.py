@@ -12,6 +12,7 @@ Both sinks accept the typed events of :mod:`repro.telemetry.events` via
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 from collections import deque
@@ -67,7 +68,8 @@ class JsonlFileSink:
         self.emitted = 0
         self.rotations = 0
         self._bytes = 0
-        self._file = open(path, "w", encoding="utf-8")
+        # Long-lived handle owned by the sink; closed in close().
+        self._file = open(path, "w", encoding="utf-8")  # noqa: SIM115
 
     def emit(self, event: Any) -> None:
         line = json.dumps(event_to_dict(event), separators=(",", ":"))
@@ -91,7 +93,7 @@ class JsonlFileSink:
             if os.path.exists(src):
                 os.replace(src, f"{self.path}.{index + 1}")
         os.replace(self.path, f"{self.path}.1")
-        self._file = open(self.path, "w", encoding="utf-8")
+        self._file = open(self.path, "w", encoding="utf-8")  # noqa: SIM115
         self._bytes = 0
         self.rotations += 1
 
@@ -110,7 +112,5 @@ class JsonlFileSink:
         self.close()
 
     def __del__(self):  # pragma: no cover - GC safety net
-        try:
+        with contextlib.suppress(Exception):
             self.close()
-        except Exception:
-            pass

@@ -23,7 +23,7 @@ from repro.traffic.uniform import UniformRandomTraffic
 
 
 def small_config(power=None, **net_overrides) -> SimulationConfig:
-    defaults = dict(mesh_width=3, mesh_height=3, nodes_per_cluster=4)
+    defaults = {"mesh_width": 3, "mesh_height": 3, "nodes_per_cluster": 4}
     defaults.update(net_overrides)
     return SimulationConfig(network=NetworkConfig(**defaults), power=power,
                             sample_interval=200)

@@ -100,9 +100,9 @@ class TestTableMirrorsModel:
 
 class TestManagerUsesTheTable:
     def test_every_power_link_indexes_the_shared_table(self):
-        network_kwargs = dict(mesh_width=2, mesh_height=2,
-                              nodes_per_cluster=2, buffer_depth=8,
-                              num_vcs=2)
+        network_kwargs = {"mesh_width": 2, "mesh_height": 2,
+                          "nodes_per_cluster": 2, "buffer_depth": 8,
+                          "num_vcs": 2}
         from repro.config import NetworkConfig
 
         network = NetworkConfig(**network_kwargs)

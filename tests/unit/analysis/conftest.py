@@ -1,0 +1,27 @@
+"""Fixture helpers for the static-analysis tests.
+
+Each test builds a miniature source tree under ``tmp_path`` shaped like
+the real package (``repro/network/...``), runs :func:`run_check` against
+it and asserts on the resulting findings.  ``check_tree`` hides the
+boilerplate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.framework import CheckResult, run_check
+
+
+@pytest.fixture
+def check_tree(tmp_path):
+    """Write ``{rel_path: source}`` files and run the checker on them."""
+
+    def _run(files: dict[str, str], rule_ids=None) -> CheckResult:
+        for rel, source in files.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source, encoding="utf-8")
+        return run_check(paths=[tmp_path], root=tmp_path, rule_ids=rule_ids)
+
+    return _run

@@ -1,0 +1,59 @@
+"""Meta-tests: the checker's verdict on this repository, and the CLI.
+
+``test_repository_is_clean`` is the contract the CI ``check`` job
+enforces: the shipped tree has zero non-suppressed findings.  The seeded
+regression test demonstrates the failure mode that the job exists to
+catch — drop a violation in, and the exit code flips to 1.
+"""
+
+import json
+
+from repro.analysis.cli import main as check_main
+from repro.analysis.framework import run_check
+from repro.cli import main as repro_main
+
+
+class TestRepositoryIsClean:
+    def test_repository_is_clean(self):
+        result = run_check()
+        assert result.ok, "\n" + result.format_text()
+
+    def test_repository_suppressions_stay_few(self):
+        # Suppressions are individually justified; a creeping count means
+        # the rules are being routed around instead of satisfied.
+        result = run_check()
+        assert result.suppressed <= 10
+
+    def test_cli_exit_zero_on_repository(self, capsys):
+        assert repro_main(["check"]) == 0
+        assert "clean: 0 findings" in capsys.readouterr().out
+
+
+class TestSeededRegression:
+    def test_seeded_violation_fails_the_check(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "network" / "seeded.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "import random\n"
+            "def jitter():\n"
+            "    return random.random()\n",
+            encoding="utf-8",
+        )
+        code = check_main([str(tmp_path), "--root", str(tmp_path),
+                           "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"DT001": 1}
+        assert payload["findings"][0]["rule"] == "DT001"
+
+    def test_json_artifact_written_for_ci(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        code = check_main(["--format", "json", "--output", str(report)])
+        assert code == 0
+        payload = json.loads(report.read_text(encoding="utf-8"))
+        assert payload["version"] == 1
+        assert payload["findings"] == []
+
+    def test_unknown_rule_id_is_usage_error(self, capsys):
+        assert check_main(["--rules", "ZZ123"]) == 2
+        assert "unknown rule ids" in capsys.readouterr().err

@@ -1,0 +1,162 @@
+"""Flag / no-flag fixtures for the hook-contract rules (HC001-HC004).
+
+Each fixture is a miniature project: a registry module at
+``repro/engine/hooks.py`` defining ``EVENTS``, engine code firing the
+events, and subscribers registering callbacks.
+"""
+
+
+def rule_ids_of(result):
+    return [finding.rule_id for finding in result.findings]
+
+
+HOOKS = (
+    'EVENTS = ("window", "delivery")\n'
+    "\n"
+    "class HookRegistry:\n"
+    "    def add(self, event, callback):\n"
+    "        pass\n"
+)
+
+ENGINE = (
+    "class Sim:\n"
+    "    def __init__(self, hooks):\n"
+    "        self.hooks = hooks\n"
+    "\n"
+    "    def step(self, now):\n"
+    "        for cb in self.hooks.window:\n"
+    "            cb(now, now + 1)\n"
+    "        delivery_hooks = self.hooks.delivery\n"
+    "        for cb in delivery_hooks:\n"
+    "            cb(None, None, now)\n"
+)
+
+SUBSCRIBER = (
+    "class Watch:\n"
+    "    def attach(self, hooks):\n"
+    '        hooks.add("window", self._on_window)\n'
+    "\n"
+    "    def _on_window(self, start, end):\n"
+    "        pass\n"
+)
+
+
+class TestUnknownRegistration:
+    def test_flags_misspelled_event(self, check_tree):
+        bad = SUBSCRIBER.replace('"window"', '"windoww"')
+        result = check_tree({
+            "repro/engine/hooks.py": HOOKS,
+            "repro/network/sim.py": ENGINE,
+            "repro/metrics/watch.py": bad,
+        }, rule_ids=["HC001"])
+        assert rule_ids_of(result) == ["HC001"]
+        assert "windoww" in result.findings[0].message
+
+    def test_known_event_passes(self, check_tree):
+        result = check_tree({
+            "repro/engine/hooks.py": HOOKS,
+            "repro/network/sim.py": ENGINE,
+            "repro/metrics/watch.py": SUBSCRIBER,
+        }, rule_ids=["HC001"])
+        assert result.ok
+
+
+class TestUnknownFire:
+    def test_flags_read_of_undefined_event(self, check_tree):
+        bad = ENGINE.replace("self.hooks.delivery", "self.hooks.deliverd")
+        result = check_tree({
+            "repro/engine/hooks.py": HOOKS,
+            "repro/network/sim.py": bad,
+        }, rule_ids=["HC002"])
+        assert rule_ids_of(result) == ["HC002"]
+        assert "deliverd" in result.findings[0].message
+
+    def test_registry_api_reads_pass(self, check_tree):
+        engine = ENGINE + (
+            "\n"
+            "    def instrumented(self):\n"
+            "        return self.hooks.instrumented\n"
+        )
+        result = check_tree({
+            "repro/engine/hooks.py": HOOKS,
+            "repro/network/sim.py": engine,
+        }, rule_ids=["HC002"])
+        assert result.ok
+
+
+class TestUnfiredEvent:
+    def test_flags_event_nothing_fires(self, check_tree):
+        hooks = HOOKS.replace(
+            '("window", "delivery")', '("window", "delivery", "unused")')
+        result = check_tree({
+            "repro/engine/hooks.py": hooks,
+            "repro/network/sim.py": ENGINE,
+        }, rule_ids=["HC003"])
+        assert rule_ids_of(result) == ["HC003"]
+        assert "unused" in result.findings[0].message
+        assert result.findings[0].path.endswith("repro/engine/hooks.py")
+
+    def test_alias_load_counts_as_fire_evidence(self, check_tree):
+        # delivery is only read through a local alias; still evidence.
+        result = check_tree({
+            "repro/engine/hooks.py": HOOKS,
+            "repro/network/sim.py": ENGINE,
+        }, rule_ids=["HC003"])
+        assert result.ok
+
+
+class TestSignatureMismatch:
+    def test_flags_inconsistent_fire_arity(self, check_tree):
+        engine = ENGINE + (
+            "\n"
+            "    def window_tick(self, now):\n"
+            "        for cb in self.hooks.window:\n"
+            "            cb(now)\n"
+        )
+        result = check_tree({
+            "repro/engine/hooks.py": HOOKS,
+            "repro/network/sim.py": engine,
+        }, rule_ids=["HC004"])
+        assert rule_ids_of(result) == ["HC004"]
+        assert "'window'" in result.findings[0].message
+
+    def test_flags_callback_that_cannot_accept_fire_args(self, check_tree):
+        narrow = (
+            "class Watch:\n"
+            "    def attach(self, hooks):\n"
+            '        hooks.add("window", self._on_window)\n'
+            "\n"
+            "    def _on_window(self, start):\n"
+            "        pass\n"
+        )
+        result = check_tree({
+            "repro/engine/hooks.py": HOOKS,
+            "repro/network/sim.py": ENGINE,
+            "repro/metrics/watch.py": narrow,
+        }, rule_ids=["HC004"])
+        assert rule_ids_of(result) == ["HC004"]
+        assert "fire sites pass 2" in result.findings[0].message
+
+    def test_matching_contract_passes(self, check_tree):
+        result = check_tree({
+            "repro/engine/hooks.py": HOOKS,
+            "repro/network/sim.py": ENGINE,
+            "repro/metrics/watch.py": SUBSCRIBER,
+        }, rule_ids=["HC004"])
+        assert result.ok
+
+    def test_defaulted_callback_params_pass(self, check_tree):
+        flexible = (
+            "class Watch:\n"
+            "    def attach(self, hooks):\n"
+            '        hooks.add("window", self._on_window)\n'
+            "\n"
+            "    def _on_window(self, start, end=None, extra=None):\n"
+            "        pass\n"
+        )
+        result = check_tree({
+            "repro/engine/hooks.py": HOOKS,
+            "repro/network/sim.py": ENGINE,
+            "repro/metrics/watch.py": flexible,
+        }, rule_ids=["HC004"])
+        assert result.ok

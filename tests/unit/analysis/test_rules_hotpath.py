@@ -1,0 +1,111 @@
+"""Flag / no-flag fixtures for the hot-path purity rules (HP001-HP004).
+
+The hot set is the explicit ``HOT_FUNCTIONS`` map; fixtures are written
+to the same module paths (``repro/network/router.py``) so the scope
+matches, with violations inside ``Router.step`` (hot) and the same
+constructs inside a non-hot method as the negative control.
+"""
+
+
+def rule_ids_of(result):
+    return [finding.rule_id for finding in result.findings]
+
+
+def router_module(step_body: str, other_body: str = "        pass\n") -> str:
+    return (
+        "class Router:\n"
+        "    def step(self, now):\n"
+        f"{step_body}"
+        "\n"
+        "    def build_route_table(self, num_routers):\n"
+        f"{other_body}"
+    )
+
+
+class TestLocalImport:
+    def test_flags_import_in_hot_body(self, check_tree):
+        result = check_tree({
+            "repro/network/router.py": router_module(
+                "        import heapq\n        return heapq\n"),
+        }, rule_ids=["HP001"])
+        assert rule_ids_of(result) == ["HP001"]
+
+    def test_import_in_cold_method_passes(self, check_tree):
+        result = check_tree({
+            "repro/network/router.py": router_module(
+                "        return None\n",
+                "        import heapq\n        return heapq\n"),
+        }, rule_ids=["HP001"])
+        assert result.ok
+
+
+class TestLoggingInHotPath:
+    def test_flags_print(self, check_tree):
+        result = check_tree({
+            "repro/network/router.py": router_module(
+                "        print(now)\n"),
+        }, rule_ids=["HP002"])
+        assert rule_ids_of(result) == ["HP002"]
+
+    def test_flags_logger_call(self, check_tree):
+        result = check_tree({
+            "repro/network/router.py": router_module(
+                "        logger.debug('tick %s', now)\n"),
+        }, rule_ids=["HP002"])
+        assert rule_ids_of(result) == ["HP002"]
+
+    def test_print_elsewhere_passes(self, check_tree):
+        result = check_tree({
+            "repro/metrics/report_helpers.py": "def f(x):\n    print(x)\n",
+        }, rule_ids=["HP002"])
+        assert result.ok
+
+
+class TestClosureInHotPath:
+    def test_flags_lambda(self, check_tree):
+        result = check_tree({
+            "repro/network/router.py": router_module(
+                "        key = lambda flit: flit.age\n        return key\n"),
+        }, rule_ids=["HP003"])
+        assert rule_ids_of(result) == ["HP003"]
+
+    def test_flags_nested_def(self, check_tree):
+        result = check_tree({
+            "repro/network/router.py": router_module(
+                "        def helper():\n            return 1\n"
+                "        return helper()\n"),
+        }, rule_ids=["HP003"])
+        assert rule_ids_of(result) == ["HP003"]
+
+
+class TestComprehensionInHotPath:
+    def test_flags_list_comprehension(self, check_tree):
+        result = check_tree({
+            "repro/network/router.py": router_module(
+                "        return [f for f in self.pending]\n"),
+        }, rule_ids=["HP004"])
+        assert rule_ids_of(result) == ["HP004"]
+
+    def test_comprehension_severity_is_warning(self, check_tree):
+        result = check_tree({
+            "repro/network/router.py": router_module(
+                "        return [f for f in self.pending]\n"),
+        }, rule_ids=["HP004"])
+        assert result.findings[0].severity == "warning"
+
+    def test_suppressed_comprehension_passes(self, check_tree):
+        result = check_tree({
+            "repro/network/router.py": router_module(
+                "        return [f for f in self.pending]"
+                "  # repro: noqa[HP004] cold branch fixture\n"),
+        }, rule_ids=["HP004"])
+        assert result.ok
+        assert result.suppressed == 1
+
+    def test_cold_method_comprehension_passes(self, check_tree):
+        result = check_tree({
+            "repro/network/router.py": router_module(
+                "        return None\n",
+                "        return [i for i in range(num_routers)]\n"),
+        }, rule_ids=["HP004"])
+        assert result.ok

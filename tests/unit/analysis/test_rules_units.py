@@ -1,0 +1,141 @@
+"""Flag / no-flag fixtures for the unit-consistency rules (UN001-UN004)."""
+
+
+def rule_ids_of(result):
+    return [finding.rule_id for finding in result.findings]
+
+
+class TestMixedUnitArithmetic:
+    def test_flags_adding_db_to_watts(self, check_tree):
+        result = check_tree({
+            "repro/photonics/x.py": (
+                "def f(margin_db, power_w):\n"
+                "    return margin_db + power_w\n"
+            ),
+        })
+        assert rule_ids_of(result) == ["UN001"]
+
+    def test_flags_mixed_comparison(self, check_tree):
+        result = check_tree({
+            "repro/photonics/x.py": (
+                "def f(rate_gbps, window_s):\n"
+                "    return rate_gbps > window_s\n"
+            ),
+        })
+        assert rule_ids_of(result) == ["UN001"]
+
+    def test_same_unit_passes(self, check_tree):
+        result = check_tree({
+            "repro/photonics/x.py": (
+                "def f(tx_power_w, rx_power_w):\n"
+                "    return tx_power_w - rx_power_w\n"
+            ),
+        })
+        assert result.ok
+
+    def test_db_offset_on_dbm_level_allowed(self, check_tree):
+        result = check_tree({
+            "repro/photonics/x.py": (
+                "def f(level_dbm, loss_db):\n"
+                "    return level_dbm - loss_db\n"
+            ),
+        })
+        assert result.ok
+
+    def test_inference_follows_assignment(self, check_tree):
+        result = check_tree({
+            "repro/photonics/x.py": (
+                "def f(sensitivity_dbm, budget_w):\n"
+                "    floor = sensitivity_dbm\n"
+                "    return floor + budget_w\n"
+            ),
+        })
+        assert rule_ids_of(result) == ["UN001"]
+
+    def test_outside_photonics_not_flagged(self, check_tree):
+        result = check_tree({
+            "repro/metrics/x.py": (
+                "def f(margin_db, power_w):\n"
+                "    return margin_db + power_w\n"
+            ),
+        })
+        assert result.ok
+
+
+class TestMagicScaleConstant:
+    def test_flags_1e9_multiplication(self, check_tree):
+        result = check_tree({
+            "repro/cli2.py": "def f(rate_gbps):\n    return rate_gbps * 1e9\n",
+        })
+        assert rule_ids_of(result) == ["UN002"]
+
+    def test_flags_1e_minus_6(self, check_tree):
+        result = check_tree({
+            "repro/config2.py": "def f(us):\n    return us * 1e-6\n",
+        })
+        assert rule_ids_of(result) == ["UN002"]
+
+    def test_units_module_owns_its_constants(self, check_tree):
+        result = check_tree({
+            "repro/units.py": "GIGA = 1e9\ndef gbps(v):\n    return v * 1e9\n",
+        })
+        assert result.ok
+
+    def test_non_scale_float_passes(self, check_tree):
+        result = check_tree({
+            "repro/config2.py": "def f(x):\n    return x * 2.5\n",
+        })
+        assert result.ok
+
+
+class TestSuffixContradiction:
+    def test_flags_watts_name_given_dbm_value(self, check_tree):
+        result = check_tree({
+            "repro/photonics/x.py": (
+                "from repro.units import watts_to_dbm\n"
+                "def f(p):\n"
+                "    power_w = watts_to_dbm(p)\n"
+                "    return power_w\n"
+            ),
+        })
+        assert rule_ids_of(result) == ["UN003"]
+
+    def test_matching_suffix_passes(self, check_tree):
+        result = check_tree({
+            "repro/photonics/x.py": (
+                "from repro.units import dbm_to_watts\n"
+                "def f(level_dbm):\n"
+                "    power_w = dbm_to_watts(level_dbm)\n"
+                "    return power_w\n"
+            ),
+        })
+        assert result.ok
+
+
+class TestInlineDbMath:
+    def test_flags_open_coded_conversion(self, check_tree):
+        result = check_tree({
+            "repro/photonics/x.py": (
+                "def f(loss_db):\n"
+                "    return 10.0 ** (loss_db / 10.0)\n"
+            ),
+        })
+        assert rule_ids_of(result) == ["UN004"]
+
+    def test_units_module_may_define_it(self, check_tree):
+        result = check_tree({
+            "repro/units.py": (
+                "def db_to_ratio(db):\n"
+                "    return 10.0 ** (db / 10.0)\n"
+            ),
+        })
+        assert result.ok
+
+    def test_unrelated_power_passes(self, check_tree):
+        result = check_tree({
+            "repro/photonics/x.py": (
+                "def f(x):\n"
+                "    return 10.0 ** (x / 2.0)\n"
+            ),
+        })
+        assert result.ok

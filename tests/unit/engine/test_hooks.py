@@ -8,6 +8,14 @@ from repro.errors import ConfigError
 
 
 class TestHookRegistry:
+    def test_annotations_mirror_events(self):
+        # The class-level annotations exist for static typing; this pins
+        # them to the EVENTS tuple so neither can drift alone.
+        annotated = [name for name in HookRegistry.__annotations__
+                     if not name.startswith("_")]
+        assert tuple(annotated) == EVENTS
+        assert HookRegistry.__slots__ == EVENTS
+
     def test_add_fires_in_registration_order(self):
         hooks = HookRegistry()
         order = []

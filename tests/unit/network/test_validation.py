@@ -9,22 +9,22 @@ from repro.network.validation import validate_topology
 
 
 def build(**overrides) -> ClusteredMesh:
-    defaults = dict(mesh_width=3, mesh_height=2, nodes_per_cluster=2,
-                    buffer_depth=8, num_vcs=2)
+    defaults = {"mesh_width": 3, "mesh_height": 2, "nodes_per_cluster": 2,
+                "buffer_depth": 8, "num_vcs": 2}
     defaults.update(overrides)
     return ClusteredMesh(NetworkConfig(**defaults), StatsCollector())
 
 
 class TestCleanTopologies:
     @pytest.mark.parametrize("shape", [
-        dict(mesh_width=1, mesh_height=1, nodes_per_cluster=2),
-        dict(mesh_width=2, mesh_height=2, nodes_per_cluster=1),
-        dict(mesh_width=4, mesh_height=3, nodes_per_cluster=4),
-        dict(mesh_width=8, mesh_height=8, nodes_per_cluster=8,
-             buffer_depth=16, num_vcs=4),
+        {"mesh_width": 1, "mesh_height": 1, "nodes_per_cluster": 2},
+        {"mesh_width": 2, "mesh_height": 2, "nodes_per_cluster": 1},
+        {"mesh_width": 4, "mesh_height": 3, "nodes_per_cluster": 4},
+        {"mesh_width": 8, "mesh_height": 8, "nodes_per_cluster": 8,
+         "buffer_depth": 16, "num_vcs": 4},
     ])
     def test_builder_output_validates(self, shape):
-        defaults = dict(buffer_depth=8, num_vcs=2)
+        defaults = {"buffer_depth": 8, "num_vcs": 2}
         defaults.update(shape)
         mesh = ClusteredMesh(NetworkConfig(**defaults), StatsCollector())
         assert validate_topology(mesh) == []

@@ -70,8 +70,9 @@ class TestJsonlFileSink:
         # Every surviving line is valid JSON.
         for name in (path, tmp_path / "t.jsonl.1", tmp_path / "t.jsonl.2"):
             if os.path.exists(name):
-                for line in open(name, encoding="utf-8"):
-                    json.loads(line)
+                with open(name, encoding="utf-8") as handle:
+                    for line in handle:
+                        json.loads(line)
 
     def test_oldest_segment_deleted(self, tmp_path):
         path = tmp_path / "t.jsonl"
