@@ -45,6 +45,16 @@ HOT_FUNCTIONS: dict[str, frozenset[str]] = {
         "Router._route",
         "Router.receive_flit",
     }),
+    # Topology route/class relations run once per (router, destination)
+    # when route tables build, but they are also the `_route_slow`
+    # fallback after link failures — keep them allocation-free.
+    "repro/network/topologies/mesh.py": frozenset({
+        "MeshTopology.route_direction",
+    }),
+    "repro/network/topologies/torus.py": frozenset({
+        "TorusTopology.route_direction",
+        "TorusTopology.vc_class",
+    }),
     "repro/engine/schedule.py": frozenset({
         "DeliverySchedule.add",
         "DeliverySchedule.discard",

@@ -25,7 +25,12 @@ import sys
 
 from repro.config import MODULATOR, VCSEL
 from repro.errors import ConfigError
-from repro.experiments.configs import get_scale, power_config, reference_rates
+from repro.experiments.configs import (
+    get_scale,
+    power_config,
+    reference_rates,
+    scale_with_topology,
+)
 from repro.experiments.fig5 import uniform_factory
 from repro.experiments.fig6 import hotspot_factory
 from repro.units import gbps
@@ -38,6 +43,9 @@ def _add_run_parser(subparsers) -> None:
         "run", help="simulate one configuration and print the summary")
     parser.add_argument("--scale", default="smoke",
                         choices=["smoke", "bench", "paper"])
+    parser.add_argument("--topology", default="mesh", metavar="NAME",
+                        help="network topology (mesh, torus, cmesh, line; "
+                             "default: mesh)")
     parser.add_argument("--traffic", default="uniform",
                         choices=["uniform", "hotspot", "splash"])
     parser.add_argument("--rate", type=float, default=None,
@@ -63,6 +71,10 @@ def _add_run_parser(subparsers) -> None:
                         help="enable fault injection, e.g. "
                              "'rx_uw=13,retries=8,fail=16@2000' "
                              "(see docs/reliability.md)")
+    parser.add_argument("--link-off", action="store_true",
+                        help="arm the LINK_OFF sleep rung: idle links at "
+                             "the ladder bottom power off entirely and pay "
+                             "a wake penalty on new demand")
     parser.add_argument("--validate", action="store_true",
                         help="validate the wired topology before running")
     parser.add_argument("--trace", default=None, metavar="OUT.JSONL",
@@ -123,6 +135,9 @@ def _add_sweep_parser(subparsers) -> None:
                         choices=["window", "threshold", "ablation", "faults"])
     parser.add_argument("--scale", default="smoke",
                         choices=["smoke", "bench", "paper"])
+    parser.add_argument("--topology", default="mesh", metavar="NAME",
+                        help="network topology for every sweep point "
+                             "(default: mesh)")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the sweep points "
@@ -151,6 +166,9 @@ def _add_bench_parser(subparsers) -> None:
                              "baseline (default: 0.15)")
     parser.add_argument("--no-profile", action="store_true",
                         help="skip the per-phase profile runs")
+    parser.add_argument("--topology", default="mesh", metavar="NAME",
+                        help="base topology for the benchmark network "
+                             "(default: mesh)")
 
 
 def _add_check_parser(subparsers) -> None:
@@ -201,7 +219,7 @@ def _command_run(args) -> int:
               "(a single trace file cannot hold two runs)",
               file=sys.stderr)
         return 2
-    scale = get_scale(args.scale)
+    scale = scale_with_topology(get_scale(args.scale), args.topology)
     if args.traffic == "uniform":
         rate = args.rate if args.rate is not None else \
             reference_rates(scale.network)["light"]
@@ -219,6 +237,7 @@ def _command_run(args) -> int:
         scale, technology=args.technology,
         min_bit_rate=gbps(args.min_rate_gbps),
         optical_levels=args.optical_levels,
+        link_off=args.link_off,
     )
     faults = None
     if args.faults is not None:
@@ -241,8 +260,8 @@ def _command_run(args) -> int:
             path=args.trace,
         )
     print(f"{workload} on {scale.network.mesh_width}x"
-          f"{scale.network.mesh_height}x{scale.network.nodes_per_cluster}, "
-          f"{args.technology} links ...")
+          f"{scale.network.mesh_height}x{scale.network.nodes_per_cluster} "
+          f"{scale.network.topology}, {args.technology} links ...")
     if args.baseline:
         aware, baseline, normalised = run_pair(
             scale, power, factory, label="cli", seed=args.seed,
@@ -388,7 +407,7 @@ def _command_trace(args) -> int:
 
 
 def _command_sweep(args) -> int:
-    scale = get_scale(args.scale)
+    scale = scale_with_topology(get_scale(args.scale), args.topology)
     if args.jobs < 0:
         print(f"error: --jobs must be >= 0, got {args.jobs}",
               file=sys.stderr)
@@ -433,7 +452,8 @@ def _command_bench(args) -> int:
     from repro import perfbench
 
     snapshot = perfbench.run_benchmarks(
-        quick=args.quick, pr=args.pr, profile=not args.no_profile)
+        quick=args.quick, pr=args.pr, profile=not args.no_profile,
+        topology=args.topology)
     print(perfbench.format_snapshot(snapshot))
     out = args.out
     if out is None and args.pr is not None:

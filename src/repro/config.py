@@ -36,7 +36,16 @@ ROUTER_FREQUENCY_HZ = 625e6
 
 @dataclass(frozen=True)
 class NetworkConfig:
-    """Parameters of the clustered-mesh network substrate."""
+    """Parameters of the clustered network substrate.
+
+    ``mesh_width x mesh_height x nodes_per_cluster`` describes the node
+    population; ``topology`` selects how those nodes are wired (see
+    ``docs/topologies.md``).  The node count is topology-invariant: a
+    ``cmesh`` collapses ``concentration^2`` racks per router and a
+    ``line`` unrolls the grid into one row, but every topology hosts
+    exactly ``mesh_width * mesh_height * nodes_per_cluster`` nodes so
+    traffic patterns stay comparable across the topology axis.
+    """
 
     mesh_width: int = 8
     mesh_height: int = 8
@@ -51,10 +60,17 @@ class NetworkConfig:
     #: Switch-allocation arbiter: "round_robin" (default, PopNet-style) or
     #: "matrix" (least-recently-served) — a design-space knob.
     arbiter: str = "round_robin"
+    #: Network shape: "mesh" (paper default), "torus", "cmesh" or "line"
+    #: (see :mod:`repro.network.topologies`).
+    topology: str = "mesh"
+    #: Racks-per-router side length for the "cmesh" topology (ignored by
+    #: the others): a c x c block of racks shares one router.
+    concentration: int = 2
 
     def __post_init__(self) -> None:
         for name in ("mesh_width", "mesh_height", "nodes_per_cluster",
-                     "buffer_depth", "flit_width_bits", "num_vcs"):
+                     "buffer_depth", "flit_width_bits", "num_vcs",
+                     "concentration"):
             if getattr(self, name) < 1:
                 raise ConfigError(f"{name} must be >= 1, got {getattr(self, name)!r}")
         if self.buffer_depth < self.num_vcs:
@@ -73,14 +89,30 @@ class NetworkConfig:
                 f"arbiter must be 'round_robin' or 'matrix', "
                 f"got {self.arbiter!r}"
             )
+        # Resolve the named topology once: rejects unknown names (listing
+        # the known ones) and shape/VC combinations the topology cannot
+        # host, at configuration time rather than mid-build.  Imported
+        # lazily — the topology registry sits below this module.
+        from repro.network.topologies import get_topology
+
+        get_topology(self)
 
     @property
     def num_routers(self) -> int:
+        """Router count under the configured topology."""
+        if self.topology == "cmesh":
+            return ((self.mesh_width // self.concentration)
+                    * (self.mesh_height // self.concentration))
         return self.mesh_width * self.mesh_height
 
     @property
     def num_nodes(self) -> int:
-        return self.num_routers * self.nodes_per_cluster
+        return self.mesh_width * self.mesh_height * self.nodes_per_cluster
+
+    @property
+    def nodes_per_router(self) -> int:
+        """Locals per router (== nodes_per_cluster except under cmesh)."""
+        return self.num_nodes // self.num_routers
 
     @property
     def cycle_time_s(self) -> float:
@@ -213,10 +245,15 @@ class TransitionConfig:
     voltage_transition_cycles: int = 100
     optical_transition_cycles: int = 62_500
     laser_epoch_cycles: int = 125_000
+    #: Wake penalty of the LINK_OFF sleep rung, cycles: a fully powered-off
+    #: transceiver must re-bias and re-lock, which we model at the optical
+    #: (VOA-class, ~100 us) timescale.  Billed as real transition time —
+    #: the link is disabled for this long after a wake is requested.
+    link_off_wake_cycles: int = 62_500
 
     def __post_init__(self) -> None:
         for name in ("bit_rate_transition_cycles", "voltage_transition_cycles",
-                     "optical_transition_cycles"):
+                     "optical_transition_cycles", "link_off_wake_cycles"):
             if getattr(self, name) < 0:
                 raise ConfigError(f"{name} must be >= 0")
         if self.laser_epoch_cycles < 1:
@@ -239,6 +276,13 @@ class PowerAwareConfig:
     optical_levels: int = 1
     policy: PolicyConfig = field(default_factory=PolicyConfig)
     transitions: TransitionConfig = field(default_factory=TransitionConfig)
+    #: Arm the LINK_OFF sleep rung below ladder level 0: a link whose
+    #: policy keeps voting down while fully idle powers off (zero watts)
+    #: and pays ``transitions.link_off_wake_cycles`` of disabled time on
+    #: wake.  Which link kinds may sleep is gated per-topology
+    #: (:meth:`repro.network.topologies.base.Topology.link_off_allowed`).
+    #: Off by default — the paper's ladder stops at level 0.
+    link_off: bool = False
 
     def __post_init__(self) -> None:
         if self.technology not in (VCSEL, MODULATOR):
@@ -306,12 +350,15 @@ class SimulationConfig:
 
 
 def small_network(width: int = 4, height: int = 4,
-                  nodes_per_cluster: int = 2) -> NetworkConfig:
+                  nodes_per_cluster: int = 2,
+                  topology: str = "mesh") -> NetworkConfig:
     """A scaled-down network for tests and fast benchmarks.
 
     The pure-Python simulator runs the paper's full 8x8x8 system, but at
     ~10^4 cycles/s; tests and the shape-checking benchmarks use this smaller
-    instance and EXPERIMENTS.md records the scaling.
+    instance and EXPERIMENTS.md records the scaling.  ``topology`` selects
+    the substrate shape (mesh/torus/cmesh/line) on the same node count.
     """
     return NetworkConfig(mesh_width=width, mesh_height=height,
-                         nodes_per_cluster=nodes_per_cluster)
+                         nodes_per_cluster=nodes_per_cluster,
+                         topology=topology)

@@ -14,6 +14,7 @@ normalise exactly the way the paper does.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING
 
 from repro.config import (
@@ -34,7 +35,7 @@ from repro.engine.wheel import (
     EventWheel,
 )
 from repro.errors import ConfigError
-from repro.network.topology import ClusteredMesh
+from repro.network.topology import NetworkFabric
 from repro.photonics.power_model import LinkPowerModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
@@ -58,7 +59,7 @@ def power_model_from_config(config: PowerAwareConfig) -> LinkPowerModel:
 class NetworkPowerManager:
     """Drives every power-aware link of one simulated network."""
 
-    def __init__(self, topology: ClusteredMesh, config: PowerAwareConfig,
+    def __init__(self, topology: NetworkFabric, config: PowerAwareConfig,
                  network: NetworkConfig):
         self.config = config
         self.network = network
@@ -110,6 +111,13 @@ class NetworkPowerManager:
                     level_powers=level_powers,
                 )
             )
+        if config.link_off:
+            # Arm the LINK_OFF sleep rung where the topology allows it
+            # (mesh links only wake via demand pressure, which some
+            # topologies cannot generate on every link kind).
+            fabric_topology = topology.topology
+            for pal in self.links:
+                pal.can_sleep = fabric_topology.link_off_allowed(pal.link.kind)
         self._transitioning: set[PowerAwareLink] = set()
         #: Non-power-aware network power (all links at max), cached once —
         #: ``relative_power()`` divides by it per summary call.
@@ -192,7 +200,13 @@ class NetworkPowerManager:
             if transition_hooks and decision != HOLD:
                 for callback in transition_hooks:
                     callback(pal, decision, now)
-            if pal.engine.in_transition and pal not in self._transitioning:
+            # A link parked OFF has next_event == inf: it is not tracked
+            # as transitioning (nothing to advance — only a later window's
+            # demand check wakes it), and scheduling an infinite-time
+            # wheel event would be meaningless.
+            if pal.engine.in_transition \
+                    and pal.engine.next_event != math.inf \
+                    and pal not in self._transitioning:
                 self._transitioning.add(pal)
                 if wheel is not None:
                     wheel.schedule(pal.engine.next_event,
@@ -207,7 +221,8 @@ class NetworkPowerManager:
 
         def wake(now: int) -> None:
             pal.advance(now)
-            if pal.engine.in_transition:
+            if pal.engine.in_transition \
+                    and pal.engine.next_event != math.inf:
                 self._wheel.schedule(pal.engine.next_event, wake,
                                      PRI_TRANSITION)
             else:
@@ -298,6 +313,16 @@ class NetworkPowerManager:
         up = sum(pal.engine.steps_up for pal in self.links)
         down = sum(pal.engine.steps_down for pal in self.links)
         return {"up": up, "down": down}
+
+    def asleep_count(self) -> int:
+        """How many links are parked in the LINK_OFF rung right now."""
+        return sum(1 for pal in self.links if pal.engine.is_off)
+
+    def sleep_totals(self) -> dict[str, int]:
+        """Total LINK_OFF sleeps and wakes across all links."""
+        sleeps = sum(pal.engine.sleeps for pal in self.links)
+        wakes = sum(pal.engine.wakes for pal in self.links)
+        return {"sleeps": sleeps, "wakes": wakes}
 
     def replace_power_model(self, model) -> None:
         """Swap in a different link power model before the run starts.

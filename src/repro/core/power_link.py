@@ -26,7 +26,7 @@ from repro.config import PolicyConfig, TransitionConfig
 from repro.core.laser_policy import OpticalPowerController
 from repro.core.levels import BitRateLadder
 from repro.core.policy import HOLD, STEP_DOWN, STEP_UP, LinkPolicyController
-from repro.core.transitions import LinkTransitionEngine
+from repro.core.transitions import LinkTransitionEngine, TransitionState
 from repro.network.buffers import InputBuffer
 from repro.network.links import Link
 from repro.photonics.power_model import LinkPowerModel
@@ -39,7 +39,7 @@ class PowerAwareLink:
         "link", "ladder", "engine", "policy", "optical", "downstream_buffer",
         "level_powers", "energy_watt_cycles", "_last_charge", "pending_up",
         "windows_observed", "step_down_guard", "guard_holds",
-        "last_lu", "last_bu", "last_step_accepted",
+        "last_lu", "last_bu", "last_step_accepted", "can_sleep",
     )
 
     def __init__(self, link: Link, ladder: BitRateLadder,
@@ -76,6 +76,11 @@ class PowerAwareLink:
         self.step_down_guard = None
         #: Down-steps vetoed by the margin guard.
         self.guard_holds = 0
+        #: Whether the LINK_OFF sleep rung below the ladder bottom is
+        #: armed for this link (set by the manager from the run config and
+        #: the topology's per-kind gating; False keeps the pre-sleep
+        #: policy behaviour bit-identical).
+        self.can_sleep = False
         #: Most recent window's utilisation readings (telemetry ``policy``
         #: hook payload; NaN until the first window closes).
         self.last_lu = math.nan
@@ -88,16 +93,23 @@ class PowerAwareLink:
     # -- energy accounting ----------------------------------------------------
 
     def _charge(self, now: float) -> None:
-        """Bill the current level's power up to ``now``."""
+        """Bill the current level's power up to ``now``.
+
+        A link parked in the OFF rung draws nothing: the elapsed time is
+        consumed (so the integrator stays exact) but no energy accrues.
+        """
         elapsed = now - self._last_charge
         if elapsed > 0.0:
-            self.energy_watt_cycles += (
-                self.level_powers[self.engine.billing_level] * elapsed
-            )
+            if self.engine.state is not TransitionState.OFF:
+                self.energy_watt_cycles += (
+                    self.level_powers[self.engine.billing_level] * elapsed
+                )
             self._last_charge = now
 
     def current_power(self) -> float:
-        """Instantaneous billed power, watts."""
+        """Instantaneous billed power, watts (zero while asleep)."""
+        if self.engine.state is TransitionState.OFF:
+            return 0.0
         return self.level_powers[self.engine.billing_level]
 
     def finalize(self, now: float) -> None:
@@ -137,6 +149,16 @@ class PowerAwareLink:
         self.last_lu = lu
         self.last_bu = bu
         self.last_step_accepted = False
+        if self.engine.state is TransitionState.OFF:
+            # Asleep in the LINK_OFF rung: wake on any sign of demand
+            # (upstream pressure or occupied downstream buffers — an off
+            # link serialises nothing, so busy time cannot appear), stay
+            # dark otherwise.  The policy's window counters are not fed
+            # while asleep.
+            if pressure > 0.0 or bu > 0.0:
+                self.last_step_accepted = self.engine.request_wake(end)
+                return STEP_UP
+            return HOLD
         level = self.engine.level
         if level > 0:
             down_ratio = self.ladder.rate(level) / self.ladder.rate(level - 1)
@@ -177,6 +199,19 @@ class PowerAwareLink:
                 # so transition hooks stay silent).
                 self.guard_holds += 1
                 decision = HOLD
+            elif self.can_sleep and self.engine.level == 0 \
+                    and busy == 0.0 and pressure == 0.0 and bu == 0.0:
+                # LINK_OFF rung: already at the ladder bottom with a
+                # completely idle window (no serialisation, no demand
+                # pressure, empty downstream buffers) — power off.  The
+                # guard is consulted with the sentinel level -1 so
+                # reliability policies can veto sleeping too.
+                if guard is not None and not guard(-1, end):
+                    self.guard_holds += 1
+                    decision = HOLD
+                else:
+                    self.last_step_accepted = \
+                        self.engine.request_sleep(end)
             else:
                 self.last_step_accepted = \
                     self.engine.request_step(STEP_DOWN, end)

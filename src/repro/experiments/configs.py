@@ -70,6 +70,12 @@ class ExperimentScale:
             laser_epoch_cycles=max(
                 1, base.laser_epoch_cycles // self.slow_constant_divisor
             ),
+            # The LINK_OFF wake penalty is a slow (laser re-bias class)
+            # constant, compressed like the optical settle so scaled runs
+            # still see wakes complete well within a run.
+            link_off_wake_cycles=max(
+                1, base.link_off_wake_cycles // self.slow_constant_divisor
+            ),
         )
 
 
@@ -119,10 +125,26 @@ def get_scale(name: str) -> ExperimentScale:
         ) from None
 
 
+def scale_with_topology(scale: ExperimentScale,
+                        topology: str) -> ExperimentScale:
+    """A copy of ``scale`` whose network runs the named topology.
+
+    Node count, run length and every time constant are unchanged — the
+    topology axis varies only the substrate, so sweep comparisons across
+    topologies are apples-to-apples.  Unknown names raise
+    :class:`~repro.errors.ConfigError` (from the topology registry, which
+    lists the known ones).
+    """
+    if topology == scale.network.topology:
+        return scale
+    return replace(scale, network=replace(scale.network, topology=topology))
+
+
 def power_config(scale: ExperimentScale, *, technology: str = VCSEL,
                  min_bit_rate: float = 5e9, optical_levels: int = 1,
                  policy: PolicyConfig | None = None,
-                 ideal_transitions: bool = False) -> PowerAwareConfig:
+                 ideal_transitions: bool = False,
+                 link_off: bool = False) -> PowerAwareConfig:
     """Build a :class:`PowerAwareConfig` for an experiment scale."""
     transitions = scale.transitions()
     if ideal_transitions:
@@ -138,6 +160,7 @@ def power_config(scale: ExperimentScale, *, technology: str = VCSEL,
         optical_levels=optical_levels,
         policy=policy or scale.default_policy(),
         transitions=transitions,
+        link_off=link_off,
     )
 
 

@@ -26,18 +26,24 @@ def _cell_char(value: float, lo: float, hi: float) -> str:
 
 
 def rack_occupancy_heatmap(sim: Simulator) -> str:
-    """Buffered flits per rack as a ``height x width`` character grid."""
-    config = sim.config.network
+    """Buffered flits per rack as a router-grid character map.
+
+    The grid shape and cell positions come from the fabric's topology,
+    so the map renders the concentrated cmesh grid, the torus (wrap
+    links not drawn) and the 1-high line correctly.
+    """
+    topology = sim.network.topology
     occupancy = [
         float(sum(ip.occupancy for ip in router.inputs))
         for router in sim.network.routers
     ]
     lo, hi = min(occupancy), max(occupancy)
+    width, height = topology.grid_shape
     rows = []
-    for y in range(config.mesh_height):
+    for y in range(height):
         row = "".join(
-            _cell_char(occupancy[y * config.mesh_width + x], lo, hi)
-            for x in range(config.mesh_width)
+            _cell_char(occupancy[topology.router_at(x, y)], lo, hi)
+            for x in range(width)
         )
         rows.append(row)
     legend = f"(flits per rack: min={lo:.0f} max={hi:.0f})"
@@ -53,23 +59,24 @@ def rack_level_heatmap(sim: Simulator) -> str:
     """
     if sim.power is None:
         raise ConfigError("rack_level_heatmap needs a power-aware simulator")
-    config = sim.config.network
+    topology = sim.network.topology
     top = sim.power.ladder.top_level
     per_router: dict[int, list[int]] = {
         r.router_id: [] for r in sim.network.routers
     }
-    locals_ = config.nodes_per_cluster
+    locals_ = topology.nodes_per_router
     for pal in sim.power.links:
         link = pal.link
         if link.kind == MESH:
             continue
         node_id = _node_for_local_link(sim, link.link_id)
         per_router[node_id // locals_].append(pal.level)
+    width, height = topology.grid_shape
     rows = []
-    for y in range(config.mesh_height):
+    for y in range(height):
         cells = []
-        for x in range(config.mesh_width):
-            levels = per_router[y * config.mesh_width + x]
+        for x in range(width):
+            levels = per_router[topology.router_at(x, y)]
             mean = sum(levels) / len(levels) if levels else 0.0
             digit = round(9 * mean / max(1, top))
             cells.append(str(digit))
@@ -94,8 +101,7 @@ def mesh_utilisation_table(sim: Simulator, window: float) -> list[str]:
     """
     if window <= 0.0:
         raise ConfigError(f"window must be > 0, got {window!r}")
-    config = sim.config.network
-    locals_ = config.nodes_per_cluster
+    locals_ = sim.network.topology.nodes_per_router
     lines = []
     for router in sim.network.routers:
         for direction in range(4):

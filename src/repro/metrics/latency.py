@@ -13,18 +13,21 @@ from collections.abc import Callable
 
 from repro.config import NetworkConfig
 from repro.errors import ConfigError
+from repro.network.topologies import get_topology
 
 
 def mean_hop_count(network: NetworkConfig) -> float:
     """Average minimal router-to-router hops under uniform traffic.
 
-    For uniform random traffic on a ``w x h`` mesh the expected Manhattan
-    distance between two independently uniform routers is
-    ``(w^2-1)/(3w) + (h^2-1)/(3h)`` — including the self-pair case, which
-    for clustered systems is a real route (two nodes in the same rack).
+    Delegated to the configured topology, whose analytic model knows its
+    own distance function — Manhattan distance on the mesh (where this
+    reproduces the legacy ``(w^2-1)/(3w) + (h^2-1)/(3h)`` closed form
+    bit-identically), ring distance under torus wrap-around (where
+    Manhattan would silently overestimate), the concentrated grid for
+    cmesh.  Self-pairs are included — for clustered systems the self-pair
+    is a real route (two nodes in the same rack).
     """
-    w, h = network.mesh_width, network.mesh_height
-    return (w * w - 1) / (3.0 * w) + (h * h - 1) / (3.0 * h)
+    return get_topology(network).mean_min_hops()
 
 
 def zero_load_latency(network: NetworkConfig, packet_size: int,

@@ -23,12 +23,16 @@ so slow or disabled links exert backpressure exactly as in the paper.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import ConfigError, SimulationError
 from repro.network.arbiters import RoundRobinArbiter
 from repro.network.buffers import CreditCounter, InputBuffer
 from repro.network.flit import Flit
 from repro.network.links import Link
-from repro.network.routing import RoutingFunction, fault_aware_route
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (cycle guard)
+    from repro.network.topologies.base import Topology
 
 #: Shared empty result for step calls that forward nothing (the common
 #: case) — callers treat the return value as read-only.
@@ -41,6 +45,13 @@ _NO_FORWARDS: list[tuple[int, "Flit"]] = []
 #: demand by :func:`_ensure_bits` to cover ``1 << num_ports`` entries.
 _BITS: list[tuple[int, ...]] = [()]
 
+#: Masks at or above this (more than 16 set-bit positions) have no
+#: precomputed expansion — the table would be exponential in port count,
+#: and a concentrated cmesh rack has ``P*c^2 + 4`` ports.  Such masks
+#: take :func:`_wide_bits`; every mask on narrower routers (every mesh,
+#: torus and line configuration) still indexes :data:`_BITS` directly.
+_BITS_LIMIT = 1 << 16
+
 
 def _ensure_bits(limit: int) -> None:
     """Extend :data:`_BITS` to cover every mask below ``limit``."""
@@ -50,16 +61,38 @@ def _ensure_bits(limit: int) -> None:
         _BITS.append(low + tuple(b + 1 for b in _BITS[n >> 1]))
 
 
+def _wide_bits(mask: int) -> list[int]:
+    """Ascending set-bit indices of a mask too wide for :data:`_BITS`.
+
+    16-bit chunked decode through the precomputed table, preserving the
+    canonical ascending order the allocation scan's tie-breaks rely on.
+    """
+    out = []
+    base = 0
+    bits = _BITS
+    while mask:
+        word = mask & 0xFFFF
+        if word:
+            for bit in bits[word]:
+                out.append(base + bit)
+        mask >>= 16
+        base += 16
+    return out
+
+
 class VirtualChannel:
     """Per-VC state at an input port: buffer + wormhole route/VC latches."""
 
-    __slots__ = ("buffer", "route_out", "eligible_at", "out_vc")
+    __slots__ = ("buffer", "route_out", "eligible_at", "out_vc", "vc_class")
 
     def __init__(self, buffer: InputBuffer):
         self.buffer = buffer
         self.route_out = -1
         self.eligible_at = 0.0
         self.out_vc = -1
+        #: VC class latched at RC time (deadlock-avoidance band the next
+        #: hop's VC must come from); always 0 on single-class topologies.
+        self.vc_class = 0
 
 
 class InputPort:
@@ -113,25 +146,35 @@ class OutputPort:
                 return index
         return -1
 
+    def free_vc_in(self, lo: int, hi: int) -> int:
+        """Lowest unowned downstream VC in ``[lo, hi)``, or -1 if none.
+
+        The class-restricted variant of :meth:`free_vc`, used by
+        topologies whose deadlock avoidance partitions VCs into bands
+        (torus datelines).
+        """
+        vc_owner = self.vc_owner
+        for index in range(lo, hi):
+            if vc_owner[index] is None:
+                return index
+        return -1
+
 
 class Router:
     """One communication router of the clustered system."""
 
     __slots__ = (
-        "router_id", "x", "y", "mesh_width", "num_local", "num_ports",
-        "num_vcs", "inputs", "outputs", "route_fn", "head_delay",
-        "nodes_per_cluster", "_active_mask", "_requests", "_route_table",
+        "router_id", "x", "y", "num_local", "num_ports",
+        "num_vcs", "inputs", "outputs", "head_delay", "topology",
+        "_active_mask", "_requests", "_route_table",
+        "_vc_classes", "_class_bounds", "_rc_class",
         "registry", "fault_stats",
     )
 
-    def __init__(self, router_id: int, x: int, y: int, mesh_width: int,
-                 num_local: int, buffer_depth: int, num_vcs: int,
-                 head_delay: int, route_fn: RoutingFunction,
-                 nodes_per_cluster: int):
+    def __init__(self, router_id: int, num_local: int, buffer_depth: int,
+                 num_vcs: int, head_delay: int, topology: "Topology"):
         if num_local < 1:
             raise ConfigError(f"num_local must be >= 1, got {num_local!r}")
-        if mesh_width < 1:
-            raise ConfigError(f"mesh_width must be >= 1, got {mesh_width!r}")
         if num_vcs < 1:
             raise ConfigError(f"num_vcs must be >= 1, got {num_vcs!r}")
         if buffer_depth < num_vcs:
@@ -139,32 +182,46 @@ class Router:
                 f"buffer_depth {buffer_depth} cannot hold {num_vcs} VCs"
             )
         self.router_id = router_id
-        self.x = x
-        self.y = y
-        self.mesh_width = mesh_width
+        #: The topology owns all geometry: coordinates, neighbour maps,
+        #: the routing relation and the fault-fallback order.  The router
+        #: only consumes the tables it derives from it.
+        self.topology = topology
+        self.x, self.y = topology.router_coords(router_id)
         self.num_local = num_local
         self.num_ports = num_local + 4
         self.num_vcs = num_vcs
         vc_depth = buffer_depth // num_vcs
         self.inputs = [InputPort(num_vcs, vc_depth)
                        for _ in range(self.num_ports)]
-        # Output ports are attached by the topology builder; missing mesh
+        # Output ports are attached by the fabric builder; missing mesh
         # directions (edge routers) stay None and must never be routed to.
         self.outputs: list[OutputPort | None] = [None] * self.num_ports
-        self.route_fn = route_fn
         self.head_delay = head_delay
-        self.nodes_per_cluster = nodes_per_cluster
-        _ensure_bits(1 << max(self.num_ports, num_vcs))
+        if num_vcs > 16:
+            # The per-port VC work-list mask must stay within the
+            # precomputed _BITS table (the port mask may chunk through
+            # _wide_bits, the inner VC scan does not).
+            raise ConfigError(f"num_vcs must be <= 16, got {num_vcs!r}")
+        _ensure_bits(min(1 << max(self.num_ports, num_vcs), _BITS_LIMIT))
         #: Bitmask of input ports with buffered flits (the router-local
         #: work-list; invariant: bit ``i`` set <-> ``inputs[i].nonempty``).
         self._active_mask = 0
         #: Scratch request map reused across :meth:`step` calls (allocating
         #: a fresh dict per router per cycle showed up in profiles).
         self._requests: dict[int, list[tuple[int, int]]] = {}
-        #: Per-destination-router output-port lookup, built by the topology
-        #: (:meth:`build_route_table`); ``None`` for standalone routers
-        #: (unit tests), ``-1`` entries fall back to :meth:`_route_slow`.
+        #: Per-destination-router output-port lookup, resolved from the
+        #: topology (:meth:`build_route_table`); ``None`` for standalone
+        #: routers (unit tests), ``-1`` entries fall back to
+        #: :meth:`_route_slow`.
         self._route_table: list[int] | None = None
+        #: Per-destination VC-class lookup (same indexing); ``None`` on
+        #: single-class topologies, keeping their allocation path intact.
+        self._vc_classes: list[int] | None = None
+        #: Per-class (lo, hi) VC allocation bands, set with ``_vc_classes``.
+        self._class_bounds: tuple[tuple[int, int], ...] = ((0, num_vcs),)
+        #: Class of the route most recently computed by :meth:`_route`
+        #: (only maintained while ``_vc_classes`` is not None).
+        self._rc_class = 0
         #: Optional active-router registry maintained by the simulator: a
         #: router registers itself while any input port holds flits, so the
         #: routing phase only steps routers with work (see
@@ -203,27 +260,62 @@ class Router:
         ip.occupancy += 1
         self._active_mask |= 1 << port
 
-    def build_route_table(self, num_routers: int) -> None:
-        """Resolve the routing function into a per-destination lookup.
+    def build_route_table(self) -> None:
+        """Resolve the topology's routing relation into lookup tables.
 
-        Called once by the topology builder after all links are wired; the
-        RC stage then indexes ``_route_table[dst_router]`` instead of
-        re-running the routing function per head flit.  The entry for this
+        Called once by the fabric builder **after** all links are wired;
+        the RC stage then indexes ``_route_table[dst_router]`` instead of
+        re-running the routing relation per head flit.  The entry for this
         router itself is ``-1`` (local delivery resolves before the
         lookup), as is any destination whose route the reliability manager
         has invalidated (:meth:`invalidate_routes_via`).
+
+        Raises :class:`~repro.errors.ConfigError` if a routed direction
+        has no output attached — building the table before wiring would
+        otherwise produce entries pointing at dead ports that only
+        surface as cryptic stall diagnostics at forward time.
+
+        Multi-class topologies (torus datelines) additionally get a
+        per-destination VC-class table and the per-class allocation
+        bands the switch-allocation stage restricts VC grants to.
         """
+        topology = self.topology
         table = []
-        for dst_router in range(num_routers):
+        for dst_router in range(topology.num_routers):
             if dst_router == self.router_id:
                 table.append(-1)
                 continue
-            direction = self.route_fn(
-                self.x, self.y,
-                dst_router % self.mesh_width, dst_router // self.mesh_width,
-            )
-            table.append(self.num_local + direction if direction >= 0 else -1)
+            direction = topology.route_direction(self.router_id, dst_router)
+            if direction < 0:
+                table.append(-1)
+                continue
+            out = self.num_local + direction
+            if self.outputs[out] is None:
+                raise ConfigError(
+                    f"router {self.router_id} routes toward router "
+                    f"{dst_router} over output port {out}, which has no "
+                    f"link attached — build_route_table must be called "
+                    f"after the fabric wires all links"
+                )
+            table.append(out)
         self._route_table = table
+        num_classes = topology.num_vc_classes
+        if num_classes > 1:
+            if self.num_vcs < num_classes:
+                raise ConfigError(
+                    f"topology {topology.name!r} needs {num_classes} VC "
+                    f"classes but the router has only {self.num_vcs} VCs"
+                )
+            classes = []
+            for dst_router in range(topology.num_routers):
+                classes.append(topology.vc_class(self.router_id, dst_router))
+            self._vc_classes = classes
+            num_vcs = self.num_vcs
+            self._class_bounds = tuple(
+                (cls * num_vcs // num_classes,
+                 (cls + 1) * num_vcs // num_classes)
+                for cls in range(num_classes)
+            )
 
     def invalidate_routes_via(self, port: int) -> None:
         """Drop cached routes through ``port`` (a link just failed).
@@ -241,9 +333,14 @@ class Router:
 
     def _route(self, flit: Flit) -> int:
         """Compute the output port for a head flit (the RC stage)."""
-        dst_router, dst_local = divmod(flit.packet.dst, self.nodes_per_cluster)
+        dst_router, dst_local = divmod(flit.packet.dst, self.num_local)
         if dst_router == self.router_id:
+            if self._vc_classes is not None:
+                self._rc_class = 0
             return dst_local
+        vc_classes = self._vc_classes
+        if vc_classes is not None:
+            self._rc_class = vc_classes[dst_router]
         table = self._route_table
         if table is not None:
             out = table[dst_router]
@@ -257,10 +354,8 @@ class Router:
         return self._route_slow(dst_router)
 
     def _route_slow(self, dst_router: int) -> int:
-        """Routing-function fallback for untabulated or invalidated routes."""
-        dst_x = dst_router % self.mesh_width
-        dst_y = dst_router // self.mesh_width
-        direction = self.route_fn(self.x, self.y, dst_x, dst_y)
+        """Topology fallback for untabulated or invalidated routes."""
+        direction = self.topology.route_direction(self.router_id, dst_router)
         if direction < 0:
             raise SimulationError(
                 f"routing returned 'arrived' for a remote destination "
@@ -269,27 +364,30 @@ class Router:
         out = self.num_local + direction
         op = self.outputs[out]
         if op is not None and op.link.failed:
-            return self._route_around(dst_x, dst_y)
+            return self._route_around(dst_router)
         return out
 
-    def _mesh_alive(self, direction: int) -> bool:
-        """Whether a mesh direction exists and its link has not failed."""
-        op = self.outputs[self.num_local + direction]
-        return op is not None and not op.link.failed
+    def _route_around(self, dst_router: int) -> int:
+        """Fault-aware fallback when the default route's link is dead.
 
-    def _route_around(self, dst_x: int, dst_y: int) -> int:
-        """Fault-aware fallback when the default route's link is dead."""
-        direction = fault_aware_route(
-            self.route_fn, self.x, self.y, dst_x, dst_y, self._mesh_alive
+        Walks the topology's fixed detour preference order and takes the
+        first attached, unfailed direction — the same deterministic order
+        :func:`repro.network.routing.fault_aware_route` defines for the
+        mesh, generalised per topology.
+        """
+        outputs = self.outputs
+        num_local = self.num_local
+        for direction in self.topology.fallback_directions(
+                self.router_id, dst_router):
+            op = outputs[num_local + direction]
+            if op is not None and not op.link.failed:
+                if self.fault_stats is not None:
+                    self.fault_stats.reroutes += 1
+                return num_local + direction
+        raise SimulationError(
+            f"router {self.router_id} is disconnected: every direction "
+            f"toward router {dst_router} is failed or absent"
         )
-        if direction < 0:
-            raise SimulationError(
-                f"router {self.router_id} is disconnected: every mesh "
-                f"direction toward ({dst_x}, {dst_y}) is failed or absent"
-            )
-        if self.fault_stats is not None:
-            self.fault_stats.reroutes += 1
-        return self.num_local + direction
 
     def step(self, now: float) -> list[tuple[int, Flit]]:
         """One allocation + traversal cycle.
@@ -318,7 +416,8 @@ class Router:
         requests = None
         pressured = 0
         bits = _BITS
-        for i in bits[active]:
+        vc_classes = self._vc_classes
+        for i in bits[active] if active < _BITS_LIMIT else _wide_bits(active):
             port = inputs[i]
             vcs = port.vcs
             for v in bits[port.nonempty]:
@@ -337,14 +436,22 @@ class Router:
                             f"routing chose unattached output {out_idx} "
                             f"at router {self.router_id}"
                         )
+                    if vc_classes is not None:
+                        vc.vc_class = self._rc_class
                     vc.eligible_at = now + self.head_delay
                 pressured |= 1 << out_idx
                 if now < vc.eligible_at:
                     continue
                 op = outputs[out_idx]
                 if vc.out_vc < 0:
-                    # VC allocation: claim a free downstream VC.
-                    grant = op.free_vc()
+                    # VC allocation: claim a free downstream VC — from the
+                    # head's deadlock-avoidance band on multi-class
+                    # topologies, from the full range otherwise.
+                    if vc_classes is None:
+                        grant = op.free_vc()
+                    else:
+                        lo, hi = self._class_bounds[vc.vc_class]
+                        grant = op.free_vc_in(lo, hi)
                     if grant < 0:
                         continue
                     op.vc_owner[grant] = (i, v)
@@ -368,7 +475,8 @@ class Router:
                     requests[out_idx] = [(i, v)]
                 else:
                     reqs.append((i, v))
-        for out_idx in bits[pressured]:
+        for out_idx in (bits[pressured] if pressured < _BITS_LIMIT
+                        else _wide_bits(pressured)):
             outputs[out_idx].link.pressure_accum += 1.0
 
         if nreq == 0:

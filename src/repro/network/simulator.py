@@ -47,7 +47,7 @@ from repro.engine.wheel import PRI_WATCHDOG, EventWheel
 from repro.errors import ConfigError, SimulationError
 from repro.network.links import Link
 from repro.network.stats import StatsCollector
-from repro.network.topology import ClusteredMesh, Node
+from repro.network.topology import NetworkFabric, Node
 from repro.traffic.base import TrafficSource
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports (cycle guard)
@@ -75,6 +75,22 @@ def _stall_error(sim: "Simulator", description: str) -> SimulationError:
     from repro.metrics.inspect import congestion_report
 
     return SimulationError(f"{description}\n{congestion_report(sim)}")
+
+
+def _asleep_note(sim: "Simulator") -> str:
+    """Stall-diagnosis addendum naming links parked in LINK_OFF.
+
+    A wake only triggers at a window boundary, so a stall report that
+    ignored sleeping links would send the reader hunting for a flow-control
+    bug that is actually a sleeping fiber.  Failure path only.
+    """
+    power = sim.power
+    if power is None:
+        return ""
+    asleep = power.asleep_count()
+    if not asleep:
+        return ""
+    return f" ({asleep} links asleep in LINK_OFF awaiting a window wake)"
 
 
 class StallWatchdog:
@@ -112,7 +128,7 @@ class StallWatchdog:
                 self.sim,
                 f"no flit delivered for {stalled} cycles with "
                 f"{self.sim.stats.in_flight} packets in flight — likely a "
-                f"flow-control bug.",
+                f"flow-control bug.{_asleep_note(self.sim)}",
             )
         self.sim.wheel.schedule(now + WATCHDOG_INTERVAL, self._check,
                                 PRI_WATCHDOG)
@@ -132,7 +148,7 @@ class Simulator:
         self.traffic = traffic
         self.stats = StatsCollector(config.warmup_cycles,
                                     config.sample_interval)
-        self.network = ClusteredMesh(config.network, self.stats)
+        self.network = NetworkFabric(config.network, self.stats)
         if config.validate_topology:
             from repro.network.validation import validate_topology
 
@@ -408,7 +424,7 @@ class Simulator:
                 self,
                 f"no packet delivered for {now - self._last_delivery_cycle} "
                 f"cycles with {self.stats.in_flight} in flight — likely a "
-                f"flow-control bug.",
+                f"flow-control bug.{_asleep_note(self)}",
             )
 
     # -- driving -----------------------------------------------------------------

@@ -1,0 +1,66 @@
+"""Topology registry: name -> :class:`~repro.network.topologies.base.Topology`.
+
+:func:`get_topology` is the single place a
+:class:`~repro.config.NetworkConfig` is interpreted into geometry; the
+fabric builder, the metrics layer and config validation all go through
+it, so adding a topology is: write the class, add a branch here, document
+it in ``docs/topologies.md``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.network.topologies.base import Topology
+from repro.network.topologies.cmesh import CMeshTopology
+from repro.network.topologies.mesh import LineTopology, MeshTopology
+from repro.network.topologies.torus import TorusTopology
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (cycle guard)
+    from repro.config import NetworkConfig
+
+#: Names accepted by ``NetworkConfig.topology`` / ``--topology``.
+KNOWN_TOPOLOGIES = ("cmesh", "line", "mesh", "torus")
+
+
+def get_topology(config: "NetworkConfig") -> Topology:
+    """Build the topology a :class:`~repro.config.NetworkConfig` names.
+
+    Raises :class:`~repro.errors.ConfigError` for unknown names (listing
+    the known ones) and for shape parameters the named topology cannot
+    host (torus without enough VCs, concentration not dividing the grid).
+    """
+    name = config.topology
+    if name == "mesh":
+        return MeshTopology(config.mesh_width, config.mesh_height,
+                            config.nodes_per_cluster, config.routing)
+    if name == "torus":
+        if config.num_vcs < 2:
+            raise ConfigError(
+                f"torus dateline deadlock avoidance needs num_vcs >= 2 "
+                f"(two VC classes); got num_vcs={config.num_vcs}"
+            )
+        return TorusTopology(config.mesh_width, config.mesh_height,
+                             config.nodes_per_cluster, config.routing)
+    if name == "cmesh":
+        return CMeshTopology(config.mesh_width, config.mesh_height,
+                             config.nodes_per_cluster, config.concentration,
+                             config.routing)
+    if name == "line":
+        return LineTopology(config.mesh_width * config.mesh_height,
+                            config.nodes_per_cluster, config.routing)
+    raise ConfigError(
+        f"unknown topology {name!r}; known: {', '.join(KNOWN_TOPOLOGIES)}"
+    )
+
+
+__all__ = [
+    "CMeshTopology",
+    "KNOWN_TOPOLOGIES",
+    "LineTopology",
+    "MeshTopology",
+    "Topology",
+    "TorusTopology",
+    "get_topology",
+]

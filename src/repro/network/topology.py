@@ -1,14 +1,22 @@
-"""Clustered 2-D mesh topology builder (paper Figs. 3-4).
+"""Network fabric builder: topology geometry -> wired simulation state.
 
-The system is a ``width x height`` mesh of racks.  Each rack houses
-``nodes_per_cluster`` processing-node boards and one router board; every
-board-to-board and rack-to-rack connection is a unidirectional
+The system is a cluster network of racks (paper Figs. 3-4).  Each rack
+houses processing-node boards and shares a router board; every
+board-to-board and router-to-router connection is a unidirectional
 opto-electronic fiber link:
 
 * **injection links** — node board -> router (one per node),
 * **ejection links** — router -> node board (one per node),
-* **mesh links** — router -> neighbouring router (two per adjacent pair,
-  one in each direction).
+* **mesh links** — router -> neighbouring router (one per direction the
+  topology declares a neighbour in).
+
+Which routers neighbour which — mesh adjacency, torus wrap, cmesh
+concentration — is owned by the :class:`~repro.network.topologies.base.Topology`
+the config names; :class:`NetworkFabric` instantiates routers and nodes,
+asks the topology for the neighbour map, wires the links in a fixed
+deterministic order (locals per router first, then the four directions
+east/west/north/south per router) and finally has every router resolve
+the topology's routing relation into its route table.
 
 The builder wires per-VC credits end to end: every input-port VC buffer has
 exactly one upstream credit counter, held by the router output port (mesh
@@ -29,15 +37,9 @@ from repro.network.flit import Flit
 from repro.network.links import EJECTION, INJECTION, MESH, Link
 from repro.network.packet import Packet
 from repro.network.router import OutputPort, Router
-from repro.network.routing import (
-    EAST,
-    NORTH,
-    OPPOSITE,
-    SOUTH,
-    WEST,
-    get_routing_function,
-)
+from repro.network.routing import EAST, NORTH, OPPOSITE, SOUTH, WEST
 from repro.network.stats import StatsCollector
+from repro.network.topologies import get_topology
 
 #: (dx, dy) per direction constant, matching :mod:`repro.network.routing`.
 DIRECTION_OFFSETS = {EAST: (1, 0), WEST: (-1, 0), NORTH: (0, -1), SOUTH: (0, 1)}
@@ -121,36 +123,30 @@ class Node:
         return len(self.queue)
 
 
-class ClusteredMesh:
+class NetworkFabric:
     """The fully wired network: routers, nodes and links."""
 
     def __init__(self, config: NetworkConfig, stats: StatsCollector):
         self.config = config
         self.stats = stats
-        route_fn = get_routing_function(config.routing)
-        width, height = config.mesh_width, config.mesh_height
-        locals_ = config.nodes_per_cluster
+        self.topology = get_topology(config)
+        topology = self.topology
+        locals_ = topology.nodes_per_router
 
-        self.routers: list[Router] = []
-        for y in range(height):
-            for x in range(width):
-                self.routers.append(
-                    Router(
-                        router_id=y * width + x,
-                        x=x,
-                        y=y,
-                        mesh_width=width,
-                        num_local=locals_,
-                        buffer_depth=config.buffer_depth,
-                        num_vcs=config.num_vcs,
-                        head_delay=config.head_pipeline_delay,
-                        route_fn=route_fn,
-                        nodes_per_cluster=locals_,
-                    )
-                )
+        self.routers: list[Router] = [
+            Router(
+                router_id=router_id,
+                num_local=locals_,
+                buffer_depth=config.buffer_depth,
+                num_vcs=config.num_vcs,
+                head_delay=config.head_pipeline_delay,
+                topology=topology,
+            )
+            for router_id in range(topology.num_routers)
+        ]
 
         self.nodes: list[Node] = [
-            Node(node_id, stats) for node_id in range(config.num_nodes)
+            Node(node_id, stats) for node_id in range(topology.num_nodes)
         ]
         self.links: list[Link] = []
         #: Downstream input-port VC buffers per link id (None for ejection
@@ -160,7 +156,7 @@ class ClusteredMesh:
         self._wire_local_links()
         self._wire_mesh_links()
         for router in self.routers:
-            router.build_route_table(len(self.routers))
+            router.build_route_table()
 
     # -- construction helpers ------------------------------------------------
 
@@ -186,7 +182,7 @@ class ClusteredMesh:
 
     def _wire_local_links(self) -> None:
         """Injection/ejection links between each router and its rack nodes."""
-        locals_ = self.config.nodes_per_cluster
+        locals_ = self.topology.nodes_per_router
         for router in self.routers:
             for local in range(locals_):
                 node = self.nodes[router.router_id * locals_ + local]
@@ -211,15 +207,20 @@ class ClusteredMesh:
                 )
 
     def _wire_mesh_links(self) -> None:
-        """Unidirectional links between adjacent routers, both ways."""
-        width, height = self.config.mesh_width, self.config.mesh_height
-        locals_ = self.config.nodes_per_cluster
+        """Unidirectional links between adjacent routers, both ways.
+
+        Per router, directions are wired in the fixed east/west/north/
+        south order — link ids and therefore every downstream id-ordered
+        iteration are part of the determinism contract.
+        """
+        topology = self.topology
+        locals_ = topology.nodes_per_router
         for router in self.routers:
-            for direction, (dx, dy) in DIRECTION_OFFSETS.items():
-                nx, ny = router.x + dx, router.y + dy
-                if not (0 <= nx < width and 0 <= ny < height):
+            for direction in (EAST, WEST, NORTH, SOUTH):
+                neighbour_id = topology.neighbor(router.router_id, direction)
+                if neighbour_id is None:
                     continue
-                neighbour = self.routers[ny * width + nx]
+                neighbour = self.routers[neighbour_id]
                 link = self._new_link(MESH)
                 in_port_idx = locals_ + OPPOSITE[direction]
                 in_port = neighbour.inputs[in_port_idx]
@@ -245,22 +246,24 @@ class ClusteredMesh:
         return self.nodes[node_id]
 
     def node_id(self, rack_x: int, rack_y: int, local: int) -> int:
-        """Flat node id for (rack column, rack row, node-within-rack).
+        """Flat node id for (router column, router row, node-at-router).
 
         Used by the hot-spot workload, whose paper description names
-        "node 4 in rack(3,5)".
+        "node 4 in rack(3,5)".  Coordinates address the *router* grid —
+        under cmesh a "rack" is the concentrated cluster.
         """
-        width, height = self.config.mesh_width, self.config.mesh_height
-        locals_ = self.config.nodes_per_cluster
+        topology = self.topology
+        width, height = topology.grid_shape
+        locals_ = topology.nodes_per_router
         if not (0 <= rack_x < width and 0 <= rack_y < height):
             raise ConfigError(
-                f"rack ({rack_x}, {rack_y}) outside {width}x{height} mesh"
+                f"rack ({rack_x}, {rack_y}) outside {width}x{height} grid"
             )
         if not 0 <= local < locals_:
             raise ConfigError(
                 f"local index must be in [0, {locals_}), got {local!r}"
             )
-        return (rack_y * width + rack_x) * locals_ + local
+        return topology.router_at(rack_x, rack_y) * locals_ + local
 
     def links_of_kind(self, kind: str) -> list[Link]:
         return [link for link in self.links if link.kind == kind]
@@ -279,3 +282,8 @@ def _make_router_sink(router: Router, port: int):
     would add is pure overhead on the deliver phase.
     """
     return partial(router.receive_flit, port)
+
+
+#: Backwards-compatible name from when the builder hard-coded the 2-D
+#: mesh; the fabric is topology-parameterised now.
+ClusteredMesh = NetworkFabric

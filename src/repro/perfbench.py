@@ -47,19 +47,20 @@ BENCH_SEED = 3
 SCHEMA_VERSION = 1
 
 
-def bench_config() -> SimulationConfig:
-    """The benchmark network: 4x4 mesh, 4 nodes/cluster, power-aware."""
-    network = NetworkConfig(mesh_width=4, mesh_height=4, nodes_per_cluster=4)
+def bench_config(topology: str = "mesh") -> SimulationConfig:
+    """The benchmark network: 4x4 grid, 4 nodes/cluster, power-aware."""
+    network = NetworkConfig(mesh_width=4, mesh_height=4, nodes_per_cluster=4,
+                            topology=topology)
     return SimulationConfig(network=network, power=PowerAwareConfig(),
                             sample_interval=1000)
 
 
-def make_bench_sim(rate: float):
+def make_bench_sim(rate: float, topology: str = "mesh"):
     """Build one benchmark simulator at ``rate`` (fresh every call)."""
     from repro.network.simulator import Simulator
     from repro.traffic.uniform import UniformRandomTraffic
 
-    config = bench_config()
+    config = bench_config(topology)
     traffic = UniformRandomTraffic(config.network.num_nodes, rate,
                                    seed=BENCH_SEED)
     return Simulator(config, traffic)
@@ -103,7 +104,8 @@ def _peak_rss_kb() -> int | None:
     return int(usage)
 
 
-def _phase_profile(rate: float, cycles: int) -> dict[str, float]:
+def _phase_profile(rate: float, cycles: int,
+                   topology: str = "mesh") -> dict[str, float]:
     """Fraction of simulated CPU time per phase (instrumented run).
 
     Uses a separate, shorter run: attaching the profiler switches the step
@@ -112,7 +114,7 @@ def _phase_profile(rate: float, cycles: int) -> dict[str, float]:
     """
     from repro.engine import PhaseProfiler
 
-    sim = make_bench_sim(rate)
+    sim = make_bench_sim(rate, topology)
     profiler = PhaseProfiler(clock=time.process_time).attach(sim.hooks)
     sim.run(cycles)
     grand = profiler.total_seconds
@@ -147,7 +149,8 @@ class Datapoint:
 
 
 def measure_rate(label: str, rate: float, cycles: int,
-                 repeats: int = 3, profile: bool = True) -> Datapoint:
+                 repeats: int = 3, profile: bool = True,
+                 topology: str = "mesh") -> Datapoint:
     """Benchmark one injection load: best-of CPU time + determinism check.
 
     Raises :class:`~repro.errors.ConfigError` if the repeated runs are not
@@ -157,7 +160,7 @@ def measure_rate(label: str, rate: float, cycles: int,
     best: float | None = None
     reference: dict[str, Any] | None = None
     for _ in range(repeats):
-        sim = make_bench_sim(rate)
+        sim = make_bench_sim(rate, topology)
         t0 = time.process_time()
         sim.run(cycles)
         elapsed = time.process_time() - t0
@@ -181,24 +184,41 @@ def measure_rate(label: str, rate: float, cycles: int,
         repeats=repeats,
         cycles_per_sec_cpu=cycles / best,
         summary=reference,
-        phase_profile=_phase_profile(rate, max(cycles // 4, 500))
+        phase_profile=_phase_profile(rate, max(cycles // 4, 500), topology)
         if profile else {},
     )
 
 
 def run_benchmarks(quick: bool = False, pr: int | None = None,
-                   profile: bool = True) -> dict[str, Any]:
-    """Run the full trajectory and return the snapshot document."""
+                   profile: bool = True,
+                   topology: str = "mesh") -> dict[str, Any]:
+    """Run the full trajectory and return the snapshot document.
+
+    ``topology`` selects the base substrate.  Non-mesh base runs prefix
+    their datapoint labels with the topology name so :func:`compare`
+    against a mesh baseline skips them instead of comparing unlike
+    substrates.  A ``torus_moderate`` datapoint always rides along (unless
+    the base already is torus), recording the table-driven torus hot path
+    on the same trajectory as the mesh.
+    """
     cycles = 1500 if quick else 4000
     repeats = 2 if quick else 3
+    prefix = "" if topology == "mesh" else f"{topology}_"
     points = [
-        measure_rate(label, rate, cycles, repeats, profile=profile)
+        measure_rate(f"{prefix}{label}", rate, cycles, repeats,
+                     profile=profile, topology=topology)
         for label, rate in RATES.items()
     ]
+    if topology != "torus":
+        points.append(
+            measure_rate("torus_moderate", RATES["moderate"], cycles,
+                         repeats, profile=False, topology="torus")
+        )
     return {
         "schema_version": SCHEMA_VERSION,
         "pr": pr,
         "quick": quick,
+        "topology": topology,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "machine": platform.machine(),

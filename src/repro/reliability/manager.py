@@ -39,7 +39,7 @@ from repro.errors import ConfigError
 from repro.metrics.reliability import ReliabilityReport
 from repro.network.links import MESH, Link
 from repro.network.router import Router
-from repro.network.topology import ClusteredMesh
+from repro.network.topology import NetworkFabric
 from repro.photonics.ber import ReceiverNoiseModel
 from repro.reliability.channel import LinkChannelModel
 from repro.reliability.config import FaultConfig
@@ -62,7 +62,7 @@ class RouteFaultCounters:
 class ReliabilityManager:
     """Fault model + recovery + degradation for one simulation."""
 
-    def __init__(self, topology: ClusteredMesh,
+    def __init__(self, topology: NetworkFabric,
                  power: "NetworkPowerManager | None",
                  network: NetworkConfig, config: FaultConfig,
                  hooks: HookRegistry, wheel: EventWheel):
@@ -292,6 +292,11 @@ def _make_level_guard(pal: "PowerAwareLink", channel: LinkChannelModel,
     """Guard for electrical down-steps: project the lower level's BER."""
 
     def guard(target_level: int, now: float) -> bool:
+        if target_level < 0:
+            # LINK_OFF sentinel: a sleeping link transmits nothing, so no
+            # BER applies; waking returns to level 0, whose BER was already
+            # judged acceptable when the link stepped down to it.
+            return True
         rate = pal.ladder.rate(target_level)
         if pal.optical is not None:
             fraction = pal.optical.bands.power_fractions[

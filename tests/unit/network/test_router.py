@@ -13,17 +13,18 @@ from repro.network.buffers import CreditCounter
 from repro.network.links import EJECTION, MESH, Link
 from repro.network.packet import Packet
 from repro.network.router import OutputPort, Router
-from repro.network.routing import EAST, xy_route
+from repro.network.routing import EAST
+from repro.network.topologies.mesh import MeshTopology
 
 NUM_VCS = 2
 BUFFER_DEPTH = 8
 
 
 def make_router(num_local=2, x=0, y=0, width=2) -> Router:
-    return Router(router_id=y * width + x, x=x, y=y, mesh_width=width,
-                  num_local=num_local, buffer_depth=BUFFER_DEPTH,
-                  num_vcs=NUM_VCS, head_delay=3, route_fn=xy_route,
-                  nodes_per_cluster=num_local)
+    topology = MeshTopology(width, 2, num_local)
+    return Router(router_id=y * width + x, num_local=num_local,
+                  buffer_depth=BUFFER_DEPTH, num_vcs=NUM_VCS, head_delay=3,
+                  topology=topology)
 
 
 def attach_all_outputs(router: Router) -> dict[int, Link]:
@@ -116,9 +117,8 @@ class TestWormhole:
     def test_packets_do_not_interleave_within_vc(self):
         # A single-VC router: both packets must share the one downstream
         # VC, so the owner holds it until its tail passes.
-        router = Router(router_id=0, x=0, y=0, mesh_width=2, num_local=2,
-                        buffer_depth=8, num_vcs=1, head_delay=3,
-                        route_fn=xy_route, nodes_per_cluster=2)
+        router = Router(router_id=0, num_local=2, buffer_depth=8, num_vcs=1,
+                        head_delay=3, topology=MeshTopology(2, 2, 2))
         for port in range(router.num_local):
             router.attach_output(port, OutputPort(
                 Link(port, EJECTION), credits=None, num_vcs=1,
@@ -194,8 +194,8 @@ class TestConstruction:
 
     def test_buffer_smaller_than_vcs_rejected(self):
         with pytest.raises(ConfigError):
-            Router(0, 0, 0, 2, num_local=2, buffer_depth=1, num_vcs=2,
-                   head_delay=3, route_fn=xy_route, nodes_per_cluster=2)
+            Router(router_id=0, num_local=2, buffer_depth=1, num_vcs=2,
+                   head_delay=3, topology=MeshTopology(2, 2, 2))
 
     def test_unattached_output_is_simulation_error(self):
         router = make_router()
@@ -222,7 +222,7 @@ def make_mesh():
 
 
 class TestRouteTable:
-    def test_table_matches_the_routing_function_everywhere(self):
+    def test_table_matches_the_topology_routing_everywhere(self):
         mesh = make_mesh()
         for router in mesh.routers:
             table = router._route_table
@@ -231,10 +231,8 @@ class TestRouteTable:
                 if dst_router == router.router_id:
                     assert out == -1
                     continue
-                direction = router.route_fn(
-                    router.x, router.y,
-                    dst_router % router.mesh_width,
-                    dst_router // router.mesh_width,
+                direction = mesh.topology.route_direction(
+                    router.router_id, dst_router
                 )
                 assert out == router.num_local + direction
 
