@@ -143,6 +143,31 @@ def _add_sweep_parser(subparsers) -> None:
                         help="worker processes for the sweep points "
                              "(0 = one per CPU; results are identical "
                              "whatever the job count)")
+    parser.add_argument("--journal", default=None, metavar="DB",
+                        help="journal completed points to this SQLite file "
+                             "so an interrupted sweep can resume "
+                             "bit-identically (see docs/execution.md)")
+    parser.add_argument("--resume", action="store_true",
+                        help="require --journal to already exist and load "
+                             "its completed points instead of re-running")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-point wall-clock budget per attempt "
+                             "(default: unbounded)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="extra attempts per failed/timed-out/crashed "
+                             "point, with exponential backoff (default: 0)")
+    parser.add_argument("--backoff", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="base retry backoff; attempt n waits "
+                             "base * 2^(n-1) seconds (default: 0.5)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail fast on the first exhausted point "
+                             "instead of reporting partial results")
+    parser.add_argument("--exec-trace", default=None, metavar="OUT.JSONL",
+                        help="record executor lifecycle events (point "
+                             "done/cached/failed, retries, crashes) to a "
+                             "JSONL trace file")
 
 
 def _add_bench_parser(subparsers) -> None:
@@ -289,11 +314,15 @@ def _command_run(args) -> int:
             faults=faults, validate=args.validate, telemetry=telemetry,
         )
         profiler = PhaseProfiler().attach(sim.hooks)
-        sim.run(args.cycles if args.cycles is not None
-                else scale.run_cycles)
-        _print_result(collect_result(sim, "cli"))
-        if sim.telemetry is not None:
-            sim.telemetry.close()
+        try:
+            sim.run(args.cycles if args.cycles is not None
+                    else scale.run_cycles)
+            _print_result(collect_result(sim, "cli"))
+        finally:
+            # Close the sink even when the run raises, mirroring
+            # run_simulation: an unclosed JSONL sink truncates the trace.
+            if sim.telemetry is not None:
+                sim.telemetry.close()
         print("\nwall-time by phase:")
         print(profiler.report())
     else:
@@ -406,6 +435,39 @@ def _command_trace(args) -> int:
         f"unhandled trace command {args.trace_command!r}")
 
 
+def _execution_plan(args):
+    """The :class:`ExecutionPlan` the sweep flags describe, or ``None``
+    when no resilience flag was given (the historical fail-fast path)."""
+    if (args.journal is None and not args.resume and args.timeout is None
+            and args.retries == 0 and not args.strict
+            and args.exec_trace is None):
+        return None
+    from repro.experiments.executor import ExecutionPlan
+
+    return ExecutionPlan(
+        journal=args.journal, resume=args.resume, timeout=args.timeout,
+        retries=args.retries, backoff=args.backoff, strict=args.strict,
+        trace_path=args.exec_trace,
+    )
+
+
+def _print_journal_report(journal_path) -> None:
+    """Summarise what the journal holds after a (possibly partial) sweep."""
+    from repro.experiments.journal import SweepJournal
+
+    with SweepJournal(journal_path) as journal:
+        counts = journal.counts()
+        failures = journal.failures()
+    done = counts.get("done", 0)
+    failed = counts.get("failed", 0)
+    print(f"\njournal {journal_path}: {done} point(s) done, "
+          f"{failed} failed")
+    for failure in failures:
+        print(f"  FAILED {failure['label']}: {failure['attempts']} "
+              f"attempt(s) in {failure['elapsed']:.1f}s — "
+              f"{failure['error']}")
+
+
 def _command_sweep(args) -> int:
     scale = scale_with_topology(get_scale(args.scale), args.topology)
     if args.jobs < 0:
@@ -413,9 +475,13 @@ def _command_sweep(args) -> int:
               file=sys.stderr)
         return 2
     jobs = args.jobs if args.jobs > 0 else None
+    plan = _execution_plan(args)
     if args.kind == "ablation":
         from repro.experiments.ablation import ablation_table, run_ablation
 
+        if plan is not None:
+            print("note: the ablation sweep runs through its own harness; "
+                  "the execution flags are ignored", file=sys.stderr)
         print(ablation_table(run_ablation(scale, seed=args.seed)))
         return 0
     if args.kind == "faults":
@@ -424,27 +490,34 @@ def _command_sweep(args) -> int:
             run_margin_sweep,
         )
 
-        results = run_margin_sweep(scale, seed=args.seed, max_workers=jobs)
+        results = run_margin_sweep(scale, seed=args.seed, max_workers=jobs,
+                                   execution=plan)
         print(margin_sweep_table(results))
-        return 0
-    from repro.experiments import fig5
-
-    if args.kind == "window":
-        sweeps = fig5.window_size_sweep(scale, seed=args.seed,
-                                        max_workers=jobs)
-        x_label = "Tw"
     else:
-        sweeps = fig5.threshold_sweep(scale, seed=args.seed,
-                                      max_workers=jobs)
-        x_label = "avg threshold"
-    for load, series in sweeps.items():
-        print(f"\nload: {load}")
-        rows = [
-            [x, f"{r.latency_ratio:.2f}", f"{r.power_ratio:.3f}",
-             f"{r.power_latency_product:.3f}"]
-            for x, r in zip(series.x_values, series.results)
-        ]
-        print(format_table([x_label, "latency x", "power x", "PLP"], rows))
+        from repro.experiments import fig5
+
+        if args.kind == "window":
+            sweeps = fig5.window_size_sweep(scale, seed=args.seed,
+                                            max_workers=jobs,
+                                            execution=plan)
+            x_label = "Tw"
+        else:
+            sweeps = fig5.threshold_sweep(scale, seed=args.seed,
+                                          max_workers=jobs, execution=plan)
+            x_label = "avg threshold"
+        for load, series in sweeps.items():
+            print(f"\nload: {load}")
+            rows = [
+                [x, f"{r.latency_ratio:.2f}", f"{r.power_ratio:.3f}",
+                 f"{r.power_latency_product:.3f}"]
+                for x, r in zip(series.x_values, series.results)
+            ]
+            print(format_table([x_label, "latency x", "power x", "PLP"],
+                               rows))
+    if plan is not None and plan.journal is not None:
+        _print_journal_report(plan.journal)
+    if plan is not None and plan.trace_path is not None:
+        print(f"\nexecutor trace written to {plan.trace_path}")
     return 0
 
 

@@ -44,6 +44,25 @@ Events
     retransmission is scheduled (``attempt`` counts from 1).
 ``link_failure``
     ``cb(link, now)`` when a scheduled hard link failure takes effect.
+
+The three ``exec_*`` events are fired by the sweep executor
+(:mod:`repro.experiments.executor`), not by the simulator: a registry
+also fronts the execution harness so sweep-lifecycle observers (the
+executor trace recorder, tests) attach exactly like run observers do.
+
+``exec_point``
+    ``cb(label, key, status, attempt, elapsed)`` when a sweep point
+    reaches a terminal state: ``status`` is ``"done"`` (executed),
+    ``"cached"`` (served from the journal, ``attempt`` 0) or
+    ``"failed"`` (retries exhausted).  ``elapsed`` is wall seconds
+    across every attempt.
+``exec_retry``
+    ``cb(label, key, attempt, cause, delay)`` when a failed attempt is
+    scheduled for retry after ``delay`` seconds of backoff; ``cause``
+    is ``"error"``, ``"timeout"`` or ``"crash"``.
+``exec_crash``
+    ``cb(label, key, attempt, cause)`` when a worker-process death is
+    detected under a point (pool breakage, or a hard-timeout kill).
 """
 
 from __future__ import annotations
@@ -55,7 +74,8 @@ from repro.errors import ConfigError
 #: The hook points a :class:`HookRegistry` exposes.
 EVENTS = ("phase_start", "phase_end", "window", "transition", "policy",
           "power_sample", "delivery", "packet_delivered", "fault",
-          "retransmit", "link_failure")
+          "retransmit", "link_failure", "exec_point", "exec_retry",
+          "exec_crash")
 
 #: A hook callback.  Signatures are per-event (see the module docstring);
 #: return values are ignored.
@@ -81,6 +101,9 @@ class HookRegistry:
     fault: list[Hook]
     retransmit: list[Hook]
     link_failure: list[Hook]
+    exec_point: list[Hook]
+    exec_retry: list[Hook]
+    exec_crash: list[Hook]
 
     def __init__(self) -> None:
         for event in EVENTS:

@@ -34,3 +34,36 @@ class LinkStateError(ReproError, RuntimeError):
     For example: pushing a flit onto a link that is disabled for a bit-rate
     transition, or commanding a transition while another is in flight.
     """
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """A failure of the sweep-execution harness (not of a simulation).
+
+    Raised for harness-level conditions: a point exceeding its wall-clock
+    budget, a worker process dying, or a sweep aborting in strict mode.
+    Simulation-internal inconsistencies stay :class:`SimulationError`.
+    """
+
+
+class PointTimeoutError(ExecutionError):
+    """A sweep point exceeded its per-attempt wall-clock timeout.
+
+    Raised *inside* the worker by the executor's alarm guard, so it
+    pickles across the process boundary like any ordinary exception and
+    the supervisor can tell a timeout from a crash or a simulation bug.
+    """
+
+
+class SweepExecutionError(ExecutionError):
+    """A strict-mode sweep aborted with unrecoverable point failures.
+
+    Carries the structured :class:`~repro.experiments.executor.
+    SweepFailureReport` built up to the abort, so callers still see
+    per-point attempts, causes and exception text.
+    """
+
+    def __init__(self, message: str, report: object | None = None) -> None:
+        super().__init__(message)
+        #: The partial failure report at abort time (``None`` when the
+        #: error predates any bookkeeping).
+        self.report = report

@@ -11,7 +11,10 @@
   regenerates EXPERIMENTS.md.
 
 Shared machinery: :mod:`~repro.experiments.configs` (scales, reference
-rates) and :mod:`~repro.experiments.runner` (run + normalise).
+rates), :mod:`~repro.experiments.runner` (run + normalise) and
+:mod:`~repro.experiments.executor` (fault-tolerant sweep execution:
+journaled resume, per-point timeouts/retries, worker-crash recovery —
+see docs/execution.md).
 """
 
 from repro.experiments.configs import (
@@ -23,6 +26,15 @@ from repro.experiments.configs import (
     static_rate_config,
     uniform_saturation_packets,
 )
+from repro.experiments.executor import (
+    ExecutionPlan,
+    ExecutorStats,
+    PointFailure,
+    SweepFailureReport,
+    SweepOutcome,
+    execute_sweep,
+)
+from repro.experiments.journal import SweepJournal, point_key
 from repro.experiments.runner import (
     TrafficFactory,
     build_simulator,
@@ -32,12 +44,20 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "ExecutionPlan",
+    "ExecutorStats",
     "ExperimentScale",
+    "PointFailure",
     "SCALES",
+    "SweepFailureReport",
+    "SweepJournal",
+    "SweepOutcome",
     "TrafficFactory",
     "build_simulator",
     "collect_result",
+    "execute_sweep",
     "get_scale",
+    "point_key",
     "power_config",
     "reference_rates",
     "run_pair",

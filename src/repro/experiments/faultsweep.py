@@ -16,6 +16,7 @@ visible in both latency and energy.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.experiments.configs import (
     ExperimentScale,
@@ -32,6 +33,9 @@ from repro.experiments.runner import (
 from repro.metrics.ascii import format_table
 from repro.reliability.config import FaultConfig
 from repro.units import uw
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.experiments.executor import ExecutionPlan
 
 #: Received optical powers swept, microwatts.  25 uW is the paper's
 #: receiver sensitivity at 10 Gb/s; the tail values walk down the margin
@@ -69,14 +73,22 @@ def run_margin_sweep(scale: ExperimentScale, *, seed: int = 1,
                      received_powers_uw: Sequence[float] =
                      DEFAULT_RECEIVED_POWERS_UW,
                      rate: float | None = None,
-                     max_workers: int | None = 1
+                     max_workers: int | None = 1,
+                     execution: "ExecutionPlan | None" = None
                      ) -> list[tuple[float, RunResult]]:
-    """Run the sweep; returns (received power uW, result) in point order."""
+    """Run the sweep; returns (received power uW, result) in point order.
+
+    Under a degraded execution plan, failed operating points are dropped
+    from the returned series (the table renders whatever survived).
+    """
     points = margin_sweep_points(
         scale, seed=seed, received_powers_uw=received_powers_uw, rate=rate,
     )
-    results = run_sweep(points, max_workers=max_workers)
-    return list(zip(received_powers_uw, results))
+    results = run_sweep(points, max_workers=max_workers,
+                        execution=execution)
+    return [(rx_uw, result)
+            for rx_uw, result in zip(received_powers_uw, results)
+            if result is not None]
 
 
 def margin_sweep_table(results: Sequence[tuple[float, RunResult]]) -> str:

@@ -18,6 +18,7 @@ without re-running simulations.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.config import MODULATOR, PolicyConfig, VCSEL
 from repro.experiments.configs import (
@@ -30,6 +31,9 @@ from repro.experiments.configs import (
 from repro.experiments.runner import SweepPoint, run_sweep
 from repro.metrics.summary import RunResult, SweepSeries, normalise
 from repro.traffic.uniform import UniformRandomTraffic
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.experiments.executor import ExecutionPlan
 
 #: Tw values of the paper's sweep (100 .. 10000 cycles at paper scale);
 #: scaled presets sweep the same 0.1x .. 10x multiples of their own
@@ -81,13 +85,19 @@ def _baseline_points(scale: ExperimentScale, loads: dict[str, float],
 def _policy_sweep(scale: ExperimentScale, loads: dict[str, float],
                   x_label: str, x_values, make_label, make_policy,
                   technology: str, seed: int,
-                  max_workers: int | None) -> dict[str, SweepSeries]:
+                  max_workers: int | None,
+                  execution: "ExecutionPlan | None" = None
+                  ) -> dict[str, SweepSeries]:
     """Shared machinery of the Tw and threshold sweeps.
 
     Builds every (load, x) point plus the per-load baselines, dispatches
     them through :func:`~repro.experiments.runner.run_sweep` (serial or
     process-parallel — bit-identical either way) and folds the results
     into per-load :class:`~repro.metrics.summary.SweepSeries`.
+
+    Under a degraded (non-strict) execution plan a failed point — or a
+    failed per-load baseline, which anchors a whole series — leaves a gap
+    in the returned series instead of aborting the sweep.
     """
     points = _baseline_points(scale, loads, seed)
     for load_name, rate in loads.items():
@@ -98,15 +108,19 @@ def _policy_sweep(scale: ExperimentScale, loads: dict[str, float],
                 label=make_label(x, load_name), scale=scale, power=power,
                 traffic_factory=uniform_factory(rate), seed=seed,
             ))
-    results = run_sweep(points, max_workers=max_workers)
+    results = run_sweep(points, max_workers=max_workers,
+                        execution=execution)
     baselines = dict(zip(loads, results[:len(loads)]))
     aware_iter = iter(results[len(loads):])
     sweeps: dict[str, SweepSeries] = {}
     for load_name in loads:
         series = SweepSeries(name=load_name, x_label=x_label)
         for x in x_values:
-            series.append(x, normalise(next(aware_iter),
-                                       baselines[load_name]))
+            aware = next(aware_iter)
+            baseline = baselines[load_name]
+            if aware is None or baseline is None:
+                continue
+            series.append(x, normalise(aware, baseline))
         sweeps[load_name] = series
     return sweeps
 
@@ -115,7 +129,9 @@ def window_size_sweep(scale: ExperimentScale,
                       windows: tuple[int, ...] | None = None,
                       technology: str = MODULATOR,
                       seed: int = 1, *,
-                      max_workers: int | None = 1) -> dict[str, SweepSeries]:
+                      max_workers: int | None = 1,
+                      execution: "ExecutionPlan | None" = None
+                      ) -> dict[str, SweepSeries]:
     """Fig. 5(a)(b)(c): sweep the sampling window Tw at three loads.
 
     The paper runs this on the modulator-based network and notes identical
@@ -127,7 +143,7 @@ def window_size_sweep(scale: ExperimentScale,
         "window_cycles", windows,
         lambda window, load: f"Tw={window}/{load}",
         lambda window: PolicyConfig(window_cycles=window),
-        technology, seed, max_workers,
+        technology, seed, max_workers, execution,
     )
 
 
@@ -135,7 +151,9 @@ def threshold_sweep(scale: ExperimentScale,
                     averages: tuple[float, ...] = DEFAULT_THRESHOLDS,
                     technology: str = MODULATOR,
                     seed: int = 1, *,
-                    max_workers: int | None = 1) -> dict[str, SweepSeries]:
+                    max_workers: int | None = 1,
+                    execution: "ExecutionPlan | None" = None
+                    ) -> dict[str, SweepSeries]:
     """Fig. 5(d)(e)(f): sweep the average link-utilisation threshold.
 
     TH - TL stays fixed at 0.1 ("simulations show better
@@ -146,7 +164,7 @@ def threshold_sweep(scale: ExperimentScale,
         "average_threshold", averages,
         lambda average, load: f"T={average}/{load}",
         lambda average: PolicyConfig().with_average_threshold(average),
-        technology, seed, max_workers,
+        technology, seed, max_workers, execution,
     )
 
 
@@ -177,12 +195,14 @@ def injection_rate_fractions() -> tuple[float, ...]:
 def injection_sweep(scale: ExperimentScale,
                     configurations: dict[str, object] | None = None,
                     fractions: tuple[float, ...] | None = None,
-                    seed: int = 1, *, max_workers: int | None = 1
+                    seed: int = 1, *, max_workers: int | None = 1,
+                    execution: "ExecutionPlan | None" = None
                     ) -> dict[str, list[tuple[float, RunResult]]]:
     """Fig. 5(g)(h): sweep injection rate for every network variant.
 
     Returns, per variant, a list of (injection rate, RunResult); latency
-    curves feed (g) and relative-power curves feed (h).
+    curves feed (g) and relative-power curves feed (h).  Under a degraded
+    execution plan, failed points are dropped from their variant's curve.
     """
     configurations = configurations or ladder_configurations(scale)
     fractions = fractions or injection_rate_fractions()
@@ -194,11 +214,17 @@ def injection_sweep(scale: ExperimentScale,
         for name, power in configurations.items()
         for fraction, rate in zip(fractions, rates)
     ]
-    results = iter(run_sweep(points, max_workers=max_workers))
-    return {
-        name: [(rate, next(results)) for rate in rates]
-        for name in configurations
-    }
+    results = iter(run_sweep(points, max_workers=max_workers,
+                             execution=execution))
+    curves: dict[str, list[tuple[float, RunResult]]] = {}
+    for name in configurations:
+        curve = []
+        for rate in rates:
+            result = next(results)
+            if result is not None:
+                curve.append((rate, result))
+        curves[name] = curve
+    return curves
 
 
 def throughput_of_curve(points: list[tuple[float, RunResult]],

@@ -16,6 +16,7 @@ VCSEL for the (slightly better) alternative.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.config import MODULATOR, NetworkConfig
 from repro.experiments.configs import (
@@ -33,6 +34,9 @@ from repro.metrics.energy import normalise_power_series, smooth_series
 from repro.metrics.summary import NormalisedResult, RunResult
 from repro.traffic.splash import BENCHMARKS, generate_splash_trace
 from repro.traffic.trace import TraceReplaySource
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.experiments.executor import ExecutionPlan
 
 #: The paper's benchmarks run on 64 processors of the 512-node system —
 #: "parallelized onto 64 nodes housed in 8 racks" (Section 4.3.3); the
@@ -145,12 +149,16 @@ def run_benchmark(benchmark: str, scale: ExperimentScale,
 
 def run_all_benchmarks(scale: ExperimentScale, technology: str = MODULATOR,
                        seed: int = 1, *,
-                       max_workers: int | None = 1) -> dict[str, dict]:
+                       max_workers: int | None = 1,
+                       execution: "ExecutionPlan | None" = None
+                       ) -> dict[str, dict]:
     """Fig. 7 for all three benchmarks.
 
     With ``max_workers`` > 1 (or ``None`` for one worker per CPU) the six
     underlying runs — a (power-aware, baseline) pair per benchmark —
     execute across a process pool, point-for-point identical to serial.
+    Under a degraded execution plan a benchmark with a failed side is
+    omitted from the returned mapping.
     """
     power = power_config(scale, technology=technology)
     points = []
@@ -160,10 +168,12 @@ def run_all_benchmarks(scale: ExperimentScale, technology: str = MODULATOR,
             label=f"splash/{benchmark}", seed=seed, drain=True,
             cycles=2 * scale.run_cycles,
         ))
-    triples = run_pairs(points, max_workers=max_workers)
+    triples = run_pairs(points, max_workers=max_workers,
+                        execution=execution)
     return {
         benchmark: _assemble_benchmark(benchmark, scale, power, *triple)
         for benchmark, triple in zip(BENCHMARKS, triples)
+        if triple is not None
     }
 
 

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 import hashlib
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.config import (
     NetworkConfig,
@@ -26,12 +26,16 @@ from repro.config import (
     SimulationConfig,
 )
 from repro.errors import ConfigError
+from repro.experiments import chaos
 from repro.experiments.configs import ExperimentScale
 from repro.metrics.summary import NormalisedResult, RunResult, normalise
 from repro.network.simulator import Simulator
 from repro.reliability.config import FaultConfig
 from repro.telemetry.config import TelemetryConfig
 from repro.traffic.base import TrafficSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.experiments.executor import ExecutionPlan
 
 #: Builds a fresh traffic source: (num_nodes, seed) -> source.  Sources are
 #: stateful, so every run needs its own instance.  Factories handed to
@@ -106,14 +110,18 @@ def run_simulation(scale: ExperimentScale,
         faults=faults, validate=validate, telemetry=telemetry,
     )
     budget = cycles if cycles is not None else scale.run_cycles
-    if drain:
-        sim.run_until_drained(budget)
-    else:
-        sim.run(budget)
-    result = collect_result(sim, label)
-    if sim.telemetry is not None:
-        sim.telemetry.close()
-    return result
+    try:
+        if drain:
+            sim.run_until_drained(budget)
+        else:
+            sim.run(budget)
+        return collect_result(sim, label)
+    finally:
+        # Telemetry sinks buffer; close them even when the run (or result
+        # collection) raises, or a failing sweep point leaks file handles
+        # and truncates the trace that would explain the failure.
+        if sim.telemetry is not None:
+            sim.telemetry.close()
 
 
 def run_pair(scale: ExperimentScale, power: PowerAwareConfig,
@@ -177,8 +185,13 @@ class SweepPoint:
     faults: FaultConfig | None = None
 
 
-def run_point(point: SweepPoint) -> RunResult:
-    """Execute one sweep point (module-level, so process pools can map it)."""
+def run_point(point: SweepPoint, attempt: int = 1) -> RunResult:
+    """Execute one sweep point (module-level, so process pools can map it).
+
+    ``attempt`` is threaded in by the resilient executor so the chaos
+    harness can sabotage specific attempts; direct callers can ignore it.
+    """
+    chaos.maybe_inject(point.label, attempt)
     return run_simulation(
         point.scale, point.power, point.traffic_factory,
         label=point.label, seed=point.seed,
@@ -187,7 +200,9 @@ def run_point(point: SweepPoint) -> RunResult:
 
 
 def run_sweep(points: Iterable[SweepPoint], *,
-              max_workers: int | None = 1) -> list[RunResult]:
+              max_workers: int | None = 1,
+              execution: "ExecutionPlan | None" = None
+              ) -> list[RunResult | None]:
     """Run every point, returning results in point order.
 
     ``max_workers=1`` (the default) runs in-process; ``None`` uses one
@@ -195,33 +210,51 @@ def run_sweep(points: Iterable[SweepPoint], *,
     point carries its own seed and runs in a fresh simulator, the results
     are bit-identical whatever ``max_workers`` is — parallelism is purely
     a wall-clock optimisation.
+
+    All execution goes through :mod:`repro.experiments.executor` futures,
+    so one worker's crash or exception never discards sibling results.
+    Without an ``execution`` plan, behaviour is the historical fail-fast:
+    no journal, no retries, and the first failing point's exception is
+    re-raised (a :class:`~repro.errors.ConfigError` is re-raised with the
+    offending point's label prepended).  Pass an
+    :class:`~repro.experiments.executor.ExecutionPlan` for journaling,
+    timeouts, retries, or degraded completion — under a degraded
+    (non-strict) plan, failed points come back as ``None`` entries.
     """
-    points = list(points)
+    from repro.experiments.executor import ExecutionPlan, execute_sweep
+
     if max_workers is not None and max_workers < 1:
         raise ConfigError(
             f"max_workers must be >= 1 or None, got {max_workers!r}"
         )
-    if max_workers == 1 or len(points) <= 1:
-        return [run_point(point) for point in points]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(run_point, points))
+    plan = execution if execution is not None else ExecutionPlan(strict=True)
+    outcome = execute_sweep(points, max_workers=max_workers, plan=plan)
+    return outcome.results
 
 
-def run_pairs(points: Sequence[SweepPoint], *, max_workers: int | None = 1
-              ) -> list[tuple[RunResult, RunResult, NormalisedResult]]:
+def run_pairs(points: Sequence[SweepPoint], *, max_workers: int | None = 1,
+              execution: "ExecutionPlan | None" = None
+              ) -> list[tuple[RunResult, RunResult, NormalisedResult] | None]:
     """Run (power-aware, baseline) pairs built with :func:`pair_points`.
 
     ``points`` must alternate aware/baseline, as :func:`pair_points`
     produces; the whole flat list is dispatched through :func:`run_sweep`
-    so pairs from different pairs interleave across workers.
+    so pairs from different pairs interleave across workers.  Under a
+    degraded execution plan a pair with either side missing becomes a
+    ``None`` entry (a normalised ratio against a failed run would be
+    meaningless).
     """
     if len(points) % 2:
         raise ConfigError("run_pairs needs an even number of points")
-    results = run_sweep(points, max_workers=max_workers)
-    return [
-        (aware, baseline, normalise(aware, baseline))
-        for aware, baseline in zip(results[::2], results[1::2])
-    ]
+    results = run_sweep(points, max_workers=max_workers,
+                        execution=execution)
+    pairs: list[tuple[RunResult, RunResult, NormalisedResult] | None] = []
+    for aware, baseline in zip(results[::2], results[1::2]):
+        if aware is None or baseline is None:
+            pairs.append(None)
+        else:
+            pairs.append((aware, baseline, normalise(aware, baseline)))
+    return pairs
 
 
 def pair_points(scale: ExperimentScale, power: PowerAwareConfig,

@@ -15,9 +15,14 @@ PLP           0.24       0.38    0.37
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.config import MODULATOR
 from repro.experiments.configs import ExperimentScale
 from repro.experiments.fig7 import run_all_benchmarks, table3_rows
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.experiments.executor import ExecutionPlan
 
 #: Paper Table 3: trace -> (latency ratio, power ratio, PLP).
 PAPER_TABLE3 = {
@@ -28,11 +33,17 @@ PAPER_TABLE3 = {
 
 
 def compute_table3(scale: ExperimentScale, technology: str = MODULATOR,
-                   seed: int = 1, *, max_workers: int | None = 1
+                   seed: int = 1, *, max_workers: int | None = 1,
+                   execution: "ExecutionPlan | None" = None
                    ) -> list[dict[str, float | str]]:
-    """Run all three benchmarks and return the Table 3 rows."""
+    """Run all three benchmarks and return the Table 3 rows.
+
+    Under a degraded execution plan, a benchmark whose pair failed is
+    simply absent from the table (``shape_check`` handles partial rows).
+    """
     results = run_all_benchmarks(scale, technology=technology, seed=seed,
-                                 max_workers=max_workers)
+                                 max_workers=max_workers,
+                                 execution=execution)
     return table3_rows(results)
 
 

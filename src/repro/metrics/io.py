@@ -45,6 +45,10 @@ def result_from_dict(payload: dict) -> RunResult:
     )
     data["injection_series"] = tuple(data["injection_series"])
     data["level_histogram"] = tuple(data["level_histogram"])
+    if data.get("reliability") is not None:
+        from repro.metrics.reliability import ReliabilityReport
+
+        data["reliability"] = ReliabilityReport(**data["reliability"])
     return RunResult(**data)
 
 

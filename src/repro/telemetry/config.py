@@ -33,12 +33,25 @@ KIND_FAULT = "fault"
 KIND_RETRANSMIT = "retransmit"
 #: Hard link failures taking effect (fault-injected runs only).
 KIND_LINK_FAILURE = "link_failure"
+#: Sweep points reaching a terminal state (executor traces only).
+KIND_EXEC_POINT = "exec_point"
+#: Failed sweep attempts scheduled for retry (executor traces only).
+KIND_EXEC_RETRY = "exec_retry"
+#: Worker-process deaths detected under a point (executor traces only).
+KIND_EXEC_CRASH = "exec_crash"
 
-#: Every recordable event kind, in a stable presentation order.
+#: Every *simulation* event kind, in a stable presentation order.  This
+#: is what :class:`TelemetryConfig.kinds` selects from; the executor
+#: kinds live in their own namespace because they describe the sweep
+#: harness around runs, not any single run, and are recorded by
+#: :class:`~repro.telemetry.recorder.ExecutorRecorder` unconditionally.
 ALL_KINDS = (
     KIND_TRANSITION, KIND_POLICY, KIND_POWER, KIND_PACKET,
     KIND_FAULT, KIND_RETRANSMIT, KIND_LINK_FAILURE,
 )
+
+#: The sweep-executor lifecycle kinds (see docs/execution.md).
+EXECUTOR_KINDS = (KIND_EXEC_POINT, KIND_EXEC_RETRY, KIND_EXEC_CRASH)
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,9 @@ from typing import Any, ClassVar
 
 from repro.errors import ConfigError
 from repro.telemetry.config import (
+    KIND_EXEC_CRASH,
+    KIND_EXEC_POINT,
+    KIND_EXEC_RETRY,
     KIND_FAULT,
     KIND_LINK_FAILURE,
     KIND_PACKET,
@@ -128,11 +131,62 @@ class LinkFailureEvent:
     link_id: int
 
 
+@dataclass(frozen=True, slots=True)
+class ExecPointEvent:
+    """A sweep point reaching a terminal state in the executor.
+
+    Executor events are stamped with a monotonically increasing ``seq``
+    instead of a simulator cycle: the executor sits *outside* any run,
+    and wall-clock timestamps would break trace determinism.  ``elapsed``
+    (wall seconds across every attempt) is the only wall quantity, and it
+    is data, not ordering.
+    """
+
+    kind: ClassVar[str] = KIND_EXEC_POINT
+
+    seq: int
+    label: str
+    key: str
+    #: ``done`` (executed), ``cached`` (journal hit) or ``failed``.
+    status: str
+    attempt: int
+    elapsed: float
+
+
+@dataclass(frozen=True, slots=True)
+class ExecRetryEvent:
+    """A failed sweep attempt scheduled for retry after backoff."""
+
+    kind: ClassVar[str] = KIND_EXEC_RETRY
+
+    seq: int
+    label: str
+    key: str
+    attempt: int
+    #: ``error``, ``timeout`` or ``crash``.
+    cause: str
+    delay: float
+
+
+@dataclass(frozen=True, slots=True)
+class ExecCrashEvent:
+    """A worker-process death detected under a sweep point."""
+
+    kind: ClassVar[str] = KIND_EXEC_CRASH
+
+    seq: int
+    label: str
+    key: str
+    attempt: int
+    cause: str
+
+
 #: kind tag -> event class, for deserialisation.
 EVENT_TYPES = {
     cls.kind: cls
     for cls in (TransitionEvent, PolicyEvent, PowerEvent, PacketEvent,
-                FaultEvent, RetransmitEvent, LinkFailureEvent)
+                FaultEvent, RetransmitEvent, LinkFailureEvent,
+                ExecPointEvent, ExecRetryEvent, ExecCrashEvent)
 }
 
 

@@ -26,6 +26,9 @@ from typing import Any
 
 from repro.errors import ConfigError
 from repro.telemetry.config import (
+    KIND_EXEC_CRASH,
+    KIND_EXEC_POINT,
+    KIND_EXEC_RETRY,
     KIND_FAULT,
     KIND_LINK_FAILURE,
     KIND_PACKET,
@@ -36,6 +39,8 @@ from repro.telemetry.config import (
 )
 
 #: CSV column order per event kind (matches the event dataclasses).
+#: Simulation kinds lead with ``cycle``; the executor kinds lead with
+#: ``seq`` (the executor has no simulator clock).
 CSV_COLUMNS = {
     KIND_TRANSITION: ("cycle", "link_id", "link_kind", "direction",
                       "from_level", "to_level", "duration", "accepted"),
@@ -46,6 +51,10 @@ CSV_COLUMNS = {
     KIND_FAULT: ("cycle", "link_id", "packet_id"),
     KIND_RETRANSMIT: ("cycle", "link_id", "packet_id", "attempt"),
     KIND_LINK_FAILURE: ("cycle", "link_id"),
+    KIND_EXEC_POINT: ("seq", "label", "key", "status", "attempt",
+                      "elapsed"),
+    KIND_EXEC_RETRY: ("seq", "label", "key", "attempt", "cause", "delay"),
+    KIND_EXEC_CRASH: ("seq", "label", "key", "attempt", "cause"),
 }
 
 
@@ -146,12 +155,14 @@ _PID_POWER = 1
 _PID_LINKS = 2
 _PID_PACKETS = 3
 _PID_RELIABILITY = 4
+_PID_EXECUTOR = 5
 
 _PROCESS_NAMES = {
     _PID_POWER: "network power",
     _PID_LINKS: "links",
     _PID_PACKETS: "packets",
     _PID_RELIABILITY: "reliability",
+    _PID_EXECUTOR: "sweep executor",
 }
 
 
@@ -216,6 +227,19 @@ def to_chrome_trace(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
                 "pid": _PID_RELIABILITY, "tid": record.get("link_id", 0),
                 "args": {k: v for k, v in record.items()
                          if k not in ("kind", "cycle")},
+            })
+        elif kind in (KIND_EXEC_POINT, KIND_EXEC_RETRY, KIND_EXEC_CRASH):
+            # Executor events carry no cycle; order by their sequence
+            # number so the timeline reads as sweep progress.
+            name = kind
+            if kind == KIND_EXEC_POINT:
+                name = f"{record.get('status', '?')}:{record.get('label')}"
+            events.append({
+                "name": name, "cat": "executor", "ph": "i",
+                "ts": record.get("seq", 0), "s": "t",
+                "pid": _PID_EXECUTOR, "tid": 0,
+                "args": {k: v for k, v in record.items()
+                         if k not in ("kind", "seq")},
             })
     return {"traceEvents": events, "displayTimeUnit": "ms",
             "otherData": {"time_unit": "router cycles"}}

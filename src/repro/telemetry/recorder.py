@@ -24,6 +24,9 @@ from typing import TYPE_CHECKING, Any
 
 from repro.errors import ConfigError
 from repro.telemetry.config import (
+    KIND_EXEC_CRASH,
+    KIND_EXEC_POINT,
+    KIND_EXEC_RETRY,
     KIND_FAULT,
     KIND_LINK_FAILURE,
     KIND_PACKET,
@@ -35,6 +38,9 @@ from repro.telemetry.config import (
 )
 from repro.telemetry.events import (
     DECISION_NAMES,
+    ExecCrashEvent,
+    ExecPointEvent,
+    ExecRetryEvent,
     FaultEvent,
     LinkFailureEvent,
     PacketEvent,
@@ -46,6 +52,7 @@ from repro.telemetry.events import (
 from repro.telemetry.sinks import JsonlFileSink, RingBufferSink
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports (cycle guard)
+    from repro.engine.hooks import HookRegistry
     from repro.network.simulator import Simulator
 
 
@@ -224,3 +231,93 @@ class TraceRecorder:
         if not self._wants_link(link.link_id):
             return
         self._emit(LinkFailureEvent(cycle=now, link_id=link.link_id))
+
+
+class ExecutorRecorder:
+    """Records a sweep executor's lifecycle as a stream of typed events.
+
+    The executor analogue of :class:`TraceRecorder`: it attaches to the
+    executor's :class:`~repro.engine.hooks.HookRegistry` (the same
+    registry type the simulator fronts), turns the ``exec_*`` hook
+    firings into :class:`~repro.telemetry.events.ExecPointEvent` /
+    ``ExecRetryEvent`` / ``ExecCrashEvent`` records, and streams them to
+    a JSONL sink.  Events carry a monotonically increasing ``seq``
+    rather than a cycle — there is no simulator clock out here.
+    """
+
+    def __init__(self, path: str | None = None, sink: Any | None = None):
+        if sink is not None:
+            self.sink = sink
+        elif path is not None:
+            self.sink = JsonlFileSink(path)
+        else:
+            self.sink = RingBufferSink(65_536)
+        #: Events emitted per kind, for summaries and tests.
+        self.counts: dict[str, int] = {}
+        self._seq = 0
+        self._hooks: "HookRegistry | None" = None
+        self._registered: list[tuple[str, Any]] = []
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def attach(self, hooks: "HookRegistry") -> "ExecutorRecorder":
+        """Register callbacks for every executor lifecycle event."""
+        if self._hooks is not None:
+            raise ConfigError("recorder is already attached to an executor")
+        self._hooks = hooks
+        wiring = (
+            (KIND_EXEC_POINT, "exec_point", self._on_exec_point),
+            (KIND_EXEC_RETRY, "exec_retry", self._on_exec_retry),
+            (KIND_EXEC_CRASH, "exec_crash", self._on_exec_crash),
+        )
+        for _kind, event, callback in wiring:
+            hooks.add(event, callback)
+            self._registered.append((event, callback))
+        return self
+
+    def detach(self) -> None:
+        """Deregister every hook this recorder added (keeps the sink)."""
+        if self._hooks is None:
+            return
+        for event, callback in self._registered:
+            self._hooks.remove(event, callback)
+        self._registered.clear()
+        self._hooks = None
+
+    def flush(self) -> None:
+        self.sink.flush()
+
+    def close(self) -> None:
+        """Detach from the executor and close the sink."""
+        self.detach()
+        self.sink.close()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _emit(self, event: Any) -> None:
+        kind = event.kind
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.sink.emit(event)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- hook callbacks --------------------------------------------------------
+
+    def _on_exec_point(self, label: str, key: str, status: str,
+                       attempt: int, elapsed: float) -> None:
+        self._emit(ExecPointEvent(seq=self._next_seq(), label=label,
+                                  key=key, status=status, attempt=attempt,
+                                  elapsed=elapsed))
+
+    def _on_exec_retry(self, label: str, key: str, attempt: int,
+                       cause: str, delay: float) -> None:
+        self._emit(ExecRetryEvent(seq=self._next_seq(), label=label,
+                                  key=key, attempt=attempt, cause=cause,
+                                  delay=delay))
+
+    def _on_exec_crash(self, label: str, key: str, attempt: int,
+                       cause: str) -> None:
+        self._emit(ExecCrashEvent(seq=self._next_seq(), label=label,
+                                  key=key, attempt=attempt, cause=cause))

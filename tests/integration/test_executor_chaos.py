@@ -1,0 +1,145 @@
+"""Chaos-driven integration tests for the resilient sweep executor.
+
+Each test injects a real failure mode — a SIGKILL'd worker, a wedged
+point, a supervisor killed mid-sweep — and asserts the executor's core
+promise: recovery never changes results.  Every recovered sweep is
+compared bit-for-bit against an undisturbed serial baseline.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.executor import ExecutionPlan, execute_sweep
+from repro.experiments.journal import SweepJournal
+
+from tests.sweeputil import tiny_point
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def sweep_points():
+    return [tiny_point(label=f"p{i}", seed=i + 1) for i in range(4)]
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The undisturbed serial ground truth every recovery must match."""
+    assert "REPRO_CHAOS" not in os.environ
+    return execute_sweep(sweep_points()).results
+
+
+class TestWorkerCrashRecovery:
+    def test_sigkilled_worker_is_respawned_and_point_retried(
+            self, baseline, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "crash:p1")
+        outcome = execute_sweep(
+            sweep_points(), max_workers=2,
+            plan=ExecutionPlan(retries=2, backoff=0.05))
+        assert outcome.complete
+        assert outcome.stats.crashes >= 1
+        assert outcome.results == baseline
+
+    def test_crash_also_costs_innocent_inflight_siblings_nothing(
+            self, baseline, monkeypatch):
+        # A broken pool dooms every in-flight future; siblings consume a
+        # crash attempt but their eventual results are untouched.
+        monkeypatch.setenv("REPRO_CHAOS", "crash:p0")
+        outcome = execute_sweep(
+            sweep_points(), max_workers=4,
+            plan=ExecutionPlan(retries=3, backoff=0.05))
+        assert outcome.complete
+        assert outcome.results == baseline
+
+
+class TestTimeouts:
+    def test_soft_timeout_interrupts_a_hung_point(self, baseline,
+                                                  monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "hang:p3")
+        outcome = execute_sweep(
+            sweep_points(), max_workers=2,
+            plan=ExecutionPlan(timeout=1.0, retries=1, backoff=0.05))
+        assert outcome.complete
+        assert outcome.stats.timeouts == 1
+        assert outcome.results == baseline
+
+    def test_hard_deadline_kills_an_alarm_proof_worker(self, baseline,
+                                                       monkeypatch):
+        # hang_hard blocks SIGALRM, so only the supervisor's pool kill
+        # can recover; the innocent sibling survives resubmission.
+        monkeypatch.setenv("REPRO_CHAOS", "hang_hard:p0")
+        outcome = execute_sweep(
+            sweep_points(), max_workers=2,
+            plan=ExecutionPlan(timeout=0.5, grace=1.0, retries=1,
+                               backoff=0.05))
+        assert outcome.complete
+        assert outcome.stats.timeouts >= 1
+        assert outcome.results == baseline
+
+
+class TestGracefulDegradation:
+    def test_exhausted_point_never_discards_finished_siblings(
+            self, baseline, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "oom*9:p0")
+        outcome = execute_sweep(
+            sweep_points(), max_workers=2,
+            plan=ExecutionPlan(retries=1, backoff=0.05))
+        assert not outcome.complete
+        assert outcome.results[0] is None
+        assert outcome.results[1:] == baseline[1:]
+        [failure] = outcome.report.failures
+        assert failure.label == "p0"
+        assert failure.attempts == 2
+        assert "MemoryError" in failure.error
+
+
+_CHILD_SCRIPT = """
+import sys
+from repro.experiments.executor import ExecutionPlan, execute_sweep
+from tests.sweeputil import tiny_point
+
+points = [tiny_point(label=f"p{i}", seed=i + 1) for i in range(4)]
+execute_sweep(points, plan=ExecutionPlan(journal=sys.argv[1]))
+"""
+
+
+class TestJournalResume:
+    def test_supervisor_killed_mid_sweep_resumes_bit_identical(
+            self, baseline, tmp_path):
+        """The acceptance criterion: SIGKILL the whole sweep process at
+        point p2, then resume from the journal and match the
+        uninterrupted serial baseline exactly."""
+        journal = tmp_path / "sweep.sqlite"
+        env = dict(os.environ,
+                   PYTHONPATH=f"src{os.pathsep}.",
+                   REPRO_CHAOS="crash:p2")
+        child = subprocess.run(
+            [sys.executable, "-c", _CHILD_SCRIPT, str(journal)],
+            cwd=REPO_ROOT, env=env, capture_output=True, timeout=120)
+        # chaos 'crash' SIGKILLs the (serial) executing process itself.
+        assert child.returncode == -signal.SIGKILL, child.stderr.decode()
+        with SweepJournal(journal) as j:
+            assert j.counts() == {"done": 2}  # p0, p1 committed pre-kill
+
+        outcome = execute_sweep(
+            sweep_points(),
+            plan=ExecutionPlan(journal=journal, resume=True))
+        assert outcome.complete
+        assert outcome.stats.cached == 2
+        assert outcome.stats.executed == 2
+        assert outcome.results == baseline
+
+    def test_finished_journal_replays_without_executing(self, baseline,
+                                                        tmp_path):
+        journal = tmp_path / "sweep.sqlite"
+        execute_sweep(sweep_points(), plan=ExecutionPlan(journal=journal))
+        outcome = execute_sweep(
+            sweep_points(),
+            plan=ExecutionPlan(journal=journal, resume=True))
+        assert outcome.stats.executed == 0
+        assert outcome.stats.cached == 4
+        assert outcome.results == baseline

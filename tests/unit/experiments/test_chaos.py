@@ -1,0 +1,88 @@
+"""Unit tests for the chaos-injection spec parser and dispatcher."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.chaos import (
+    ChaosDirective,
+    maybe_inject,
+    parse_chaos_spec,
+)
+
+
+class TestParsing:
+    def test_single_directive(self):
+        assert parse_chaos_spec("crash:p0") == \
+            (ChaosDirective(mode="crash", label="p0", times=1),)
+
+    def test_repeat_count_and_multiple_directives(self):
+        first, second = parse_chaos_spec("hang*3:Tw=100/heavy;oom:p1")
+        assert first == ChaosDirective(mode="hang", label="Tw=100/heavy",
+                                       times=3)
+        assert second == ChaosDirective(mode="oom", label="p1", times=1)
+
+    def test_label_may_contain_colons(self):
+        # Only the first ':' splits mode from label.
+        [directive] = parse_chaos_spec("error:faults/rx25uW:extra")
+        assert directive.label == "faults/rx25uW:extra"
+
+    def test_whitespace_and_empty_segments_tolerated(self):
+        directives = parse_chaos_spec(" crash:p0 ; ; error:p1 ")
+        assert [d.mode for d in directives] == ["crash", "error"]
+        assert [d.label for d in directives] == ["p0", "p1"]
+
+    @pytest.mark.parametrize("spec", [
+        "",  # nothing at all
+        ";;",  # only separators
+        "crash",  # no label
+        "warp:p0",  # unknown mode
+        "crash*x:p0",  # non-integer repeat
+        "crash*0:p0",  # repeat below 1
+        "crash:",  # empty label
+    ])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ConfigError):
+            parse_chaos_spec(spec)
+
+
+class TestMatching:
+    def test_matches_exact_label_and_attempt_window(self):
+        directive = ChaosDirective(mode="error", label="p0", times=2)
+        assert directive.matches("p0", 1)
+        assert directive.matches("p0", 2)
+        assert not directive.matches("p0", 3)
+        assert not directive.matches("p00", 1)
+        assert not directive.matches("p", 1)
+
+
+class TestInjection:
+    def test_noop_when_env_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        maybe_inject("anything", 1)  # must not raise
+
+    def test_noop_when_label_differs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "error:someone-else")
+        maybe_inject("me", 1)  # must not raise
+
+    def test_error_mode_raises_runtime_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "error:victim")
+        with pytest.raises(RuntimeError, match="chaos error injected"):
+            maybe_inject("victim", 1)
+
+    def test_oom_mode_raises_memory_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "oom:victim")
+        with pytest.raises(MemoryError, match="chaos oom injected"):
+            maybe_inject("victim", 1)
+
+    def test_times_bounds_the_attempts_hit(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "error*2:victim")
+        with pytest.raises(RuntimeError):
+            maybe_inject("victim", 1)
+        with pytest.raises(RuntimeError):
+            maybe_inject("victim", 2)
+        maybe_inject("victim", 3)  # past the budget: clean
+
+    def test_malformed_env_spec_surfaces_as_config_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "nonsense")
+        with pytest.raises(ConfigError):
+            maybe_inject("victim", 1)

@@ -1,0 +1,215 @@
+"""Unit tests for the resilient sweep executor (serial paths).
+
+Parallel/crash/timeout recovery lives in
+tests/integration/test_executor_chaos.py; these tests cover plan
+validation, retry accounting, journaling, dedup, hooks and the strict
+vs degraded contract — all in-process, so they are fast.
+"""
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.engine.hooks import HookRegistry
+from repro.errors import ConfigError
+from repro.experiments.executor import (
+    ExecutionPlan,
+    ResilientSweepExecutor,
+    SweepOutcome,
+    execute_sweep,
+)
+from repro.experiments.runner import run_point, run_sweep
+
+from tests.sweeputil import tiny_point
+
+
+@dataclass(frozen=True)
+class MisconfiguredFactory:
+    """A picklable traffic factory that refuses to build."""
+
+    def __call__(self, num_nodes, seed):
+        raise ConfigError("rate table is empty")
+
+
+class TestExecutionPlan:
+    @pytest.mark.parametrize("kwargs", [
+        {"timeout": 0.0},
+        {"timeout": -1.0},
+        {"retries": -1},
+        {"backoff": -0.1},
+        {"backoff_cap": -1.0},
+        {"grace": -0.5},
+        {"resume": True},  # resume without a journal path
+    ], ids=lambda kwargs: next(iter(kwargs)))
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            ExecutionPlan(**kwargs)
+
+    def test_attempts_allowed(self):
+        assert ExecutionPlan().attempts_allowed == 1
+        assert ExecutionPlan(retries=3).attempts_allowed == 4
+
+    def test_backoff_doubles_then_caps(self):
+        plan = ExecutionPlan(backoff=0.5, backoff_cap=3.0)
+        assert [plan.backoff_delay(n) for n in (1, 2, 3, 4, 5)] == \
+            [0.5, 1.0, 2.0, 3.0, 3.0]
+
+    def test_zero_backoff_is_free(self):
+        assert ExecutionPlan(backoff=0.0).backoff_delay(7) == 0.0
+
+
+class TestValidation:
+    def test_executor_rejects_bad_worker_count(self):
+        with pytest.raises(ConfigError, match="max_workers"):
+            ResilientSweepExecutor(max_workers=0)
+
+    def test_run_sweep_validates_workers_before_listing_points(self):
+        consumed = []
+
+        def points():
+            consumed.append(True)
+            yield tiny_point()
+
+        with pytest.raises(ConfigError, match="max_workers"):
+            run_sweep(points(), max_workers=0)
+        assert not consumed
+
+
+class TestSerialExecution:
+    def test_results_align_with_points(self):
+        points = [tiny_point(label=f"p{i}", seed=i + 1) for i in range(3)]
+        outcome = execute_sweep(points)
+        assert isinstance(outcome, SweepOutcome)
+        assert outcome.complete
+        assert not outcome.report
+        assert [r.label for r in outcome.results] == ["p0", "p1", "p2"]
+        assert outcome.stats.executed == 3
+        assert outcome.stats.cached == 0
+        assert outcome.results == [run_point(p) for p in points]
+
+    def test_journal_dedups_identical_points_within_a_sweep(self, tmp_path):
+        plan = ExecutionPlan(journal=tmp_path / "j.sqlite")
+        point = tiny_point(label="dup")
+        outcome = execute_sweep([point, point], plan=plan)
+        assert outcome.stats.executed == 1
+        assert outcome.results[0] == outcome.results[1]
+        assert outcome.results[0] is not None
+
+    def test_resume_serves_journal_and_is_bit_identical(self, tmp_path):
+        points = [tiny_point(label=f"p{i}", seed=i + 1) for i in range(3)]
+        journal = tmp_path / "j.sqlite"
+        first = execute_sweep(points, plan=ExecutionPlan(journal=journal))
+        events = []
+        hooks = HookRegistry()
+        hooks.add("exec_point",
+                  lambda label, key, status, attempt, elapsed:
+                  events.append((label, status, attempt)))
+        second = execute_sweep(
+            points, plan=ExecutionPlan(journal=journal, resume=True),
+            hooks=hooks)
+        assert second.stats.executed == 0
+        assert second.stats.cached == 3
+        assert second.results == first.results
+        assert events == [("p0", "cached", 0), ("p1", "cached", 0),
+                          ("p2", "cached", 0)]
+
+    def test_resume_requires_existing_journal(self, tmp_path):
+        plan = ExecutionPlan(journal=tmp_path / "absent.sqlite",
+                             resume=True)
+        with pytest.raises(ConfigError, match="does not exist"):
+            execute_sweep([tiny_point()], plan=plan)
+
+
+class TestRetriesAndDegradation:
+    def test_retry_recovers_and_backs_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "error*1:flaky")
+        delays = []
+        plan = ExecutionPlan(retries=2, backoff=0.25, backoff_cap=10.0)
+        outcome = execute_sweep(
+            [tiny_point(label="flaky"), tiny_point(label="solid", seed=2)],
+            plan=plan, sleep=delays.append)
+        monkeypatch.delenv("REPRO_CHAOS")
+        assert outcome.complete
+        assert outcome.stats.retries == 1
+        assert outcome.stats.failed == 0
+        assert delays == [0.25]
+        # The sabotaged point still produced the untouched result.
+        assert outcome.results[0] == run_point(tiny_point(label="flaky"))
+
+    def test_exhausted_point_degrades_without_losing_siblings(
+            self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CHAOS", "oom*9:doomed")
+        plan = ExecutionPlan(retries=1, backoff=0.0,
+                             journal=tmp_path / "j.sqlite")
+        points = [tiny_point(label="p0"), tiny_point(label="doomed", seed=2),
+                  tiny_point(label="p2", seed=3)]
+        outcome = execute_sweep(points, plan=plan)
+        monkeypatch.delenv("REPRO_CHAOS")
+        assert not outcome.complete
+        assert outcome.results[0] == run_point(points[0])
+        assert outcome.results[1] is None
+        assert outcome.results[2] == run_point(points[2])
+        assert outcome.stats.failed == 1
+        [failure] = outcome.report.failures
+        assert failure.label == "doomed"
+        assert failure.attempts == 2
+        assert failure.causes == ("error", "error")
+        assert "MemoryError" in failure.error
+        assert "doomed" in outcome.report.summary()
+        # The journal agrees: siblings done, the doomed point failed.
+        from repro.experiments.journal import SweepJournal
+        with SweepJournal(tmp_path / "j.sqlite") as j:
+            assert j.counts() == {"done": 2, "failed": 1}
+
+    def test_hooks_see_the_whole_lifecycle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "error*1:flaky")
+        hooks = HookRegistry()
+        points_seen, retries_seen = [], []
+        hooks.add("exec_point",
+                  lambda label, key, status, attempt, elapsed:
+                  points_seen.append((label, status, attempt)))
+        hooks.add("exec_retry",
+                  lambda label, key, attempt, cause, delay:
+                  retries_seen.append((label, attempt, cause, delay)))
+        plan = ExecutionPlan(retries=1, backoff=0.125)
+        execute_sweep([tiny_point(label="flaky")], plan=plan, hooks=hooks,
+                      sleep=lambda s: None)
+        monkeypatch.delenv("REPRO_CHAOS")
+        assert retries_seen == [("flaky", 1, "error", 0.125)]
+        assert points_seen == [("flaky", "done", 2)]
+
+    def test_trace_path_writes_lifecycle_events(self, tmp_path):
+        trace = tmp_path / "exec.jsonl"
+        plan = ExecutionPlan(trace_path=str(trace))
+        execute_sweep([tiny_point(label="traced")], plan=plan)
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        assert [(r["kind"], r["label"], r["status"]) for r in records] == \
+            [("exec_point", "traced", "done")]
+
+
+class TestStrictMode:
+    def test_strict_reraises_the_injected_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "error*9:bad")
+        plan = ExecutionPlan(strict=True)
+        with pytest.raises(RuntimeError, match="chaos error injected"):
+            execute_sweep([tiny_point(label="bad")], plan=plan)
+        monkeypatch.delenv("REPRO_CHAOS")
+
+    def test_strict_config_error_names_the_point(self):
+        from dataclasses import replace
+        point = replace(tiny_point(label="built-wrong"),
+                        traffic_factory=MisconfiguredFactory())
+        with pytest.raises(ConfigError,
+                           match="sweep point 'built-wrong'.*rate table"):
+            run_sweep([point])  # legacy path defaults to strict
+
+    def test_run_sweep_degraded_returns_none_gaps(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "error*9:bad")
+        results = run_sweep(
+            [tiny_point(label="good"), tiny_point(label="bad", seed=2)],
+            execution=ExecutionPlan(retries=0))
+        monkeypatch.delenv("REPRO_CHAOS")
+        assert results[0] is not None
+        assert results[1] is None

@@ -50,6 +50,34 @@ class TestRunner:
         assert normalised.power_ratio == pytest.approx(aware.relative_power)
         assert baseline.relative_power == 1.0
 
+    def test_telemetry_sink_closed_when_run_raises(self, tmp_path,
+                                                   monkeypatch):
+        # Regression: a failing run used to leak the telemetry sink (open
+        # file handle, buffered events never flushed).
+        from repro.network.simulator import Simulator
+        from repro.telemetry.config import TelemetryConfig
+        from repro.telemetry.recorder import TraceRecorder
+
+        closed = []
+        original_close = TraceRecorder.close
+
+        def tracking_close(self):
+            closed.append(True)
+            original_close(self)
+
+        monkeypatch.setattr(TraceRecorder, "close", tracking_close)
+
+        def exploding_run(self, cycles):
+            raise RuntimeError("mid-run explosion")
+
+        monkeypatch.setattr(Simulator, "run", exploding_run)
+        scale = get_scale("smoke")
+        telemetry = TelemetryConfig(path=str(tmp_path / "t.jsonl"))
+        with pytest.raises(RuntimeError, match="mid-run explosion"):
+            run_simulation(scale, None, uniform_factory(0.1),
+                           label="boom", cycles=200, telemetry=telemetry)
+        assert closed == [True]
+
 
 class TestReportRendering:
     def test_markdown_table(self):

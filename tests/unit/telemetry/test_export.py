@@ -30,6 +30,13 @@ RECORDS = [
     {"kind": "fault", "cycle": 95, "link_id": 3, "packet_id": 4},
 ]
 
+EXEC_RECORDS = [
+    {"kind": "exec_retry", "seq": 1, "label": "p0", "key": "k0",
+     "attempt": 1, "cause": "timeout", "delay": 0.5},
+    {"kind": "exec_point", "seq": 2, "label": "p0", "key": "k0",
+     "status": "done", "attempt": 2, "elapsed": 3.25},
+]
+
 
 class TestSeriesAndSummary:
     def test_power_series_from_trace(self):
@@ -63,9 +70,10 @@ class TestChromeTrace:
         by_ph = {}
         for event in events:
             by_ph.setdefault(event["ph"], []).append(event)
-        # Metadata names the four synthetic processes.
+        # Metadata names the five synthetic processes.
         assert {e["args"]["name"] for e in by_ph["M"]} == {
-            "network power", "links", "packets", "reliability"}
+            "network power", "links", "packets", "reliability",
+            "sweep executor"}
         assert len(by_ph["C"]) == 3  # power counter samples
         # Packet slices span creation -> ejection.
         packet = next(e for e in by_ph["X"] if e["cat"] == "packet")
@@ -75,6 +83,15 @@ class TestChromeTrace:
         assert transition["tid"] == 2
         # Policy + fault become instants.
         assert {e["cat"] for e in by_ph["i"]} == {"policy", "reliability"}
+
+    def test_executor_events_sequence_ordered_instants(self):
+        trace = to_chrome_trace(EXEC_RECORDS)
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert [e["cat"] for e in instants] == ["executor", "executor"]
+        assert [e["ts"] for e in instants] == [1, 2]
+        assert instants[0]["name"] == "exec_retry"
+        assert instants[1]["name"] == "done:p0"
+        assert instants[1]["args"]["elapsed"] == 3.25
 
     def test_write_chrome_trace(self, tmp_path):
         path = tmp_path / "trace.json"

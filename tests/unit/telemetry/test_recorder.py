@@ -1,6 +1,10 @@
-"""Unit tests for the TraceRecorder: wiring, filters, event semantics."""
+"""Unit tests for the trace recorders: wiring, filters, event semantics."""
+
+import json
 
 import pytest
+
+from repro.engine.hooks import HookRegistry
 
 from repro.config import (
     NetworkConfig,
@@ -18,7 +22,7 @@ from repro.telemetry.config import (
     KIND_TRANSITION,
     TelemetryConfig,
 )
-from repro.telemetry.recorder import TraceRecorder
+from repro.telemetry.recorder import ExecutorRecorder, TraceRecorder
 from repro.telemetry.sinks import JsonlFileSink, RingBufferSink
 from repro.traffic.uniform import UniformRandomTraffic
 
@@ -159,3 +163,45 @@ class TestTransitionSemantics:
         assert counts[KIND_POWER] == len(sim.power.power_series)
         assert counts[KIND_POLICY] > 0
         assert sum(counts.values()) == sim.telemetry.sink.emitted
+
+
+class TestExecutorRecorder:
+    def fire_lifecycle(self, hooks: HookRegistry) -> None:
+        for callback in hooks.exec_retry:
+            callback("p0", "k0", 1, "timeout", 0.5)
+        for callback in hooks.exec_crash:
+            callback("p1", "k1", 2, "crash")
+        for callback in hooks.exec_point:
+            callback("p0", "k0", "done", 2, 1.25)
+
+    def test_records_sequenced_events(self):
+        hooks = HookRegistry()
+        recorder = ExecutorRecorder().attach(hooks)
+        self.fire_lifecycle(hooks)
+        events = recorder.sink.events()
+        assert [(e.kind, e.seq) for e in events] == \
+            [("exec_retry", 1), ("exec_crash", 2), ("exec_point", 3)]
+        assert events[0].cause == "timeout"
+        assert events[2].status == "done"
+        assert recorder.counts == {"exec_retry": 1, "exec_crash": 1,
+                                   "exec_point": 1}
+
+    def test_jsonl_path_round_trips(self, tmp_path):
+        path = tmp_path / "exec.jsonl"
+        hooks = HookRegistry()
+        recorder = ExecutorRecorder(path=str(path)).attach(hooks)
+        self.fire_lifecycle(hooks)
+        recorder.close()
+        kinds = [json.loads(line)["kind"]
+                 for line in path.read_text().splitlines()]
+        assert kinds == ["exec_retry", "exec_crash", "exec_point"]
+
+    def test_double_attach_rejected_and_close_detaches(self):
+        hooks = HookRegistry()
+        recorder = ExecutorRecorder().attach(hooks)
+        with pytest.raises(ConfigError):
+            recorder.attach(hooks)
+        recorder.close()
+        assert hooks.exec_point == []
+        assert hooks.exec_retry == []
+        assert hooks.exec_crash == []
