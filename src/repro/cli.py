@@ -61,6 +61,11 @@ def _add_run_parser(subparsers) -> None:
     parser.add_argument("--min-rate-gbps", type=float, default=5.0)
     parser.add_argument("--cycles", type=int, default=None)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--backend", default="python",
+                        choices=["python", "numpy"],
+                        help="route-phase stepping backend; 'numpy' uses "
+                             "the batched gate (bit-identical results; "
+                             "see docs/performance.md)")
     parser.add_argument("--baseline", action="store_true",
                         help="also run the non-power-aware network and "
                              "print normalised ratios")
@@ -194,6 +199,12 @@ def _add_bench_parser(subparsers) -> None:
     parser.add_argument("--topology", default="mesh", metavar="NAME",
                         help="base topology for the benchmark network "
                              "(default: mesh)")
+    parser.add_argument("--backend", default="python",
+                        choices=["python", "numpy"],
+                        help="route-phase backend for the benchmark runs "
+                             "(default: python; the python run also "
+                             "appends numpy rider points when numpy is "
+                             "importable)")
 
 
 def _add_check_parser(subparsers) -> None:
@@ -242,6 +253,11 @@ def _command_run(args) -> int:
     if args.trace is not None and args.baseline:
         print("error: --trace cannot be combined with --baseline "
               "(a single trace file cannot hold two runs)",
+              file=sys.stderr)
+        return 2
+    if args.backend != "python" and args.baseline:
+        print("error: --backend numpy cannot be combined with --baseline "
+              "(the paired-run harness always uses the python backend)",
               file=sys.stderr)
         return 2
     scale = scale_with_topology(get_scale(args.scale), args.topology)
@@ -312,6 +328,7 @@ def _command_run(args) -> int:
             warmup_cycles=scale.warmup_cycles,
             sample_interval=scale.sample_interval,
             faults=faults, validate=args.validate, telemetry=telemetry,
+            backend=args.backend,
         )
         profiler = PhaseProfiler().attach(sim.hooks)
         try:
@@ -329,7 +346,7 @@ def _command_run(args) -> int:
         result = run_simulation(scale, power, factory, label="cli",
                                 seed=args.seed, cycles=args.cycles,
                                 faults=faults, validate=args.validate,
-                                telemetry=telemetry)
+                                telemetry=telemetry, backend=args.backend)
         _print_result(result)
     if args.trace is not None:
         print(f"\ntrace written to {args.trace}")
@@ -526,7 +543,7 @@ def _command_bench(args) -> int:
 
     snapshot = perfbench.run_benchmarks(
         quick=args.quick, pr=args.pr, profile=not args.no_profile,
-        topology=args.topology)
+        topology=args.topology, backend=args.backend)
     print(perfbench.format_snapshot(snapshot))
     out = args.out
     if out is None and args.pr is not None:
@@ -536,6 +553,8 @@ def _command_bench(args) -> int:
         print(f"\nsnapshot written to {out}")
     if args.compare is not None:
         baseline = perfbench.load_snapshot(args.compare)
+        for warning in perfbench.calibration_warnings(snapshot, baseline):
+            print(f"warning: {warning}", file=sys.stderr)
         regressions = perfbench.compare(snapshot, baseline,
                                         tolerance=args.tolerance)
         if regressions:

@@ -44,7 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only import
 class DeliverySchedule:
     """A per-cycle calendar of wake-up buckets over in-flight links."""
 
-    __slots__ = ("_buckets", "_members", "_cursor")
+    __slots__ = ("_buckets", "_members", "_armed", "_cursor")
 
     def __init__(self) -> None:
         #: due_cycle -> [(link_id, link), ...] wake-ups, unsorted until
@@ -53,6 +53,14 @@ class DeliverySchedule:
         #: link_id -> link for every link with flits in flight (the drain
         #: check's membership view, mirroring the ActiveSet contract).
         self._members: dict[int, "Link"] = {}
+        #: link_id -> due cycle of the link's single *live* filed entry.
+        #: A bucket entry is authoritative only while this matches its
+        #: bucket's due cycle; anything else is a stale leftover (from a
+        #: drain-elsewhere + re-add, or a re-arm that moved the wake-up)
+        #: and is dropped unconsumed when its bucket pops.  Without this,
+        #: a ``discard`` + re-``add`` at the same due cycle leaves two
+        #: entries that *both* validate, delivering the link twice.
+        self._armed: dict[int, int] = {}
         #: Next cycle whose bucket has not been popped yet.  The engine
         #: loop advances one cycle at a time, so :meth:`pop_due` normally
         #: pops exactly one bucket; the cursor makes a hypothetical cycle
@@ -66,6 +74,12 @@ class DeliverySchedule:
         link_id = link.link_id
         self._members[link_id] = link
         due = ceil(link._in_flight[0][0])
+        if self._armed.get(link_id) == due:
+            # A live entry for exactly this cycle is already filed (the
+            # link drained through some other path and re-armed before
+            # its bucket popped); filing again would deliver it twice.
+            return
+        self._armed[link_id] = due
         bucket = self._buckets.get(due)
         if bucket is None:
             self._buckets[due] = [(link_id, link)]
@@ -73,7 +87,12 @@ class DeliverySchedule:
             bucket.append((link_id, link))
 
     def discard(self, link: "Link") -> None:
-        """Deregister a drained link (stale bucket entries prune lazily)."""
+        """Deregister a drained link (stale bucket entries prune lazily).
+
+        The armed due-cycle is deliberately *kept*: the physical bucket
+        entry is still filed, and forgetting it would let a re-``add``
+        at the same cycle file a duplicate that also validates.
+        """
         self._members.pop(link.link_id, None)
 
     def __contains__(self, link: "Link") -> bool:
@@ -104,20 +123,40 @@ class DeliverySchedule:
         buckets = self._buckets
         if not buckets:
             return _NO_LINKS
+        armed = self._armed
         if cycle == cursor:  # the common case: exactly one bucket to pop
-            bucket = buckets.pop(cycle, None)
+            raw = buckets.pop(cycle, None)
+            if raw is None:
+                return _NO_LINKS
+            bucket = []
+            for entry in raw:
+                if armed.get(entry[0]) == cycle:
+                    bucket.append(entry)
         else:
+            # Catch-up after a cycle skip: liveness is per-due, so filter
+            # each bucket against its own due cycle before merging.
             bucket = []
             for due in range(cursor, cycle + 1):
                 entries = buckets.pop(due, None)
-                if entries is not None:
-                    bucket.extend(entries)
+                if entries is None:
+                    continue
+                for entry in entries:
+                    if armed.get(entry[0]) == due:
+                        bucket.append(entry)
         if not bucket:
             return _NO_LINKS
         bucket.sort()
         due_links: list["Link"] = []
         members = self._members
+        prev_id = -1
         for link_id, link in bucket:
+            if link_id == prev_id:
+                # Duplicate live entries at one due can only be identical
+                # tuples (one armed cycle per link); consume just the
+                # first.
+                continue
+            prev_id = link_id
+            del armed[link_id]
             if link_id not in members:
                 continue
             in_flight = link._in_flight
@@ -132,12 +171,16 @@ class DeliverySchedule:
 
     def rearm(self, link: "Link") -> None:
         """Schedule a link's next wake-up after a partial drain."""
+        link_id = link.link_id
         due = ceil(link._in_flight[0][0])
+        if self._armed.get(link_id) == due:
+            return
+        self._armed[link_id] = due
         bucket = self._buckets.get(due)
         if bucket is None:
-            self._buckets[due] = [(link.link_id, link)]
+            self._buckets[due] = [(link_id, link)]
         else:
-            bucket.append((link.link_id, link))
+            bucket.append((link_id, link))
 
     def retire(self, link: "Link") -> None:
         """Deregister a link the deliver phase fully drained."""

@@ -1,0 +1,309 @@
+"""Batched numpy stepping backend for the route phase.
+
+The route phase dominates CPU at load (BENCH_7: ~46% moderate, ~52%
+heavy), and most of that time is spent *discovering that nothing can
+move*: a buffered VC whose head is not yet eligible, or whose claimed
+output link is still serving the previous flit, costs a full scan
+iteration in :meth:`~repro.network.router.Router.step` just to be
+skipped.  This backend filters those slots out for the whole fabric at
+once with numpy, then runs the authoritative scalar machinery only over
+the slots that might actually do something.
+
+Design: **authoritative Python state, mirrored gates.**  Routers, VCs,
+credits and links stay the single source of truth; the backend keeps
+struct-of-arrays *mirrors* of just the fields the blocked/unblocked
+decision needs, maintained by write-through at the points where the
+scalar code mutates them (``receive_flit``, route latch, VC grant,
+``_forward``).  Each route phase:
+
+1. gathers the occupied slots (``occ``) and computes a boolean *drop*
+   vector — slots that provably cannot change any simulation state this
+   cycle;
+2. bills link pressure for every routed occupied slot's output link
+   (exactly what the scalar scan's ``pressured`` mask does), deduped
+   per link;
+3. hands the surviving slots, per router in ascending router-id order,
+   to :meth:`~repro.network.router.Router.step_candidates` — the same
+   allocation/traversal body as ``step`` restricted to an explicit slot
+   list — which performs every side effect with the scalar code.
+
+**Droppability argument** (why bit-identity holds): a slot may be
+dropped only when skipping it is free of side effects and its blocking
+condition cannot clear mid-phase.
+
+* *Unrouted* slots always stay: the scan latches their route (RC stage
+  side effect).
+* Routed slots with ``eligible_at > now`` are droppable: the scalar
+  scan only bills pressure for them (done in step 2) and moves on;
+  ``eligible_at`` never changes mid-phase.
+* Routed, eligible slots *without* a downstream VC stay **unless** their
+  allocation band has zero free VCs at phase start (``vcfree`` mirror):
+  a failed allocation probe has no side effect, and a band cannot gain
+  a free VC before the owning router's scan — releases happen only in
+  that router's own forward stage, which runs *after* its entire scan,
+  and no other router touches its ``vc_owner``.  Bands with a free VC
+  stay candidates (the claim is a side effect).
+* Routed, eligible, VC-claimed slots blocked on their output link
+  (``free_at > now``) are droppable: the begin-of-phase ``linkfree``
+  mirror is exact for them because only the owning router's own
+  forwards move its outputs' ``free_at``, and each router's scan fully
+  precedes its forwards — while *intra*-router forward-then-check
+  interleavings are re-checked live inside ``step_candidates``.
+* Credit-blocked slots are **not** droppable: a lower-id router's
+  forward this same phase can refill the shared credit counter, so they
+  must reach the scalar re-check in router order.
+
+**Quiet-cycle skip:** when *every* occupied slot is dropped, nothing in
+the fabric can move until the earliest of their wake times (eligibility
+or link-free), and the phase reduces to replaying the same per-link
+pressure charge each cycle.  ``quiet_until`` caches that horizon and
+``_press_links`` the charge set; any :meth:`Router.receive_flit`
+(delivery or injection arrivals are the only ways new work appears)
+invalidates the skip.  Power-state changes cannot break it because
+``disabled_until`` and credits are never drop factors.
+
+Fault-injected runs never construct this backend (reroutes and
+retransmissions mutate latched state mid-phase); the simulator keeps
+the scalar path wholesale, which is also the fallback asserted by the
+equivalence suite.  At low occupancy the numpy dispatch overhead
+exceeds the scan it saves, so small cycles delegate to the unmodified
+scalar :meth:`Router.step` per active router — bit-identical by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.engine.active import ActiveSet
+    from repro.network.router import Router
+    from repro.network.topology import NetworkFabric
+
+#: Below this many buffered flits fabric-wide, the numpy gather/filter
+#: costs more than the scalar scan it replaces; delegate to
+#: :meth:`Router.step` per active router instead.
+SMALL_OCCUPANCY = 24
+
+
+class BatchRouteBackend:
+    """Vectorized route-phase gate over mirrored router/link state."""
+
+    __slots__ = (
+        "routers", "links", "registry", "num_vcs", "_pv",
+        "occ", "routed", "hasoutvc", "elig", "out_link", "linkfree",
+        "vcfree", "klass", "occupied", "quiet_until", "_press_links",
+        "_link_owner", "_link_out",
+    )
+
+    def __init__(self, fabric: "NetworkFabric",
+                 registry: "ActiveSet[Router]"):
+        if _np is None:
+            raise ConfigError(
+                "the numpy stepping backend requires numpy; install it or "
+                "run with backend='python'"
+            )
+        routers = fabric.routers
+        self.routers = routers
+        self.links = fabric.links
+        self.registry = registry
+        first = routers[0]
+        self.num_vcs = first.num_vcs
+        #: Slots per router: ``num_ports * num_vcs`` (uniform fabric).
+        self._pv = first.num_ports * first.num_vcs
+        num_slots = len(routers) * self._pv
+        num_links = len(fabric.links)
+        #: 1 where the slot's VC buffer holds at least one flit.
+        self.occ = _np.zeros(num_slots, dtype=_np.uint8)
+        #: 1 where the slot has a latched route (``route_out >= 0``).
+        self.routed = _np.zeros(num_slots, dtype=_np.uint8)
+        #: 1 where the slot holds a downstream-VC claim (``out_vc >= 0``).
+        self.hasoutvc = _np.zeros(num_slots, dtype=_np.uint8)
+        #: Head-flit eligibility time, valid while ``routed``.
+        self.elig = _np.zeros(num_slots, dtype=_np.float64)
+        #: link_id of the latched output link, valid while ``routed``.
+        self.out_link = _np.full(num_slots, -1, dtype=_np.int64)
+        #: Mirror of every link's ``free_at`` (router outputs only are
+        #: read; injection links are never a router's output).
+        self.linkfree = _np.zeros(num_links, dtype=_np.float64)
+        #: Free downstream VCs per (output link, allocation band) —
+        #: the exact count of ``None`` entries in the owning output
+        #: port's ``vc_owner`` band, maintained on claim and release.
+        num_classes = len(first._class_bounds)
+        self.vcfree = _np.zeros((num_links, num_classes), dtype=_np.int16)
+        #: Allocation band of the slot's latched head, valid while
+        #: ``routed`` (0 on single-class topologies).
+        self.klass = _np.zeros(num_slots, dtype=_np.uint8)
+        #: Total buffered flits fabric-wide (not occupied-slot count).
+        self.occupied = 0
+        #: First cycle the quiet-skip fast path must re-run the gate.
+        self.quiet_until = 0.0
+        #: Links whose pressure charge is replayed on skipped cycles.
+        self._press_links: list = []
+        #: link_id -> owning router id / local output-port index
+        #: (-1 for links that are not router outputs).
+        link_owner = [-1] * num_links
+        link_out = [-1] * num_links
+        pv = self._pv
+        for rid, router in enumerate(routers):
+            router.batch = self
+            router._slot_base = rid * pv
+            for out_idx, op in enumerate(router.outputs):
+                if op is not None:
+                    link_owner[op.link.link_id] = rid
+                    link_out[op.link.link_id] = out_idx
+        self._link_owner = link_owner
+        self._link_out = link_out
+        self.resync()
+
+    def resync(self) -> None:
+        """Rebuild every mirror from the authoritative router/link state.
+
+        The constructor calls this once; tests attaching the backend to
+        a warm fabric call it after out-of-band mutations.  Steady-state
+        operation never needs it — the scalar code writes through.
+        """
+        self.occ[:] = 0
+        self.routed[:] = 0
+        self.hasoutvc[:] = 0
+        self.elig[:] = 0.0
+        self.out_link[:] = -1
+        self.vcfree[:] = 0
+        self.klass[:] = 0
+        occupied = 0
+        num_vcs = self.num_vcs
+        for router in self.routers:
+            base = router._slot_base
+            multi_class = router._vc_classes is not None
+            for i, port in enumerate(router.inputs):
+                for v, vc in enumerate(port.vcs):
+                    slot = base + i * num_vcs + v
+                    buffered = len(vc.buffer._fifo)
+                    if buffered:
+                        self.occ[slot] = 1
+                        occupied += buffered
+                    if vc.route_out >= 0:
+                        self.routed[slot] = 1
+                        self.elig[slot] = vc.eligible_at
+                        self.out_link[slot] = \
+                            router.outputs[vc.route_out].link.link_id
+                        if multi_class:
+                            self.klass[slot] = vc.vc_class
+                        if vc.out_vc >= 0:
+                            self.hasoutvc[slot] = 1
+            for op in router.outputs:
+                if op is None:
+                    continue
+                lid = op.link.link_id
+                for cls, (lo, hi) in enumerate(router._class_bounds):
+                    free = 0
+                    for owner in op.vc_owner[lo:hi]:
+                        if owner is None:
+                            free += 1
+                    self.vcfree[lid, cls] = free
+        self.occupied = occupied
+        for link in self.links:
+            self.linkfree[link.link_id] = link.free_at
+        self.quiet_until = 0.0
+        self._press_links = []
+
+    def step(self, now: float) -> None:
+        """Route phase for the whole fabric (replaces the router loop)."""
+        registry = self.registry
+        if not registry:
+            return
+        if now < self.quiet_until:
+            for link in self._press_links:
+                link.pressure_accum += 1.0
+            return
+        if self.occupied <= SMALL_OCCUPANCY:
+            for router in registry.snapshot():
+                router.step(now)
+            return
+        self._step_vector(now)
+
+    def _step_vector(self, now: float) -> None:
+        """Vector gate + per-router scalar stepping of surviving slots."""
+        occ_slots = _np.nonzero(self.occ)[0]
+        is_routed = self.routed[occ_slots] != 0
+        elig = self.elig[occ_slots]
+        linked = self.out_link[occ_slots]
+        claimed = self.hasoutvc[occ_slots] != 0
+        # -1 entries (unrouted) would wrap as fancy indices; they are
+        # masked out of every decision below, so clamp them to 0.
+        safe_link = _np.where(is_routed, linked, 0)
+        lf = self.linkfree[safe_link]
+        late = elig > now
+        # Time-blocked: not yet eligible, or the claimed output link is
+        # still serving (deterministic wake times — see quiet skip).
+        drop_time = is_routed & (late | (claimed & (lf > now)))
+        # Allocation-blocked: eligible but unclaimed with zero free VCs
+        # in the latched band — cannot change before the owning router's
+        # scan (releases happen only in its own later forward stage).
+        # (2-D (link, band) lookup done on the flat view: one gather.)
+        bandfree = self.vcfree.ravel()[
+            safe_link * self.vcfree.shape[1] + self.klass[occ_slots]
+        ]
+        drop = drop_time | (is_routed & ~(late | claimed) & (bandfree == 0))
+        # Pressure: the scalar scan bills each routed slot's output port
+        # once per router per cycle; ports map 1:1 to links, so deduped
+        # link ids give the same charge.  Also build each router's
+        # already-billed port mask for step_candidates.
+        links = self.links
+        link_owner = self._link_owner
+        link_out = self._link_out
+        masks: dict[int, int] = {}
+        press_links = []
+        seen: set[int] = set()
+        for lid in linked[is_routed].tolist():
+            if lid in seen:
+                continue
+            seen.add(lid)
+            link = links[lid]
+            link.pressure_accum += 1.0
+            press_links.append(link)
+            rid = link_owner[lid]
+            prev = masks.get(rid)
+            if prev is None:
+                masks[rid] = 1 << link_out[lid]
+            else:
+                masks[rid] = prev | (1 << link_out[lid])
+        keep = occ_slots[~drop]
+        if keep.shape[0] == 0:
+            # Every occupied slot is routed and blocked: no forwards can
+            # happen anywhere, so allocation-blocked slots stay blocked
+            # (releases need forwards) and nothing moves before the
+            # earliest *time*-blocked wake.  Cache it and the pressure
+            # charge set; receive_flit invalidates on any new arrival.
+            # All-allocation-blocked (a true deadlock) yields no wake
+            # time and falls through to re-running the gate every cycle,
+            # keeping the stall watchdog's diagnosis timeline intact.
+            wakes = _np.where(elig > now, elig, lf)[drop_time]
+            if wakes.shape[0]:
+                self.quiet_until = float(wakes.min())
+            self._press_links = press_links
+            return
+        keep_list = keep.tolist()
+        routers = self.routers
+        pv = self._pv
+        num_vcs = self.num_vcs
+        idx = 0
+        total = len(keep_list)
+        while idx < total:
+            rid = keep_list[idx] // pv
+            base = rid * pv
+            limit = base + pv
+            pairs = []
+            while idx < total and keep_list[idx] < limit:
+                pairs.append(divmod(keep_list[idx] - base, num_vcs))
+                idx += 1
+            pre = masks.get(rid)
+            routers[rid].step_candidates(now, pairs,
+                                         0 if pre is None else pre)

@@ -168,7 +168,7 @@ class Router:
         "num_vcs", "inputs", "outputs", "head_delay", "topology",
         "_active_mask", "_requests", "_route_table",
         "_vc_classes", "_class_bounds", "_rc_class",
-        "registry", "fault_stats",
+        "registry", "fault_stats", "batch", "_slot_base",
     )
 
     def __init__(self, router_id: int, num_local: int, buffer_depth: int,
@@ -230,6 +230,16 @@ class Router:
         #: Optional shared reliability counter object (assigned by the
         #: reliability manager); ``None`` keeps routing on the fast path.
         self.fault_stats = None
+        #: Optional :class:`repro.network.batch.BatchRouteBackend` this
+        #: router mirrors its per-slot gating state into (``None`` keeps
+        #: every scalar path free of mirror writes).  While attached, the
+        #: route phase must enter through the backend — calling
+        #: :meth:`step` directly is still correct for the router itself
+        #: but would leave the backend's mirrors stale.
+        self.batch = None
+        #: First global slot index of this router's (port, VC) slots in
+        #: the batch backend's struct-of-arrays state.
+        self._slot_base = 0
 
     def attach_output(self, port: int, output: OutputPort) -> None:
         """Wire an output port (done once by the topology builder)."""
@@ -259,6 +269,11 @@ class Router:
         ip.nonempty |= 1 << flit.vc
         ip.occupancy += 1
         self._active_mask |= 1 << port
+        batch = self.batch
+        if batch is not None:
+            batch.occ[self._slot_base + port * self.num_vcs + flit.vc] = 1
+            batch.occupied += 1
+            batch.quiet_until = 0.0
 
     def build_route_table(self) -> None:
         """Resolve the topology's routing relation into lookup tables.
@@ -374,6 +389,13 @@ class Router:
         first attached, unfailed direction — the same deterministic order
         :func:`repro.network.routing.fault_aware_route` defines for the
         mesh, generalised per topology.
+
+        On multi-class topologies the deadlock-avoidance class latched by
+        :meth:`_route` described the *canonical* direction; a detour can
+        leave the fabric travelling a different way (e.g. a torus wrap
+        edge the minimal route never crossed), so the class is re-derived
+        from the direction actually chosen
+        (:meth:`~repro.network.topologies.base.Topology.detour_vc_class`).
         """
         outputs = self.outputs
         num_local = self.num_local
@@ -383,6 +405,9 @@ class Router:
             if op is not None and not op.link.failed:
                 if self.fault_stats is not None:
                     self.fault_stats.reroutes += 1
+                if self._vc_classes is not None:
+                    self._rc_class = self.topology.detour_vc_class(
+                        self.router_id, dst_router, direction)
                 return num_local + direction
         raise SimulationError(
             f"router {self.router_id} is disconnected: every direction "
@@ -439,6 +464,8 @@ class Router:
                     if vc_classes is not None:
                         vc.vc_class = self._rc_class
                     vc.eligible_at = now + self.head_delay
+                    if self.batch is not None:
+                        self._mirror_route(i, v, out_idx, vc.eligible_at)
                 pressured |= 1 << out_idx
                 if now < vc.eligible_at:
                     continue
@@ -456,6 +483,8 @@ class Router:
                         continue
                     op.vc_owner[grant] = (i, v)
                     vc.out_vc = grant
+                    if self.batch is not None:
+                        self._mirror_grant(i, v)
                 link = op.link
                 if now < link.disabled_until or now < link.free_at:
                     continue
@@ -484,51 +513,13 @@ class Router:
                 self.registry.discard(self)
             return _NO_FORWARDS
         if requests is None:
-            # Single granted request: switch traversal inlined (this is the
-            # common case, and it is also the body of _forward — keep the
-            # two in sync).  Buffer-pop and link-push mechanics are inlined
-            # as well; the can-never-happen blocked/empty paths delegate to
-            # the real methods so their diagnostics stay authoritative.
-            op = outputs[out0]
-            port = inputs[i0]
-            vc = port.vcs[v0]
-            buf = vc.buffer
-            fifo = buf._fifo
-            if not fifo:
-                buf.pop(now)  # raises with the canonical message
-            buf._occ_integral += len(fifo) * (now - buf._last_event)
-            buf._last_event = now
-            flit = fifo.popleft()
-            port.occupancy -= 1
-            flit.vc = vc.out_vc
-            if op.credits is not None:
-                op.credits[vc.out_vc].consume()
-            if port.upstream_credits is not None:
-                port.upstream_credits[v0].refill()
-            link = op.link
-            if now < link.disabled_until or now < link.free_at:
-                link.push(flit, now)  # unreachable (scan gate); raises
-            service_time = link.service_time
-            link.free_at = now + service_time
-            link.busy_accum += service_time
-            link.flits_carried += 1
-            in_flight = link._in_flight
-            was_empty = not in_flight
-            in_flight.append((link.free_at + link.propagation_cycles, flit))
-            if was_empty and link.registry is not None:
-                link.registry.add(link)
-            if flit.is_tail:
-                op.vc_owner[vc.out_vc] = None
-                vc.route_out = -1
-                vc.out_vc = -1
-            else:
-                vc.eligible_at = now + 1.0
-            if not buf._fifo:
-                port.nonempty &= ~(1 << v0)
-                if not port.nonempty:
-                    self._active_mask &= ~(1 << i0)
-                    if not self._active_mask and self.registry is not None:
-                        self.registry.discard(self)
+            # Single granted request: one shared switch-traversal body
+            # (:meth:`_forward`) serves this common case, the contested
+            # loop below and the batch backend — a divergence between an
+            # inlined copy and the method cannot happen by construction.
+            flit = self._forward(out0, i0, v0, now)
+            if not self._active_mask and self.registry is not None:
+                self.registry.discard(self)
             return [(out0, flit)]
         forwarded: list[tuple[int, Flit]] = []
         num_vcs = self.num_vcs
@@ -542,15 +533,38 @@ class Router:
                     [p * num_vcs + v for p, v in reqs]  # repro: noqa[HP004] cold branch, see above
                 )
                 winner_port, winner_vc = divmod(encoded, num_vcs)
-            self._forward(out_idx, winner_port, winner_vc, now, forwarded)
+            forwarded.append(
+                (out_idx, self._forward(out_idx, winner_port, winner_vc, now))
+            )
         requests.clear()
         if not self._active_mask and self.registry is not None:
             self.registry.discard(self)
         return forwarded
 
+    def _mirror_route(self, i: int, v: int, out_idx: int,
+                      eligible_at: float) -> None:
+        """Write a just-latched route into the batch backend's mirrors."""
+        batch = self.batch
+        slot = self._slot_base + i * self.num_vcs + v
+        batch.routed[slot] = 1
+        batch.elig[slot] = eligible_at
+        batch.out_link[slot] = self.outputs[out_idx].link.link_id
+        batch.klass[slot] = \
+            self._rc_class if self._vc_classes is not None else 0
+
+    def _mirror_grant(self, i: int, v: int) -> None:
+        """Mirror a downstream-VC claim: mark the slot, debit the band."""
+        batch = self.batch
+        slot = self._slot_base + i * self.num_vcs + v
+        batch.hasoutvc[slot] = 1
+        batch.vcfree[batch.out_link[slot], batch.klass[slot]] -= 1
+
     def _forward(self, out_idx: int, winner_port: int, winner_vc: int,
-                 now: float, forwarded: list[tuple[int, Flit]]) -> None:
-        """Switch traversal for one granted (input port, VC) -> output."""
+                 now: float) -> Flit:
+        """Switch traversal for one granted (input port, VC) -> output.
+
+        Returns the forwarded flit (already pushed onto the output link).
+        """
         op = self.outputs[out_idx]
         port = self.inputs[winner_port]
         vc = port.vcs[winner_vc]
@@ -579,7 +593,6 @@ class Router:
         in_flight.append((link.free_at + link.propagation_cycles, flit))
         if was_empty and link.registry is not None:
             link.registry.add(link)
-        forwarded.append((out_idx, flit))
         if flit.is_tail:
             op.vc_owner[vc.out_vc] = None
             vc.route_out = -1
@@ -590,3 +603,130 @@ class Router:
             port.nonempty &= ~(1 << winner_vc)
             if not port.nonempty:
                 self._active_mask &= ~(1 << winner_port)
+        batch = self.batch
+        if batch is not None:
+            slot = self._slot_base + winner_port * self.num_vcs + winner_vc
+            batch.occupied -= 1
+            batch.linkfree[link.link_id] = link.free_at
+            if vc.route_out < 0:
+                # Tail forwarded: the route latch cleared and the claimed
+                # downstream VC was released back to its band just above.
+                batch.routed[slot] = 0
+                batch.hasoutvc[slot] = 0
+                batch.vcfree[link.link_id, batch.klass[slot]] += 1
+            else:
+                batch.elig[slot] = vc.eligible_at
+            if not buf._fifo:
+                batch.occ[slot] = 0
+        return flit
+
+    def step_candidates(self, now: float, pairs: list[tuple[int, int]],
+                        pre_pressured: int) -> list[tuple[int, Flit]]:
+        """One allocation + traversal cycle over an explicit slot list.
+
+        The batch backend's per-router entry point: behaviourally
+        identical to :meth:`step` restricted to ``pairs``, an ascending
+        (input port, VC) list that must contain every slot holding flits
+        except those the backend proved side-effect-free and blocked this
+        cycle (see :mod:`repro.network.batch` for the droppability
+        argument; equivalence against :meth:`step` is property-tested).
+        ``pre_pressured`` is the bitmask of output ports whose
+        per-cycle pressure the backend already billed from its mirrors;
+        only ports outside it are billed here.
+        """
+        inputs = self.inputs
+        outputs = self.outputs
+        nreq = 0
+        out0 = i0 = v0 = -1
+        requests = None
+        pressured = 0
+        bits = _BITS
+        vc_classes = self._vc_classes
+        for i, v in pairs:
+            vc = inputs[i].vcs[v]
+            out_idx = vc.route_out
+            if out_idx < 0:
+                head = vc.buffer.head()
+                if not head.is_head:
+                    raise SimulationError(
+                        "wormhole invariant broken: body flit at VC head "
+                        "with no latched route"
+                    )
+                out_idx = vc.route_out = self._route(head)
+                if outputs[out_idx] is None:
+                    raise SimulationError(
+                        f"routing chose unattached output {out_idx} "
+                        f"at router {self.router_id}"
+                    )
+                if vc_classes is not None:
+                    vc.vc_class = self._rc_class
+                vc.eligible_at = now + self.head_delay
+                if self.batch is not None:
+                    self._mirror_route(i, v, out_idx, vc.eligible_at)
+            pressured |= 1 << out_idx
+            if now < vc.eligible_at:
+                continue
+            op = outputs[out_idx]
+            if vc.out_vc < 0:
+                if vc_classes is None:
+                    grant = op.free_vc()
+                else:
+                    lo, hi = self._class_bounds[vc.vc_class]
+                    grant = op.free_vc_in(lo, hi)
+                if grant < 0:
+                    continue
+                op.vc_owner[grant] = (i, v)
+                vc.out_vc = grant
+                if self.batch is not None:
+                    self._mirror_grant(i, v)
+            link = op.link
+            if now < link.disabled_until or now < link.free_at:
+                continue
+            credits = op.credits
+            if credits is not None and credits[vc.out_vc].available <= 0:
+                continue
+            if nreq == 0:
+                out0, i0, v0 = out_idx, i, v
+                nreq = 1
+                continue
+            if requests is None:
+                requests = self._requests
+                requests.clear()
+                requests[out0] = [(i0, v0)]
+            reqs = requests.get(out_idx)
+            if reqs is None:
+                requests[out_idx] = [(i, v)]
+            else:
+                reqs.append((i, v))
+        fresh = pressured & ~pre_pressured
+        for out_idx in (bits[fresh] if fresh < _BITS_LIMIT
+                        else _wide_bits(fresh)):
+            outputs[out_idx].link.pressure_accum += 1.0
+
+        if nreq == 0:
+            if not self._active_mask and self.registry is not None:
+                self.registry.discard(self)
+            return _NO_FORWARDS
+        if requests is None:
+            flit = self._forward(out0, i0, v0, now)
+            if not self._active_mask and self.registry is not None:
+                self.registry.discard(self)
+            return [(out0, flit)]
+        forwarded: list[tuple[int, Flit]] = []
+        num_vcs = self.num_vcs
+        for out_idx, reqs in requests.items():
+            if len(reqs) == 1:
+                winner_port, winner_vc = reqs[0]
+            else:
+                encoded = outputs[out_idx].arbiter.grant(
+                    # Contested arbitration, same cold branch as in step.
+                    [p * num_vcs + v for p, v in reqs]  # repro: noqa[HP004] cold branch, see above
+                )
+                winner_port, winner_vc = divmod(encoded, num_vcs)
+            forwarded.append(
+                (out_idx, self._forward(out_idx, winner_port, winner_vc, now))
+            )
+        requests.clear()
+        if not self._active_mask and self.registry is not None:
+            self.registry.discard(self)
+        return forwarded

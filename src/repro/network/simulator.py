@@ -204,6 +204,7 @@ class Simulator:
                 None
             self._active_routers: ActiveSet["Router"] | None = None
             self._active_nodes: ActiveSet[Node] | None = None
+            self.batch = None
             return
         self.wheel = EventWheel()
         if config.faults is None:
@@ -221,6 +222,15 @@ class Simulator:
             router.registry = self._active_routers
         for node in self.network.nodes:
             node.registry = self._active_nodes
+        self.batch = None
+        if config.backend == "numpy" and config.faults is None:
+            # Fault runs keep the scalar route phase wholesale: reroutes
+            # and retransmissions mutate latched state mid-phase in ways
+            # the vector gate's begin-of-phase snapshot cannot see.
+            from repro.network.batch import BatchRouteBackend
+
+            self.batch = BatchRouteBackend(self.network,
+                                           self._active_routers)
         if self.power is not None:
             self.power.schedule_events(
                 self.wheel, sample_interval=config.sample_interval
@@ -279,6 +289,7 @@ class Simulator:
                 # arrival made the method calls a measurable share).
                 buckets = active._buckets
                 members = active._members
+                armed = active._armed
                 for link in due:
                     in_flight = link._in_flight
                     deliver = link.deliver
@@ -286,6 +297,9 @@ class Simulator:
                         deliver(in_flight.popleft()[1], now)
                     if in_flight:
                         due_cycle = ceil(in_flight[0][0])
+                        if armed.get(link.link_id) == due_cycle:
+                            continue
+                        armed[link.link_id] = due_cycle
                         bucket = buckets.get(due_cycle)
                         if bucket is None:
                             buckets[due_cycle] = [(link.link_id, link)]
@@ -362,6 +376,10 @@ class Simulator:
 
     def _phase_route(self, now: int) -> None:
         """Switch allocation + traversal for every router with work."""
+        batch = self.batch
+        if batch is not None:
+            batch.step(now)
+            return
         active = self._active_routers
         if active is not None:
             if active:
@@ -450,6 +468,7 @@ class Simulator:
         deliver = self._phase_deliver
         active_routers = self._active_routers
         active_nodes = self._active_nodes
+        batch = self.batch
         wheel = self.wheel
         routers = self.network.routers
         nodes = self.network.nodes
@@ -458,7 +477,9 @@ class Simulator:
         for _ in range(cycles):
             now = self.cycle
             deliver(now)
-            if active_routers is not None:
+            if batch is not None:
+                batch.step(now)
+            elif active_routers is not None:
                 if active_routers:
                     for router in active_routers.snapshot():
                         router.step(now)

@@ -129,6 +129,19 @@ class Topology:
         """VC class a head flit for ``dst_router`` allocates from here."""
         return 0
 
+    def detour_vc_class(self, router_id: int, dst_router: int,
+                        direction: int) -> int:
+        """VC class when a fault detour takes ``direction`` instead.
+
+        :meth:`vc_class` assumes the flit follows :meth:`route_direction`;
+        when fault-aware routing picks a *different* output the class must
+        be re-derived for the direction actually taken, or a torus detour
+        can cross a dateline in the wrong band and close a credit cycle.
+        Single-class topologies are direction-independent, so the default
+        just delegates.
+        """
+        return self.vc_class(router_id, dst_router)
+
     def _productive_directions(self, router_id: int,
                                dst_router: int) -> list[int]:
         """Directions that reduce the remaining distance (X before Y)."""

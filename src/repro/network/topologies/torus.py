@@ -100,6 +100,25 @@ class TorusTopology(Topology):
             return _ring_class(src_y, dst_y, self.grid_height)
         return _ring_class(src_x, dst_x, self.grid_width)
 
+    def detour_vc_class(self, router_id: int, dst_router: int,
+                        direction: int) -> int:
+        # A detour hop crosses its ring's dateline iff continuing in the
+        # *chosen* direction toward the destination passes the wrap edge,
+        # or the hop itself is the wrap link (the coordinate is already
+        # correct and the detour steps off the ring's far edge).  This
+        # generalises :func:`_ring_class`, which only covers the minimal
+        # direction, and agrees with it whenever the chosen direction is
+        # the minimal one.
+        src_x, src_y = self._coords[router_id]
+        dst_x, dst_y = self._coords[dst_router]
+        if direction == EAST:
+            return 1 if (dst_x < src_x or src_x == self.grid_width - 1) else 0
+        if direction == WEST:
+            return 1 if (dst_x > src_x or src_x == 0) else 0
+        if direction == SOUTH:
+            return 1 if (dst_y < src_y or src_y == self.grid_height - 1) else 0
+        return 1 if (dst_y > src_y or src_y == 0) else 0
+
     def _productive_directions(self, router_id: int,
                                dst_router: int) -> list[int]:
         src_x, src_y = self._coords[router_id]

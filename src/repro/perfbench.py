@@ -47,48 +47,65 @@ BENCH_SEED = 3
 SCHEMA_VERSION = 1
 
 
-def bench_config(topology: str = "mesh") -> SimulationConfig:
+def bench_config(topology: str = "mesh",
+                 backend: str = "python") -> SimulationConfig:
     """The benchmark network: 4x4 grid, 4 nodes/cluster, power-aware."""
     network = NetworkConfig(mesh_width=4, mesh_height=4, nodes_per_cluster=4,
                             topology=topology)
     return SimulationConfig(network=network, power=PowerAwareConfig(),
-                            sample_interval=1000)
+                            sample_interval=1000, backend=backend)
 
 
-def make_bench_sim(rate: float, topology: str = "mesh"):
+def make_bench_sim(rate: float, topology: str = "mesh",
+                   backend: str = "python"):
     """Build one benchmark simulator at ``rate`` (fresh every call)."""
     from repro.network.simulator import Simulator
     from repro.traffic.uniform import UniformRandomTraffic
 
-    config = bench_config(topology)
+    config = bench_config(topology, backend)
     traffic = UniformRandomTraffic(config.network.num_nodes, rate,
                                    seed=BENCH_SEED)
     return Simulator(config, traffic)
 
 
-def calibrate(rounds: int = 3) -> float:
+def _calibration_round() -> float:
+    """One timed pass of the fixed arithmetic loop (CPU seconds)."""
+    t0 = time.process_time()
+    acc = 0.0
+    n = 1
+    for i in range(200_000):
+        n = (n * 29 + i) & 0xFFFF
+        acc += n * 0.5
+        if acc > 1e9:
+            acc *= 0.5
+    return time.process_time() - t0
+
+
+def calibrate(rounds: int = 5) -> float:
     """Score this machine/interpreter with a fixed arithmetic loop.
 
-    Returns loop iterations per CPU-second (best of ``rounds``).  The loop
-    mixes integer and float work roughly like the simulator hot path does;
-    the absolute number is meaningless, only ratios between machines are.
+    Returns loop iterations per CPU-second, as the *median* of ``rounds``
+    timed passes after one discarded warm-up pass.  Best-of was used
+    through PR 7 but proved unstable across sessions (PR 6 had to
+    re-baseline after a ~0.85x drift); the warm-up absorbs cold-start
+    effects (allocator, frequency scaling kicking in) and the median is
+    robust to a single descheduled round in either direction.  The loop
+    mixes integer and float work roughly like the simulator hot path
+    does; the absolute number is meaningless, only ratios between
+    machines are.
     """
-    best = None
-    for _ in range(rounds):
-        t0 = time.process_time()
-        acc = 0.0
-        n = 1
-        for i in range(200_000):
-            n = (n * 29 + i) & 0xFFFF
-            acc += n * 0.5
-            if acc > 1e9:
-                acc *= 0.5
-        elapsed = time.process_time() - t0
-        if elapsed > 0 and (best is None or elapsed < best):
-            best = elapsed
-    if best is None:  # pragma: no cover - degenerate clock resolution
+    if rounds < 1:
+        raise ConfigError(f"rounds must be >= 1, got {rounds!r}")
+    _calibration_round()  # warm-up, discarded
+    timings = sorted(_calibration_round() for _ in range(rounds))
+    mid = len(timings) // 2
+    if len(timings) % 2:
+        median = timings[mid]
+    else:
+        median = (timings[mid - 1] + timings[mid]) / 2.0
+    if median <= 0:  # pragma: no cover - degenerate clock resolution
         raise ConfigError("calibration loop measured zero CPU time")
-    return 200_000 / best
+    return 200_000 / median
 
 
 def _peak_rss_kb() -> int | None:
@@ -105,7 +122,8 @@ def _peak_rss_kb() -> int | None:
 
 
 def _phase_profile(rate: float, cycles: int,
-                   topology: str = "mesh") -> dict[str, float]:
+                   topology: str = "mesh",
+                   backend: str = "python") -> dict[str, float]:
     """Fraction of simulated CPU time per phase (instrumented run).
 
     Uses a separate, shorter run: attaching the profiler switches the step
@@ -114,7 +132,7 @@ def _phase_profile(rate: float, cycles: int,
     """
     from repro.engine import PhaseProfiler
 
-    sim = make_bench_sim(rate, topology)
+    sim = make_bench_sim(rate, topology, backend)
     profiler = PhaseProfiler(clock=time.process_time).attach(sim.hooks)
     sim.run(cycles)
     grand = profiler.total_seconds
@@ -135,6 +153,11 @@ class Datapoint:
     cycles_per_sec_cpu: float
     summary: dict[str, Any]
     phase_profile: dict[str, float] = field(default_factory=dict)
+    backend: str = "python"
+    #: Calibration probe taken right beside this datapoint's timed runs,
+    #: so :func:`compare` can normalise per point and
+    #: :func:`calibration_warnings` can detect intra-session drift.
+    calibration_ops_per_sec: float | None = None
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -145,22 +168,31 @@ class Datapoint:
             "cycles_per_sec_cpu": round(self.cycles_per_sec_cpu, 1),
             "summary": self.summary,
             "phase_profile": self.phase_profile,
+            "backend": self.backend,
+            "calibration_ops_per_sec": (
+                round(self.calibration_ops_per_sec, 1)
+                if self.calibration_ops_per_sec else None
+            ),
         }
 
 
 def measure_rate(label: str, rate: float, cycles: int,
                  repeats: int = 3, profile: bool = True,
-                 topology: str = "mesh") -> Datapoint:
+                 topology: str = "mesh",
+                 backend: str = "python") -> Datapoint:
     """Benchmark one injection load: best-of CPU time + determinism check.
 
     Raises :class:`~repro.errors.ConfigError` if the repeated runs are not
     bit-identical — a nondeterministic simulator makes every performance
-    number meaningless, so the benchmark refuses to report one.
+    number meaningless, so the benchmark refuses to report one.  A
+    non-default ``backend`` additionally runs one reference simulation on
+    the python backend and requires a bit-identical summary — the in-suite
+    cross-backend identity gate.
     """
     best: float | None = None
     reference: dict[str, Any] | None = None
     for _ in range(repeats):
-        sim = make_bench_sim(rate, topology)
+        sim = make_bench_sim(rate, topology, backend)
         t0 = time.process_time()
         sim.run(cycles)
         elapsed = time.process_time() - t0
@@ -177,6 +209,15 @@ def measure_rate(label: str, rate: float, cycles: int,
     if best is None:  # pragma: no cover - degenerate clock resolution
         raise ConfigError("benchmark run measured zero CPU time")
     assert reference is not None
+    if backend != "python":
+        ref_sim = make_bench_sim(rate, topology, "python")
+        ref_sim.run(cycles)
+        if ref_sim.summary() != reference:
+            raise ConfigError(
+                f"{backend} backend diverged from the python backend at "
+                f"rate {rate} on {topology}: {reference!r} != "
+                f"{ref_sim.summary()!r}"
+            )
     return Datapoint(
         label=label,
         injection_rate=rate,
@@ -184,14 +225,26 @@ def measure_rate(label: str, rate: float, cycles: int,
         repeats=repeats,
         cycles_per_sec_cpu=cycles / best,
         summary=reference,
-        phase_profile=_phase_profile(rate, max(cycles // 4, 500), topology)
+        phase_profile=_phase_profile(rate, max(cycles // 4, 500), topology,
+                                     backend)
         if profile else {},
+        backend=backend,
+        calibration_ops_per_sec=calibrate(rounds=3),
     )
+
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - numpy present in CI
+        return False
+    return True
 
 
 def run_benchmarks(quick: bool = False, pr: int | None = None,
                    profile: bool = True,
-                   topology: str = "mesh") -> dict[str, Any]:
+                   topology: str = "mesh",
+                   backend: str = "python") -> dict[str, Any]:
     """Run the full trajectory and return the snapshot document.
 
     ``topology`` selects the base substrate.  Non-mesh base runs prefix
@@ -200,25 +253,46 @@ def run_benchmarks(quick: bool = False, pr: int | None = None,
     substrates.  A ``torus_moderate`` datapoint always rides along (unless
     the base already is torus), recording the table-driven torus hot path
     on the same trajectory as the mesh.
+
+    ``backend`` selects the stepping backend for the canonical points;
+    non-python backends prefix every label with the backend name so they
+    never compare against python-backend baselines.  A python-backend run
+    additionally rides ``numpy_moderate``/``numpy_heavy`` points along
+    (when numpy is importable), putting the cross-backend speedup — and,
+    via :func:`measure_rate`'s reference run, the bit-identity gate — on
+    the recorded trajectory.
     """
     cycles = 1500 if quick else 4000
     repeats = 2 if quick else 3
     prefix = "" if topology == "mesh" else f"{topology}_"
+    if backend != "python":
+        prefix = f"{backend}_{prefix}"
     points = [
         measure_rate(f"{prefix}{label}", rate, cycles, repeats,
-                     profile=profile, topology=topology)
+                     profile=profile, topology=topology, backend=backend)
         for label, rate in RATES.items()
     ]
     if topology != "torus":
         points.append(
-            measure_rate("torus_moderate", RATES["moderate"], cycles,
-                         repeats, profile=False, topology="torus")
+            measure_rate(f"{prefix}torus_moderate" if backend != "python"
+                         else "torus_moderate",
+                         RATES["moderate"], cycles,
+                         repeats, profile=False, topology="torus",
+                         backend=backend)
         )
+    if backend == "python" and _numpy_available():
+        for label in ("moderate", "heavy"):
+            points.append(
+                measure_rate(f"numpy_{label}", RATES[label], cycles,
+                             repeats, profile=False, topology=topology,
+                             backend="numpy")
+            )
     return {
         "schema_version": SCHEMA_VERSION,
         "pr": pr,
         "quick": quick,
         "topology": topology,
+        "backend": backend,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "machine": platform.machine(),
@@ -261,6 +335,12 @@ def compare(current: dict[str, Any], baseline: dict[str, Any],
     shared load point).  Throughputs are divided by each snapshot's
     calibration score first, so a slower CI machine does not read as a
     code regression.
+
+    Each side normalises by its *per-point* calibration probe when both
+    snapshots recorded one for the label (probes taken beside the timed
+    runs track intra-session machine drift); snapshots from before the
+    probes (schema with point-level probes absent) fall back to the
+    snapshot-level score.
     """
     if not 0.0 < tolerance < 1.0:
         raise ConfigError(f"tolerance must be in (0, 1), got {tolerance!r}")
@@ -277,8 +357,14 @@ def compare(current: dict[str, Any], baseline: dict[str, Any],
         base = baseline_points.get(label)
         if base is None:
             continue
-        cur_norm = point["cycles_per_sec_cpu"] / cur_cal
-        base_norm = base["cycles_per_sec_cpu"] / base_cal
+        cur_point_cal = point.get("calibration_ops_per_sec")
+        base_point_cal = base.get("calibration_ops_per_sec")
+        if cur_point_cal and base_point_cal:
+            cur_norm = point["cycles_per_sec_cpu"] / cur_point_cal
+            base_norm = base["cycles_per_sec_cpu"] / base_point_cal
+        else:
+            cur_norm = point["cycles_per_sec_cpu"] / cur_cal
+            base_norm = base["cycles_per_sec_cpu"] / base_cal
         ratio = cur_norm / base_norm
         if ratio < 1.0 - tolerance:
             regressions.append(
@@ -288,6 +374,63 @@ def compare(current: dict[str, Any], baseline: dict[str, Any],
                 f"{cur_cal:,.0f} vs {base_cal:,.0f})"
             )
     return regressions
+
+
+#: Per-point probes deviating more than this from their snapshot's score
+#: mean the machine's speed moved *during* the benchmark session.
+_DRIFT_TOLERANCE = 0.20
+
+
+def calibration_warnings(current: dict[str, Any],
+                         baseline: dict[str, Any]) -> list[str]:
+    """Explicit drift diagnostics for a snapshot comparison.
+
+    PR 6 had to re-baseline because the calibration score silently
+    drifted ~0.85x between sessions on the same machine, turning the
+    normalised compare into noise.  This surfaces that state instead:
+
+    * a per-point probe far from its own snapshot's score means the
+      machine's speed moved *during* a session (thermal throttling, a
+      noisy neighbour) — every ratio involving that point is suspect;
+    * two snapshots from an identical machine/interpreter whose scores
+      still disagree materially mean the probe itself was unstable.
+
+    Returns human-readable warnings (empty when calibration is clean);
+    callers print them alongside :func:`compare` results — they flag the
+    comparison as unreliable but are not regressions themselves.
+    """
+    warnings: list[str] = []
+    for name, snapshot in (("current", current), ("baseline", baseline)):
+        cal = snapshot.get("calibration_ops_per_sec")
+        if not cal:
+            continue
+        for point in snapshot.get("datapoints", []):
+            probe = point.get("calibration_ops_per_sec")
+            if not probe:
+                continue
+            deviation = probe / cal
+            if abs(deviation - 1.0) > _DRIFT_TOLERANCE:
+                warnings.append(
+                    f"calibration drifted during the {name} snapshot run: "
+                    f"probe beside {point['label']!r} scored "
+                    f"{probe:,.0f} ops/s vs the snapshot's {cal:,.0f} "
+                    f"({deviation:.2f}x) — comparison unreliable"
+                )
+    cur_cal = current.get("calibration_ops_per_sec")
+    base_cal = baseline.get("calibration_ops_per_sec")
+    same_machine = all(
+        current.get(key) == baseline.get(key)
+        for key in ("machine", "implementation", "python")
+    )
+    if cur_cal and base_cal and same_machine:
+        shift = cur_cal / base_cal
+        if abs(shift - 1.0) > _DRIFT_TOLERANCE:
+            warnings.append(
+                f"calibration drifted between snapshots on an identical "
+                f"machine/interpreter: {cur_cal:,.0f} vs {base_cal:,.0f} "
+                f"ops/s ({shift:.2f}x) — comparison unreliable"
+            )
+    return warnings
 
 
 def format_snapshot(snapshot: dict[str, Any]) -> str:

@@ -123,3 +123,56 @@ class TestCursor:
         assert schedule.pop_due(2) == [link]
         assert schedule.pop_due(1) == []  # behind the cursor: a no-op
         assert schedule.pop_due(2) == []
+
+
+class TestDuplicateEntries:
+    """The armed-due-cycle protocol: one live entry per link, ever.
+
+    A ``discard`` + re-``add`` at the same due cycle used to file a
+    second bucket entry; both validated at pop time and the link was
+    delivered twice in one cycle (double-draining its arrivals).
+    """
+
+    def test_discard_then_readd_same_cycle_delivers_once(self):
+        schedule = DeliverySchedule()
+        link = make_link(0, 2.0)
+        schedule.add(link)
+        schedule.discard(link)  # drained through some other path ...
+        schedule.add(link)      # ... then went nonempty again, same due
+        popped = schedule.pop_due(2)
+        assert popped == [link]
+        assert popped.count(link) == 1
+
+    def test_repeated_readds_file_one_entry(self):
+        schedule = DeliverySchedule()
+        link = make_link(3, 5.0)
+        for _ in range(10):
+            schedule.add(link)
+            schedule.discard(link)
+        schedule.add(link)
+        assert len(schedule._buckets[5]) == 1
+        assert schedule.pop_due(5) == [link]
+
+    def test_rearm_after_stale_add_is_single_delivery(self):
+        # Arm for cycle 2, then the arrival moves later and a rearm files
+        # for cycle 4: only the cycle-4 entry is live.
+        schedule = DeliverySchedule()
+        link = make_link(1, 2.0)
+        schedule.add(link)
+        link._in_flight[0] = (4.0, link._in_flight[0][1])
+        schedule.rearm(link)
+        assert schedule.pop_due(2) == []
+        assert link in schedule  # stale entry dropped, membership intact
+        assert schedule.pop_due(3) == []
+        assert schedule.pop_due(4) == [link]
+
+    def test_catchup_pop_never_duplicates_across_buckets(self):
+        # Entries for the same link at two different dues (one stale, one
+        # live) merged by a cycle-skip catch-up must deliver once.
+        schedule = DeliverySchedule()
+        link = make_link(2, 1.0)
+        schedule.add(link)
+        link._in_flight[0] = (3.0, link._in_flight[0][1])
+        schedule.rearm(link)  # live entry moves to due 3; due 1 is stale
+        popped = schedule.pop_due(4)  # skip straight past both buckets
+        assert popped == [link]

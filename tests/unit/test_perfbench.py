@@ -146,7 +146,8 @@ class TestCli:
 
         snapshot = fake_snapshot({"light": 100_000.0})
 
-        def fast_run(quick=False, pr=None, profile=True, topology="mesh"):
+        def fast_run(quick=False, pr=None, profile=True, topology="mesh",
+                     backend="python"):
             return dict(snapshot, pr=pr, quick=quick)
 
         monkeypatch.setattr(perfbench, "run_benchmarks", fast_run)
@@ -170,9 +171,74 @@ class TestCli:
 
         monkeypatch.setattr(
             perfbench, "run_benchmarks",
-            lambda quick=False, pr=None, profile=True, topology="mesh":
+            lambda quick=False, pr=None, profile=True, topology="mesh",
+            backend="python":
             dict(fake_snapshot({"light": 1.0}), pr=pr))
         monkeypatch.chdir(tmp_path)
         assert cli.main(["bench", "--quick", "--pr", "9"]) == 0
         assert perfbench.load_snapshot(str(tmp_path / "BENCH_9.json"))[
             "pr"] == 9
+
+
+class TestCalibrationDrift:
+    def with_probes(self, throughputs, calibration=1_000_000.0,
+                    probe=None):
+        snapshot = fake_snapshot(throughputs, calibration=calibration)
+        for point in snapshot["datapoints"]:
+            point["calibration_ops_per_sec"] = (
+                probe if probe is not None else calibration)
+        return snapshot
+
+    def test_clean_snapshots_produce_no_warnings(self):
+        snapshot = self.with_probes({"light": 1.0})
+        assert perfbench.calibration_warnings(snapshot, snapshot) == []
+
+    def test_intra_snapshot_probe_drift_is_flagged(self):
+        # A probe 30% off its own snapshot's score: the machine moved
+        # mid-session, so every ratio involving that point is suspect.
+        drifted = self.with_probes({"light": 1.0}, calibration=1_000_000.0,
+                                   probe=700_000.0)
+        clean = self.with_probes({"light": 1.0})
+        warnings = perfbench.calibration_warnings(drifted, clean)
+        assert len(warnings) == 1
+        assert "comparison unreliable" in warnings[0]
+        assert "current" in warnings[0]
+
+    def test_same_machine_cross_snapshot_shift_is_flagged(self):
+        current = self.with_probes({"light": 1.0}, calibration=700_000.0,
+                                   probe=700_000.0)
+        baseline = self.with_probes({"light": 1.0},
+                                    calibration=1_000_000.0)
+        warnings = perfbench.calibration_warnings(current, baseline)
+        assert len(warnings) == 1
+
+    def test_different_machine_shift_is_not_flagged(self):
+        # The snapshot-level normalisation exists exactly for honest
+        # machine differences; only an identical machine drifting warns.
+        current = self.with_probes({"light": 1.0}, calibration=700_000.0,
+                                   probe=700_000.0)
+        baseline = self.with_probes({"light": 1.0},
+                                    calibration=1_000_000.0)
+        baseline["machine"] = "aarch64"
+        assert perfbench.calibration_warnings(current, baseline) == []
+
+    def test_compare_prefers_per_point_probes(self):
+        # Same raw throughput; the snapshot-level scores diverge but the
+        # per-point probes agree — per-point normalisation must win and
+        # report no regression.
+        current = self.with_probes({"moderate": 20_000.0},
+                                   calibration=2_000_000.0,
+                                   probe=1_000_000.0)
+        baseline = self.with_probes({"moderate": 20_000.0},
+                                    calibration=1_000_000.0,
+                                    probe=1_000_000.0)
+        assert perfbench.compare(current, baseline) == []
+
+    def test_compare_falls_back_to_snapshot_score(self):
+        # A pre-probe baseline (no point-level probes) still gates via
+        # the snapshot-level score.
+        current = fake_snapshot({"moderate": 10_000.0},
+                                calibration=1_000_000.0)
+        baseline = fake_snapshot({"moderate": 20_000.0},
+                                 calibration=1_000_000.0)
+        assert perfbench.compare(current, baseline) != []
