@@ -45,6 +45,15 @@ HOT_FUNCTIONS: dict[str, frozenset[str]] = {
         "Router._forward",
         "Router._route",
         "Router.receive_flit",
+        "Router.reset",
+    }),
+    # The warm-worker reset path (Simulator.reset -> fabric/link/stats
+    # resets) runs once per sweep point; at bench sweep rates that is
+    # thousands of invocations per second, and the whole point of
+    # reset-in-place is to stay cheaper than reconstruction — keep the
+    # bodies allocation-light and import-free.
+    "repro/network/links.py": frozenset({
+        "Link.reset",
     }),
     # The batched numpy gate runs once per simulated cycle; its inner
     # loops iterate the vectorised candidate set.
@@ -81,6 +90,11 @@ HOT_FUNCTIONS: dict[str, frozenset[str]] = {
     "repro/network/stats.py": frozenset({
         "StatsCollector.packet_created",
         "StatsCollector.packet_delivered",
+        "StatsCollector.reset",
+    }),
+    "repro/network/topology.py": frozenset({
+        "NetworkFabric.reset",
+        "Node.reset",
     }),
 }
 

@@ -205,6 +205,21 @@ def _add_bench_parser(subparsers) -> None:
                              "(default: python; the python run also "
                              "appends numpy rider points when numpy is "
                              "importable)")
+    parser.add_argument("--sweep", action="store_true",
+                        help="also run the sweep-throughput family "
+                             "(points/sec, warm vs cold workers)")
+    parser.add_argument("--sweep-only", action="store_true",
+                        help="run only the sweep-throughput family "
+                             "(skips the single-run trajectory; the "
+                             "fast CI smoke)")
+    parser.add_argument("--jobs", type=int, nargs="*", default=[2],
+                        metavar="N",
+                        help="worker counts for the parallel warm sweep "
+                             "datapoints (full mode only; default: 2)")
+    parser.add_argument("--sweep-floor", type=float, default=None,
+                        metavar="RATIO",
+                        help="fail unless the short-point serial warm "
+                             "speedup reaches RATIO (e.g. 1.2)")
 
 
 def _add_check_parser(subparsers) -> None:
@@ -541,22 +556,45 @@ def _command_sweep(args) -> int:
 def _command_bench(args) -> int:
     from repro import perfbench
 
-    snapshot = perfbench.run_benchmarks(
-        quick=args.quick, pr=args.pr, profile=not args.no_profile,
-        topology=args.topology, backend=args.backend)
+    jobs = tuple(args.jobs)
+    if args.sweep_only:
+        snapshot = perfbench.sweep_snapshot(quick=args.quick, pr=args.pr,
+                                            jobs=jobs)
+    else:
+        snapshot = perfbench.run_benchmarks(
+            quick=args.quick, pr=args.pr, profile=not args.no_profile,
+            topology=args.topology, backend=args.backend)
+        if args.sweep:
+            snapshot.update(perfbench.run_sweep_benchmarks(
+                quick=args.quick, jobs=jobs))
     print(perfbench.format_snapshot(snapshot))
+    if snapshot.get("sweep_datapoints"):
+        print(perfbench.format_sweeps(snapshot))
     out = args.out
     if out is None and args.pr is not None:
         out = f"BENCH_{args.pr}.json"
     if out is not None:
         perfbench.write_snapshot(snapshot, out)
         print(f"\nsnapshot written to {out}")
+    if args.sweep_floor is not None:
+        short = snapshot.get("sweep_speedups", {}).get("short")
+        if short is None:
+            print("error: --sweep-floor needs the sweep family "
+                  "(pass --sweep or --sweep-only)", file=sys.stderr)
+            return 1
+        if short < args.sweep_floor:
+            print(f"\nSWEEP SPEEDUP BELOW FLOOR: warm short-point sweep "
+                  f"ran at {short:.2f}x cold (floor "
+                  f"{args.sweep_floor:.2f}x)", file=sys.stderr)
+            return 1
     if args.compare is not None:
         baseline = perfbench.load_snapshot(args.compare)
         for warning in perfbench.calibration_warnings(snapshot, baseline):
             print(f"warning: {warning}", file=sys.stderr)
         regressions = perfbench.compare(snapshot, baseline,
                                         tolerance=args.tolerance)
+        regressions += perfbench.compare_sweeps(snapshot, baseline,
+                                                tolerance=args.tolerance)
         if regressions:
             print(f"\nREGRESSION vs {args.compare}:", file=sys.stderr)
             for line in regressions:

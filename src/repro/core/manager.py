@@ -56,6 +56,33 @@ def power_model_from_config(config: PowerAwareConfig) -> LinkPowerModel:
     return LinkPowerModel.vcsel_link()
 
 
+#: Per-process memo of :class:`OperatingPointTable` instances keyed by the
+#: config fields the table depends on (technology picks the power model,
+#: the rate bounds and level count fix the ladder, the optical scheme
+#: fixes the bands).  The table is a frozen dataclass of tuples, so
+#: sharing one instance across managers — and across sweep points in a
+#: warm worker — is safe.  Only the analytic-model construction path is
+#: memoised; :meth:`NetworkPowerManager.replace_power_model` (measured
+#: curves) always rebuilds.
+_TABLE_MEMO: dict[tuple, OperatingPointTable] = {}
+_TABLE_MEMO_MAX = 32
+
+
+def _table_for_config(config: PowerAwareConfig, power_model: LinkPowerModel,
+                      ladder: BitRateLadder,
+                      bands) -> OperatingPointTable:
+    key = (config.technology, config.min_bit_rate, config.max_bit_rate,
+           config.num_levels, config.optical_levels)
+    memo = _TABLE_MEMO
+    table = memo.get(key)
+    if table is None:
+        table = OperatingPointTable.build(power_model, ladder, bands)
+        if len(memo) >= _TABLE_MEMO_MAX:
+            memo.pop(next(iter(memo)))
+        memo[key] = table
+    return table
+
+
 class NetworkPowerManager:
     """Drives every power-aware link of one simulated network."""
 
@@ -88,9 +115,12 @@ class NetworkPowerManager:
         self.bands = bands
 
         #: The analytic model evaluated once per (band x level) operating
-        #: point; every link indexes this one shared table.
-        self.table = OperatingPointTable.build(self.power_model, ladder, bands)
+        #: point; every link indexes this one shared table (memoised
+        #: per process, so warm sweep workers and aware/baseline pairs
+        #: reuse it across manager constructions).
+        self.table = _table_for_config(config, self.power_model, ladder, bands)
         level_powers = self.table.level_powers
+        self._service_time_fn = service_time_fn
 
         self.links: list[PowerAwareLink] = []
         for link, buffer in zip(topology.links, topology.downstream_buffers):
@@ -111,11 +141,12 @@ class NetworkPowerManager:
                     level_powers=level_powers,
                 )
             )
+        self._fabric_topology = topology.topology
         if config.link_off:
             # Arm the LINK_OFF sleep rung where the topology allows it
             # (mesh links only wake via demand pressure, which some
             # topologies cannot generate on every link kind).
-            fabric_topology = topology.topology
+            fabric_topology = self._fabric_topology
             for pal in self.links:
                 pal.can_sleep = fabric_topology.link_off_allowed(pal.link.kind)
         self._transitioning: set[PowerAwareLink] = set()
@@ -135,6 +166,60 @@ class NetworkPowerManager:
         self.hooks: "HookRegistry | None" = None
         self._wheel: EventWheel | None = None
         self._sample_interval: int | None = None
+
+    # -- warm rerun ------------------------------------------------------------
+
+    def structurally_compatible(self, config: PowerAwareConfig) -> bool:
+        """Whether :meth:`reset` can rerun this manager under ``config``.
+
+        True when every field the ladder, power model, operating-point
+        table and optical-band scheme were built from is unchanged —
+        policy and transition scalars are free to differ (they are plain
+        per-run knobs the reset swaps in).
+        """
+        current = self.config
+        return (config.technology == current.technology
+                and config.min_bit_rate == current.min_bit_rate
+                and config.max_bit_rate == current.max_bit_rate
+                and config.num_levels == current.num_levels
+                and config.optical_levels == current.optical_levels)
+
+    def reset(self, config: PowerAwareConfig) -> None:
+        """Restore the manager to its freshly-built state under ``config``.
+
+        The structural artifacts — ladder, power model, operating-point
+        table, per-link objects — survive; every link's control stack is
+        rebuilt from the new point's policy/transition configs and all
+        run-accumulated state (energy, series, transition tracking,
+        scheduling bindings) is cleared, bit-identical to constructing a
+        new manager on a fresh fabric (hypothesis-tested).
+        """
+        if not self.structurally_compatible(config):
+            raise ConfigError(
+                "reset() cannot change the power structure (technology, "
+                "rate bounds, level counts); build a fresh manager"
+            )
+        self.config = config
+        bands = self.bands
+        for pal in self.links:
+            optical = (
+                OpticalPowerController(bands, config.transitions)
+                if bands is not None else None
+            )
+            pal.reset(config.policy, config.transitions, optical)
+        if config.link_off:
+            fabric_topology = self._fabric_topology
+            for pal in self.links:
+                pal.can_sleep = fabric_topology.link_off_allowed(pal.link.kind)
+        self._transitioning.clear()
+        self._energy_total = None
+        self.window = config.policy.window_cycles
+        self.epoch = config.transitions.laser_epoch_cycles
+        self.power_series = []
+        self._finalized_at = None
+        self.hooks = None
+        self._wheel = None
+        self._sample_interval = None
 
     # -- driving ---------------------------------------------------------------
     #

@@ -90,6 +90,36 @@ class PowerAwareLink:
         #: ladder-end no-ops) — telemetry ``transition`` hook payload.
         self.last_step_accepted = False
 
+    def reset(self, policy_config: PolicyConfig,
+              transition_config: TransitionConfig,
+              optical: OpticalPowerController | None) -> None:
+        """Rebind this link's control stack for a warm rerun.
+
+        The structural pieces (transport link, ladder, billing table)
+        survive; the policy controller, transition engine and optical
+        controller are rebuilt *fresh* from the new point's configs —
+        construction is cheap and makes bit-identity with a freshly
+        built :class:`PowerAwareLink` hold trivially.  ``can_sleep`` is
+        re-armed by the manager afterwards (it owns the topology gate).
+        """
+        self.policy = LinkPolicyController(policy_config)
+        self.engine = LinkTransitionEngine(
+            self.link, self.ladder, transition_config,
+            self.engine.service_time_fn,
+        )
+        self.engine.billing_listener = self._charge
+        self.optical = optical
+        self.energy_watt_cycles = 0.0
+        self._last_charge = 0.0
+        self.pending_up = False
+        self.windows_observed = 0
+        self.step_down_guard = None
+        self.guard_holds = 0
+        self.can_sleep = False
+        self.last_lu = math.nan
+        self.last_bu = math.nan
+        self.last_step_accepted = False
+
     # -- energy accounting ----------------------------------------------------
 
     def _charge(self, now: float) -> None:

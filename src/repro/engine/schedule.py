@@ -124,25 +124,28 @@ class DeliverySchedule:
         if not buckets:
             return _NO_LINKS
         armed = self._armed
+        armed_get = armed.get
         if cycle == cursor:  # the common case: exactly one bucket to pop
             raw = buckets.pop(cycle, None)
             if raw is None:
                 return _NO_LINKS
             bucket = []
+            filed = bucket.append
             for entry in raw:
-                if armed.get(entry[0]) == cycle:
-                    bucket.append(entry)
+                if armed_get(entry[0]) == cycle:
+                    filed(entry)
         else:
             # Catch-up after a cycle skip: liveness is per-due, so filter
             # each bucket against its own due cycle before merging.
             bucket = []
+            filed = bucket.append
             for due in range(cursor, cycle + 1):
                 entries = buckets.pop(due, None)
                 if entries is None:
                     continue
                 for entry in entries:
-                    if armed.get(entry[0]) == due:
-                        bucket.append(entry)
+                    if armed_get(entry[0]) == due:
+                        filed(entry)
         if not bucket:
             return _NO_LINKS
         bucket.sort()

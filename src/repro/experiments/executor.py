@@ -100,6 +100,13 @@ class ExecutionPlan:
     strict: bool = False
     #: JSONL path for executor lifecycle trace events; ``None`` = off.
     trace_path: str | None = None
+    #: Run points on warm workers: each worker keeps a small per-process
+    #: construction cache (:mod:`repro.experiments.warm`) and reruns the
+    #: next structurally-matching point on the same reset fabric.
+    #: Bit-identical to cold execution (hypothesis-tested); a respawned
+    #: worker simply starts with a cold cache.  ``False`` restores the
+    #: historical build-from-scratch path.
+    warm: bool = True
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
@@ -199,22 +206,29 @@ class SweepOutcome:
 
 
 def _guarded_attempt(point: "SweepPoint", attempt: int,
-                     timeout_s: float | None) -> "RunResult":
+                     timeout_s: float | None,
+                     warm: bool = True) -> "RunResult":
     """One attempt at one point, under the soft-timeout alarm guard.
 
-    Module-level so process pools can pickle it.  The guard uses
-    ``SIGALRM`` (delivered between bytecodes, so it interrupts any pure-
-    Python hang); it is skipped off the main thread or on platforms
-    without ``setitimer``, where only the supervisor's hard deadline
-    applies.
+    Module-level so process pools can pickle it (the plan itself is not
+    shipped to workers, so the ``warm`` knob travels as an argument).
+    ``warm=True`` runs the point through the per-process construction
+    cache (:mod:`repro.experiments.warm`); results are bit-identical
+    either way.  The guard uses ``SIGALRM`` (delivered between
+    bytecodes, so it interrupts any pure-Python hang); it is skipped off
+    the main thread or on platforms without ``setitimer``, where only
+    the supervisor's hard deadline applies.
     """
-    from repro.experiments.runner import run_point
+    if warm:
+        from repro.experiments.warm import run_point_warm as run_attempt
+    else:
+        from repro.experiments.runner import run_point as run_attempt
 
     usable = (timeout_s is not None
               and hasattr(signal, "setitimer")
               and threading.current_thread() is threading.main_thread())
     if not usable:
-        return run_point(point, attempt)
+        return run_attempt(point, attempt)
 
     def _on_alarm(signum: int, frame: object) -> None:
         raise PointTimeoutError(
@@ -225,7 +239,7 @@ def _guarded_attempt(point: "SweepPoint", attempt: int,
     previous = signal.signal(signal.SIGALRM, _on_alarm)
     signal.setitimer(signal.ITIMER_REAL, timeout_s)
     try:
-        return run_point(point, attempt)
+        return run_attempt(point, attempt)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
@@ -369,7 +383,8 @@ class ResilientSweepExecutor:
                 started = self.clock()
                 try:
                     result = _guarded_attempt(slot.point, slot.attempts + 1,
-                                              self.plan.timeout)
+                                              self.plan.timeout,
+                                              self.plan.warm)
                 except Exception as exc:
                     cause = (CAUSE_TIMEOUT
                              if isinstance(exc, PointTimeoutError)
@@ -414,7 +429,8 @@ class ResilientSweepExecutor:
                     slot = slots[position]
                     try:
                         future = pool.submit(_guarded_attempt, slot.point,
-                                             slot.attempts + 1, plan.timeout)
+                                             slot.attempts + 1, plan.timeout,
+                                             plan.warm)
                     except BrokenProcessPool:
                         # A worker died between wait() rounds, so the
                         # breakage surfaces here rather than through a

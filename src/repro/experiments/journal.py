@@ -119,10 +119,24 @@ def point_key(point: "SweepPoint") -> str:
     Covers every field of the point — config tree, traffic factory,
     seed, cycle budget, label — so two points collide only when they
     would provably produce the same :class:`RunResult`.
+
+    The hash is cached on the point after the first call (the executor
+    and the journal both key by it, per attempt and per retry).  A
+    ``SweepPoint`` is a frozen dataclass without slots, so the cache
+    slips into ``__dict__`` via ``object.__setattr__`` — invisible to
+    ``dataclasses.fields()`` and therefore to the hash payload and to
+    dataclass equality.  The hash is pure content, so a cached value
+    travelling to a worker via pickle equals what the worker would
+    re-derive (unit-tested across processes).
     """
+    cached = getattr(point, "_point_key", None)
+    if cached is not None:
+        return cached
     payload = _canonical(point, context=f"sweep point {point.label!r}")
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+    key = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    object.__setattr__(point, "_point_key", key)
+    return key
 
 
 class SweepJournal:

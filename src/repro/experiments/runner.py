@@ -139,6 +139,13 @@ def run_pair(scale: ExperimentScale, power: PowerAwareConfig,
     stream; the normalised result is therefore a pure policy effect.  A
     fault config applies to *both* sides, so the comparison stays a policy
     effect under the same fault environment.
+
+    The two sides also share the per-process immutable construction
+    artifacts (topology instance, pristine route tables, operating-point
+    table) through the memos :mod:`repro.experiments.warm` relies on —
+    results are bit-identical to fully cold construction, regression-
+    tested against a pristine subprocess in
+    ``tests/unit/experiments/test_warm.py``.
     """
     aware = run_simulation(
         scale, power, traffic_factory,

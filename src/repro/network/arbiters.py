@@ -30,6 +30,10 @@ class RoundRobinArbiter:
         self.size = size
         self._next = 0
 
+    def reset(self) -> None:
+        """Restore construction-time priority (warm rerun)."""
+        self._next = 0
+
     def grant(self, requests: Sequence[int]) -> int:
         """Grant one requester and rotate priority past it.
 
@@ -67,6 +71,14 @@ class MatrixArbiter:
         self.size = size
         # Initialise with a total order: lower index beats higher index.
         self._beats = [[i < j for j in range(size)] for i in range(size)]
+
+    def reset(self) -> None:
+        """Restore the construction-time total order (warm rerun)."""
+        beats = self._beats
+        for i in range(self.size):
+            row = beats[i]
+            for j in range(self.size):
+                row[j] = i < j
 
     def grant(self, requests: Sequence[int]) -> int:
         """Grant the least-recently-served requester, or -1 if none."""

@@ -40,6 +40,12 @@ class InputBuffer:
         self._occ_integral = 0.0
         self._last_event = 0.0
 
+    def reset(self) -> None:
+        """Drop buffered flits and zero the occupancy integral (warm rerun)."""
+        self._fifo.clear()
+        self._occ_integral = 0.0
+        self._last_event = 0.0
+
     def __len__(self) -> int:
         return len(self._fifo)
 
@@ -129,6 +135,10 @@ class CreditCounter:
             raise ConfigError(f"credit capacity must be >= 1, got {capacity!r}")
         self.capacity = capacity
         self.available = capacity
+
+    def reset(self) -> None:
+        """Restore the full credit pool (warm rerun)."""
+        self.available = self.capacity
 
     def can_send(self) -> bool:
         return self.available > 0

@@ -109,6 +109,24 @@ class Link:
         #: the plain fast path.
         self.faults = None
 
+    def reset(self) -> None:
+        """Restore construction-time transport state for a warm rerun.
+
+        ``deliver`` (the wiring) is structural and survives; ``registry``
+        is reassigned by the simulator's run-state init, so clearing it
+        here just drops the previous run's engine object.
+        """
+        self.service_time = 1.0
+        self.free_at = 0.0
+        self.disabled_until = 0.0
+        self._in_flight.clear()
+        self.busy_accum = 0.0
+        self.pressure_accum = 0.0
+        self.flits_carried = 0
+        self.registry = None
+        self.failed = False
+        self.faults = None
+
     @property
     def has_in_flight(self) -> bool:
         return bool(self._in_flight)

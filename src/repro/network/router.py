@@ -293,44 +293,70 @@ class Router:
         Multi-class topologies (torus datelines) additionally get a
         per-destination VC-class table and the per-class allocation
         bands the switch-allocation stage restricts VC grants to.
+
+        The resolved tables are memoised on the (shared, stateless)
+        topology instance, keyed by everything they depend on, because
+        resolving the routing relation for every destination is the
+        single most expensive part of fabric construction.  The cached
+        tuples are pristine masters: each build hands out fresh list
+        copies, so :meth:`invalidate_routes_via` (which mutates the
+        router's table in place when a link fails) never corrupts the
+        cache — copy-on-write by construction.
         """
         topology = self.topology
-        table = []
-        for dst_router in range(topology.num_routers):
-            if dst_router == self.router_id:
-                table.append(-1)
-                continue
-            direction = topology.route_direction(self.router_id, dst_router)
-            if direction < 0:
-                table.append(-1)
-                continue
-            out = self.num_local + direction
-            if self.outputs[out] is None:
+        cache = getattr(topology, "_route_table_cache", None)
+        if cache is None:
+            cache = {}
+            topology._route_table_cache = cache
+        cache_key = (self.router_id, self.num_local, self.num_vcs)
+        cached = cache.get(cache_key)
+        if cached is None:
+            table = []
+            for dst_router in range(topology.num_routers):
+                if dst_router == self.router_id:
+                    table.append(-1)
+                    continue
+                direction = topology.route_direction(self.router_id,
+                                                     dst_router)
+                table.append(-1 if direction < 0
+                             else self.num_local + direction)
+            classes: tuple[int, ...] | None = None
+            bounds: tuple[tuple[int, int], ...] = ((0, self.num_vcs),)
+            num_classes = topology.num_vc_classes
+            if num_classes > 1:
+                if self.num_vcs < num_classes:
+                    raise ConfigError(
+                        f"topology {topology.name!r} needs {num_classes} VC "
+                        f"classes but the router has only {self.num_vcs} VCs"
+                    )
+                classes = tuple(
+                    topology.vc_class(self.router_id, dst_router)
+                    for dst_router in range(topology.num_routers)
+                )
+                num_vcs = self.num_vcs
+                bounds = tuple(
+                    (cls * num_vcs // num_classes,
+                     (cls + 1) * num_vcs // num_classes)
+                    for cls in range(num_classes)
+                )
+            cached = (tuple(table), classes, bounds)
+            cache[cache_key] = cached
+        master_table, master_classes, master_bounds = cached
+        # Wiring is validated on every build (cached or not): a table
+        # entry pointing at a dead port would only surface as a cryptic
+        # stall diagnostic at forward time.
+        for dst_router, out in enumerate(master_table):
+            if out >= 0 and self.outputs[out] is None:
                 raise ConfigError(
                     f"router {self.router_id} routes toward router "
                     f"{dst_router} over output port {out}, which has no "
                     f"link attached — build_route_table must be called "
                     f"after the fabric wires all links"
                 )
-            table.append(out)
-        self._route_table = table
-        num_classes = topology.num_vc_classes
-        if num_classes > 1:
-            if self.num_vcs < num_classes:
-                raise ConfigError(
-                    f"topology {topology.name!r} needs {num_classes} VC "
-                    f"classes but the router has only {self.num_vcs} VCs"
-                )
-            classes = []
-            for dst_router in range(topology.num_routers):
-                classes.append(topology.vc_class(self.router_id, dst_router))
-            self._vc_classes = classes
-            num_vcs = self.num_vcs
-            self._class_bounds = tuple(
-                (cls * num_vcs // num_classes,
-                 (cls + 1) * num_vcs // num_classes)
-                for cls in range(num_classes)
-            )
+        self._route_table = list(master_table)
+        if master_classes is not None:
+            self._vc_classes = list(master_classes)
+            self._class_bounds = master_bounds
 
     def invalidate_routes_via(self, port: int) -> None:
         """Drop cached routes through ``port`` (a link just failed).
@@ -345,6 +371,49 @@ class Router:
         for dst, out in enumerate(table):
             if out == port:
                 table[dst] = -1
+
+    def reset(self) -> None:
+        """Restore construction-time dynamic state for a warm rerun.
+
+        Wiring (attached outputs, links, credit-counter identity) is
+        structural and survives; everything a run mutates — VC buffers
+        and latches, credits, arbiters, work-list masks, fault hooks and
+        any routes :meth:`invalidate_routes_via` dropped — is restored
+        to its freshly-constructed value.
+        """
+        for port in self.inputs:
+            for vc in port.vcs:
+                vc.buffer.reset()
+                vc.route_out = -1
+                vc.eligible_at = 0.0
+                vc.out_vc = -1
+                vc.vc_class = 0
+            if port.upstream_credits is not None:
+                for credit in port.upstream_credits:
+                    credit.reset()
+            port.nonempty = 0
+            port.occupancy = 0
+        for output in self.outputs:
+            if output is None:
+                continue
+            if output.credits is not None:
+                for credit in output.credits:
+                    credit.reset()
+            vc_owner = output.vc_owner
+            for index in range(len(vc_owner)):
+                vc_owner[index] = None
+            output.arbiter.reset()
+        self._active_mask = 0
+        self._requests.clear()
+        self._rc_class = 0
+        self.registry = None
+        self.fault_stats = None
+        self.batch = None
+        self._slot_base = 0
+        if self._route_table is not None:
+            # Cache hit by construction (the first build populated it);
+            # this restores entries a failed link invalidated.
+            self.build_route_table()
 
     def _route(self, flit: Flit) -> int:
         """Compute the output port for a head flit (the RC stage)."""

@@ -167,6 +167,63 @@ class Simulator:
             self.power = NetworkPowerManager(
                 self.network, config.power, config.network
             )
+        self.step_all = step_all
+        self._init_run_state(config)
+
+    def reset(self, config: SimulationConfig,
+              traffic: TrafficSource) -> None:
+        """Rerun-in-place: rebind this simulator to a new point.
+
+        The structural parts of ``config`` (the network tree and the
+        power ladder/bands geometry) must match the simulator's current
+        ones — everything else (seed, policy scalars, transitions,
+        warmup/sampling, faults, telemetry, backend) may change freely.
+        The contract is bit-identity with fresh construction
+        (hypothesis-tested over every topology, with and without
+        faults); the payoff is skipping fabric/route-table/operating-
+        point construction for every point after a worker's first.
+        """
+        if self.step_all:
+            raise ConfigError(
+                "reset() needs the event-driven engine; step_all "
+                "simulators are the legacy reference and stay cold"
+            )
+        if traffic.num_nodes != config.network.num_nodes:
+            raise ConfigError(
+                f"traffic source built for {traffic.num_nodes} nodes but the "
+                f"network has {config.network.num_nodes}"
+            )
+        if config.network != self.config.network:
+            raise ConfigError(
+                "reset() cannot change the network structure "
+                "(build a fresh Simulator for a different fabric)"
+            )
+        old_power = self.config.power
+        self.config = config
+        self.traffic = traffic
+        self.stats.reset(config.warmup_cycles, config.sample_interval)
+        self.network.reset()
+        if config.power is None:
+            self.power = None
+        elif self.power is not None and old_power is not None \
+                and self.power.structurally_compatible(config.power):
+            self.power.reset(config.power)
+        else:
+            from repro.core.manager import NetworkPowerManager
+
+            self.power = NetworkPowerManager(
+                self.network, config.power, config.network
+            )
+        self._init_run_state(config)
+
+    def _init_run_state(self, config: SimulationConfig) -> None:
+        """Per-run engine wiring, shared by ``__init__`` and ``reset``.
+
+        Everything here is cheap and rebuilt from scratch each run — a
+        fresh hook registry, event wheel, active-set registries, batch
+        gate, reliability manager and watchdog — so a reset simulator is
+        indistinguishable from a fresh one by construction.
+        """
         self.cycle = 0
         self.hooks = HookRegistry()
         # Alias (not copy): the stats collector fires the registry's
@@ -174,7 +231,6 @@ class Simulator:
         self.stats.packet_hooks = self.hooks.packet_delivered
         if self.power is not None:
             self.power.hooks = self.hooks
-        self.step_all = step_all
         self._phases = tuple(
             (name, getattr(self, f"_phase_{name}")) for name in PHASES
         )
@@ -183,6 +239,7 @@ class Simulator:
         self._last_delivery_cycle = 0
         self.reliability: "ReliabilityManager | None" = None
         self.telemetry: "TraceRecorder | None" = None
+        step_all = self.step_all
         if config.telemetry is not None:
             # Imported here to break the package cycle (the recorder
             # observes simulator hooks).  Attaching is pure observation:
@@ -286,27 +343,32 @@ class Simulator:
             if not delivery_hooks:
                 # Hot loop: the schedule's rearm/retire bodies are inlined
                 # against its bucket/member dicts (one wake-up per link per
-                # arrival made the method calls a measurable share).
+                # arrival made the method calls a measurable share), and
+                # the per-link scalars — link_id (read up to three times),
+                # the deque's popleft, armed.get — are bound once.
                 buckets = active._buckets
                 members = active._members
                 armed = active._armed
+                armed_get = armed.get
                 for link in due:
                     in_flight = link._in_flight
                     deliver = link.deliver
+                    popleft = in_flight.popleft
+                    link_id = link.link_id
                     while in_flight and in_flight[0][0] <= now:
-                        deliver(in_flight.popleft()[1], now)
+                        deliver(popleft()[1], now)
                     if in_flight:
                         due_cycle = ceil(in_flight[0][0])
-                        if armed.get(link.link_id) == due_cycle:
+                        if armed_get(link_id) == due_cycle:
                             continue
-                        armed[link.link_id] = due_cycle
+                        armed[link_id] = due_cycle
                         bucket = buckets.get(due_cycle)
                         if bucket is None:
-                            buckets[due_cycle] = [(link.link_id, link)]
+                            buckets[due_cycle] = [(link_id, link)]
                         else:
-                            bucket.append((link.link_id, link))
+                            bucket.append((link_id, link))
                     else:
-                        del members[link.link_id]
+                        del members[link_id]
                 return
             for link in due:
                 in_flight = link._in_flight

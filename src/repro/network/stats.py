@@ -60,6 +60,34 @@ class StatsCollector:
         self._delivered_series: list[int] = []
         self._latency_sum_series: list[float] = []
 
+    def reset(self, warmup_cycles: int, sample_interval: int) -> None:
+        """Zero every accumulator for a new run on the same collector.
+
+        Nodes and hook bridges hold direct references to this object, so
+        warm-start reruns (:meth:`Simulator.reset`) must clear it in
+        place rather than swap in a fresh instance.  ``packet_hooks`` is
+        deliberately *not* touched: the simulator re-aliases it to the
+        new run's hook registry immediately after this call.
+        """
+        if warmup_cycles < 0:
+            raise ConfigError("warmup_cycles must be >= 0")
+        if sample_interval < 1:
+            raise ConfigError("sample_interval must be >= 1")
+        self.warmup_cycles = warmup_cycles
+        self.sample_interval = sample_interval
+        self.packets_created = 0
+        self.packets_delivered = 0
+        self.flits_delivered = 0
+        self.measured_delivered = 0
+        self.latency_sum = 0.0
+        self.latency_max = 0.0
+        self._latency_counts = {}
+        self._latency_order = []
+        self.in_flight = 0
+        self._created_series = []
+        self._delivered_series = []
+        self._latency_sum_series = []
+
     def _bucket(self, now: float) -> int:
         return int(now // self.sample_interval)
 

@@ -23,36 +23,61 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only import (cycle guard)
 #: Names accepted by ``NetworkConfig.topology`` / ``--topology``.
 KNOWN_TOPOLOGIES = ("cmesh", "line", "mesh", "torus")
 
+#: Per-process memo of built topology instances, keyed by every config
+#: field the geometry depends on.  Topologies are stateless by contract
+#: (docs/topologies.md) and the derived per-router route tables are
+#: cached *on* them copy-on-write (see ``Router.build_route_table``), so
+#: sharing one instance across fabrics is safe and makes warm sweep
+#: workers skip geometry construction entirely.  Bounded: distinct
+#: geometries per process are few; evict FIFO past the cap regardless.
+_TOPOLOGY_MEMO: dict[tuple, Topology] = {}
+_TOPOLOGY_MEMO_MAX = 32
+
 
 def get_topology(config: "NetworkConfig") -> Topology:
-    """Build the topology a :class:`~repro.config.NetworkConfig` names.
+    """Build (or reuse) the topology a :class:`~repro.config.NetworkConfig`
+    names.
 
     Raises :class:`~repro.errors.ConfigError` for unknown names (listing
     the known ones) and for shape parameters the named topology cannot
-    host (torus without enough VCs, concentration not dividing the grid).
+    host (torus without enough VCs, concentration not dividing the grid);
+    validity checks run before the memo so invalid configs always raise.
     """
     name = config.topology
+    if name == "torus" and config.num_vcs < 2:
+        raise ConfigError(
+            f"torus dateline deadlock avoidance needs num_vcs >= 2 "
+            f"(two VC classes); got num_vcs={config.num_vcs}"
+        )
+    key = (name, config.mesh_width, config.mesh_height,
+           config.nodes_per_cluster, config.concentration, config.routing)
+    memo = _TOPOLOGY_MEMO
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
     if name == "mesh":
-        return MeshTopology(config.mesh_width, config.mesh_height,
-                            config.nodes_per_cluster, config.routing)
-    if name == "torus":
-        if config.num_vcs < 2:
-            raise ConfigError(
-                f"torus dateline deadlock avoidance needs num_vcs >= 2 "
-                f"(two VC classes); got num_vcs={config.num_vcs}"
-            )
-        return TorusTopology(config.mesh_width, config.mesh_height,
-                             config.nodes_per_cluster, config.routing)
-    if name == "cmesh":
-        return CMeshTopology(config.mesh_width, config.mesh_height,
-                             config.nodes_per_cluster, config.concentration,
-                             config.routing)
-    if name == "line":
-        return LineTopology(config.mesh_width * config.mesh_height,
-                            config.nodes_per_cluster, config.routing)
-    raise ConfigError(
-        f"unknown topology {name!r}; known: {', '.join(KNOWN_TOPOLOGIES)}"
-    )
+        topology: Topology = MeshTopology(
+            config.mesh_width, config.mesh_height,
+            config.nodes_per_cluster, config.routing)
+    elif name == "torus":
+        topology = TorusTopology(config.mesh_width, config.mesh_height,
+                                 config.nodes_per_cluster, config.routing)
+    elif name == "cmesh":
+        topology = CMeshTopology(config.mesh_width, config.mesh_height,
+                                 config.nodes_per_cluster,
+                                 config.concentration, config.routing)
+    elif name == "line":
+        topology = LineTopology(config.mesh_width * config.mesh_height,
+                                config.nodes_per_cluster, config.routing)
+    else:
+        raise ConfigError(
+            f"unknown topology {name!r}; known: "
+            f"{', '.join(KNOWN_TOPOLOGIES)}"
+        )
+    if len(memo) >= _TOPOLOGY_MEMO_MAX:
+        memo.pop(next(iter(memo)))
+    memo[key] = topology
+    return topology
 
 
 __all__ = [

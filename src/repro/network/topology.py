@@ -117,6 +117,17 @@ class Node:
         if flit.is_tail:
             self.stats.packet_delivered(flit.packet, now)
 
+    def reset(self) -> None:
+        """Drop queued flits and VC affinity for a warm rerun.
+
+        The wiring (``link``, ``credits``, ``stats``) is structural and
+        survives; the stats collector itself is reset separately, in
+        place, because this node holds a direct reference to it.
+        """
+        self.queue.clear()
+        self._vc = -1
+        self.registry = None
+
     @property
     def pending_flits(self) -> int:
         """Flits still waiting in the source queue."""
@@ -235,6 +246,25 @@ class NetworkFabric:
                     ),
                 )
                 self.downstream_buffers[link.link_id] = in_port.buffers()
+
+    # -- warm rerun ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restore the whole fabric to its freshly-built state in place.
+
+        Every link, router and node clears its run-mutable state (flits,
+        credits, arbiters, fault flags, invalidated routes) while the
+        object graph — wiring, link ids, credit-counter identity — stays
+        untouched, so a subsequent run is bit-identical to one on a
+        freshly constructed fabric (hypothesis-tested).  The stats
+        collector is *not* reset here: the simulator owns its lifecycle.
+        """
+        for link in self.links:
+            link.reset()
+        for router in self.routers:
+            router.reset()
+        for node in self.nodes:
+            node.reset()
 
     # -- queries -------------------------------------------------------------
 

@@ -277,14 +277,14 @@ def run_benchmarks(quick: bool = False, pr: int | None = None,
             measure_rate(f"{prefix}torus_moderate" if backend != "python"
                          else "torus_moderate",
                          RATES["moderate"], cycles,
-                         repeats, profile=False, topology="torus",
+                         repeats, profile=profile, topology="torus",
                          backend=backend)
         )
     if backend == "python" and _numpy_available():
         for label in ("moderate", "heavy"):
             points.append(
                 measure_rate(f"numpy_{label}", RATES[label], cycles,
-                             repeats, profile=False, topology=topology,
+                             repeats, profile=profile, topology=topology,
                              backend="numpy")
             )
     return {
@@ -300,6 +300,264 @@ def run_benchmarks(quick: bool = False, pr: int | None = None,
         "peak_rss_kb": _peak_rss_kb(),
         "datapoints": [point.to_json() for point in points],
     }
+
+
+# -- sweep throughput benches -------------------------------------------------
+#
+# ``repro bench --sweep``: points/sec through the resilient executor, warm
+# (construction-cached, reset-in-place) vs cold (fresh simulator per
+# point).  Short points are construction-dominated — the warm-worker
+# machinery's target; long points are run-dominated and document honestly
+# how the benefit amortises away.  Variant parameters are identical in
+# quick and full mode (the sweeps are cheap; keeping them fixed is what
+# makes points/sec comparable across snapshots — unlike cycles/sec,
+# points/sec is *not* invariant to the per-point cycle budget).
+
+#: Sweep-bench variants: points, cycles/point, warmup, injection rates.
+SWEEP_VARIANTS: dict[str, dict[str, Any]] = {
+    "short": {"points": 24, "cycles": 200, "warmup": 50,
+              "rates": (0.02, 0.05)},
+    "long": {"points": 6, "cycles": 2000, "warmup": 200,
+             "rates": (0.02, 0.25)},
+}
+
+#: Grid for the sweep benches: bigger than the single-run bench network,
+#: so construction cost is realistic for a design-space study.
+SWEEP_BENCH_WIDTH = 6
+SWEEP_BENCH_NODES = 4
+
+
+def sweep_bench_points(variant: str) -> list[Any]:
+    """The canonical sweep for one variant (fresh point objects)."""
+    from repro.experiments.configs import ExperimentScale
+    from repro.experiments.fig5 import uniform_factory
+    from repro.experiments.runner import SweepPoint
+
+    try:
+        spec = SWEEP_VARIANTS[variant]
+    except KeyError:
+        raise ConfigError(
+            f"unknown sweep variant {variant!r}; known: "
+            f"{', '.join(sorted(SWEEP_VARIANTS))}"
+        ) from None
+    network = NetworkConfig(mesh_width=SWEEP_BENCH_WIDTH,
+                            mesh_height=SWEEP_BENCH_WIDTH,
+                            nodes_per_cluster=SWEEP_BENCH_NODES)
+    scale = ExperimentScale(
+        name=f"bench-sweep-{variant}", network=network,
+        run_cycles=spec["cycles"], slow_constant_divisor=25,
+        warmup_cycles=spec["warmup"], sample_interval=100,
+        policy_window_cycles=100,
+    )
+    rates = spec["rates"]
+    return [
+        SweepPoint(label=f"{variant}-{index}", scale=scale,
+                   power=PowerAwareConfig(),
+                   traffic_factory=uniform_factory(rates[index % len(rates)]),
+                   seed=BENCH_SEED + index, cycles=spec["cycles"])
+        for index in range(spec["points"])
+    ]
+
+
+def _result_fingerprint(results: list) -> list[str]:
+    """Bit-identity fingerprint of a sweep trajectory.
+
+    ``RunResult == RunResult`` is False whenever a latency field is NaN
+    (too few delivered packets to sample), even for byte-identical runs —
+    except when both sides happen to hold the *same* float object, which
+    same-process results do (the ``math.nan`` singleton) and unpickled
+    parallel results do not.  ``repr`` round-trips every float and
+    renders NaN stably, so comparing reprs is the NaN-proof equivalent
+    of the intended bit-identity check.
+    """
+    return [repr(result) for result in results]
+
+
+def measure_sweep(variant: str, *, warm: bool, jobs: int = 1,
+                  repeats: int = 2) -> dict[str, Any]:
+    """Benchmark one sweep variant: points/sec + determinism gate.
+
+    Serial sweeps time CPU (``process_time``, best-of-``repeats``) like
+    every other datapoint; parallel sweeps must time wall clock (child
+    CPU is invisible to the parent) and say so in ``clock``.  Repeats
+    must be bit-identical or the measurement is refused.  A warm serial
+    sweep gets one untimed priming pass so the timed passes measure the
+    steady state (the state a long sweep spends its life in); the cache
+    then stays warm across repeats.  Returns the sweep datapoint dict
+    plus the run results under ``"results"`` (popped before snapshotting)
+    so callers can gate warm-vs-cold identity.
+    """
+    from repro.experiments.executor import ExecutionPlan, execute_sweep
+    from repro.experiments.warm import clear_cache
+
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs!r}")
+    if repeats < 1:
+        raise ConfigError(f"repeats must be >= 1, got {repeats!r}")
+    points = sweep_bench_points(variant)
+    plan = ExecutionPlan(warm=warm)
+    clock = time.process_time if jobs == 1 else time.perf_counter
+    if jobs == 1:
+        clear_cache()
+        if warm:
+            execute_sweep(points, max_workers=1, plan=plan)  # priming pass
+    best: float | None = None
+    reference = None
+    for _ in range(repeats):
+        t0 = clock()
+        outcome = execute_sweep(points, max_workers=jobs, plan=plan)
+        elapsed = clock() - t0
+        if not outcome.complete:
+            raise ConfigError(
+                f"sweep benchmark {variant!r} lost points: "
+                f"{outcome.report.summary()}"
+            )
+        if reference is None:
+            reference = outcome.results
+        elif _result_fingerprint(outcome.results) != _result_fingerprint(
+                reference):
+            raise ConfigError(
+                f"sweep benchmark {variant!r} was not bit-identical "
+                f"across repeats (warm={warm}, jobs={jobs})"
+            )
+        if elapsed > 0 and (best is None or elapsed < best):
+            best = elapsed
+    if best is None:  # pragma: no cover - degenerate clock resolution
+        raise ConfigError("sweep benchmark measured zero time")
+    spec = SWEEP_VARIANTS[variant]
+    mode = "warm" if warm else "cold"
+    suffix = "" if jobs == 1 else f"_j{jobs}"
+    return {
+        "label": f"sweep_{variant}_{mode}{suffix}",
+        "variant": variant,
+        "points": spec["points"],
+        "cycles_per_point": spec["cycles"],
+        "warm": warm,
+        "jobs": jobs,
+        "clock": "cpu" if jobs == 1 else "wall",
+        "points_per_sec": round(spec["points"] / best, 2),
+        "calibration_ops_per_sec": round(calibrate(rounds=3), 1),
+        "results": reference,
+    }
+
+
+def run_sweep_benchmarks(quick: bool = False,
+                         jobs: tuple[int, ...] = (2,)) -> dict[str, Any]:
+    """The ``--sweep`` family: warm vs cold points/sec, serial and parallel.
+
+    Quick mode runs only the short-point serial pair (the pair the
+    warm-speedup gate reads); full mode adds the long-point pair and a
+    warm parallel sweep per entry of ``jobs``.  Warm and cold results
+    are asserted bit-identical — the warm-worker identity contract,
+    enforced on the recorded trajectory itself.  Returns the keys to
+    merge into a benchmark snapshot: ``sweep_datapoints`` and
+    ``sweep_speedups`` (per-variant warm/cold serial points/sec ratio —
+    same session and clock, so no calibration normalisation is needed).
+    """
+    variants = ["short"] if quick else list(SWEEP_VARIANTS)
+    datapoints: list[dict[str, Any]] = []
+    speedups: dict[str, float] = {}
+    for variant in variants:
+        cold = measure_sweep(variant, warm=False)
+        warm = measure_sweep(variant, warm=True)
+        if (_result_fingerprint(warm.pop("results"))
+                != _result_fingerprint(cold.pop("results"))):
+            raise ConfigError(
+                f"warm sweep {variant!r} diverged from cold execution — "
+                "the construction cache broke bit-identity"
+            )
+        datapoints.extend([cold, warm])
+        speedups[variant] = round(
+            warm["points_per_sec"] / cold["points_per_sec"], 3)
+    if not quick:
+        for n in jobs:
+            parallel = measure_sweep("short", warm=True, jobs=n)
+            parallel.pop("results")
+            datapoints.append(parallel)
+    return {"sweep_datapoints": datapoints, "sweep_speedups": speedups}
+
+
+def sweep_snapshot(quick: bool = False, pr: int | None = None,
+                   jobs: tuple[int, ...] = (2,)) -> dict[str, Any]:
+    """A sweep-only snapshot document (``repro bench --sweep-only``).
+
+    Same envelope as :func:`run_benchmarks` — schema version, machine
+    identity, calibration — with an empty single-run ``datapoints`` list,
+    so :func:`compare` passes vacuously and :func:`compare_sweeps` does
+    the work.  The fast CI smoke uses this to gate sweep throughput
+    without re-running the single-run trajectory.
+    """
+    snapshot: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "pr": pr,
+        "quick": quick,
+        "topology": "mesh",
+        "backend": "python",
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "calibration_ops_per_sec": round(calibrate(), 1),
+        "peak_rss_kb": _peak_rss_kb(),
+        "datapoints": [],
+    }
+    snapshot.update(run_sweep_benchmarks(quick=quick, jobs=jobs))
+    return snapshot
+
+
+def compare_sweeps(current: dict[str, Any], baseline: dict[str, Any],
+                   tolerance: float = 0.15) -> list[str]:
+    """Compare two snapshots' sweep sections, calibration-normalised.
+
+    Labels compare only when their geometry matches (same point count,
+    cycle budget, job count and clock) — points/sec is meaningless
+    across different sweep shapes.  Parallel (wall-clock) sweeps are
+    normalised too: the calibration probe runs in the supervisor, which
+    shares the machine with the workers.  Snapshots without sweep
+    sections compare vacuously (the standard gate covers them).
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise ConfigError(f"tolerance must be in (0, 1), got {tolerance!r}")
+    baseline_points = {
+        point["label"]: point
+        for point in baseline.get("sweep_datapoints", [])
+    }
+    regressions: list[str] = []
+    for point in current.get("sweep_datapoints", []):
+        base = baseline_points.get(point["label"])
+        if base is None:
+            continue
+        if any(point.get(k) != base.get(k)
+               for k in ("points", "cycles_per_point", "jobs", "clock")):
+            continue
+        cur_cal = point.get("calibration_ops_per_sec") \
+            or current.get("calibration_ops_per_sec")
+        base_cal = base.get("calibration_ops_per_sec") \
+            or baseline.get("calibration_ops_per_sec")
+        if not cur_cal or not base_cal:
+            raise ConfigError("both sweep snapshots need calibration scores")
+        ratio = (point["points_per_sec"] / cur_cal) \
+            / (base["points_per_sec"] / base_cal)
+        if ratio < 1.0 - tolerance:
+            regressions.append(
+                f"{point['label']}: normalised sweep throughput fell to "
+                f"{ratio:.2f}x of baseline ({point['points_per_sec']:,.1f} "
+                f"vs {base['points_per_sec']:,.1f} points/s raw)"
+            )
+    return regressions
+
+
+def format_sweeps(snapshot: dict[str, Any]) -> str:
+    """Human-readable rendering of a snapshot's sweep section."""
+    lines = []
+    for point in snapshot.get("sweep_datapoints", []):
+        lines.append(
+            f"  {point['label']:>18}: {point['points_per_sec']:>8,.1f} "
+            f"points/s ({point['clock']}) over {point['points']} points x "
+            f"{point['cycles_per_point']} cycles"
+        )
+    for variant, speedup in snapshot.get("sweep_speedups", {}).items():
+        lines.append(f"  warm speedup ({variant}, serial): {speedup:.2f}x")
+    return "\n".join(lines)
 
 
 def write_snapshot(snapshot: dict[str, Any], path: str) -> None:

@@ -1,0 +1,230 @@
+"""Unit tests for the warm-worker construction cache (experiments.warm)."""
+
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.config import PowerAwareConfig
+from repro.errors import ConfigError
+from repro.experiments import warm
+from repro.experiments.journal import point_key
+from repro.experiments.runner import SweepPoint, run_pair, run_point
+from repro.experiments.warm import (
+    cache_info,
+    clear_cache,
+    run_point_warm,
+    structural_key,
+)
+from tests.sweeputil import TINY, tiny_point
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestStructuralKey:
+    def test_key_is_the_network_config(self):
+        point = tiny_point()
+        assert structural_key(point) == TINY.network
+
+    def test_seed_rate_and_power_do_not_change_the_key(self):
+        base = tiny_point(seed=1)
+        other = SweepPoint(label="q", scale=TINY, power=PowerAwareConfig(),
+                           traffic_factory=base.traffic_factory, seed=9,
+                           cycles=300)
+        assert structural_key(base) == structural_key(other)
+
+
+class TestWarmExecution:
+    def test_bit_identical_to_cold(self):
+        points = [tiny_point(label=f"p{i}", seed=i + 1) for i in range(3)]
+        cold = [run_point(p) for p in points]
+        assert [run_point_warm(p) for p in points] == cold
+
+    def test_cache_hits_after_first_point(self):
+        points = [tiny_point(label=f"p{i}", seed=i + 1) for i in range(3)]
+        for point in points:
+            run_point_warm(point)
+        info = cache_info()
+        assert info == {"hits": 2, "misses": 1, "size": 1}
+
+    def test_power_toggle_reuses_the_fabric(self):
+        baseline = tiny_point(label="b", seed=4)
+        aware = SweepPoint(label="a", scale=TINY, power=PowerAwareConfig(),
+                           traffic_factory=baseline.traffic_factory, seed=4,
+                           cycles=1_200)
+        cold = [run_point(aware), run_point(baseline)]
+        assert [run_point_warm(aware), run_point_warm(baseline)] == cold
+        assert cache_info()["misses"] == 1
+
+    def test_failed_point_evicts_its_simulator(self):
+        good = tiny_point(label="good", seed=2)
+        run_point_warm(good)
+        assert cache_info()["size"] == 1
+
+        class Boom(RuntimeError):
+            pass
+
+        def exploding_run(cycles):
+            raise Boom("mid-run death")
+
+        bad = tiny_point(label="bad", seed=3)
+        original = warm._acquire
+
+        def sabotaged(config, traffic):
+            sim = original(config, traffic)
+            sim.run = exploding_run
+            return sim
+
+        warm._acquire = sabotaged
+        try:
+            with pytest.raises(Boom):
+                run_point_warm(bad)
+        finally:
+            warm._acquire = original
+        assert cache_info()["size"] == 0
+        # And the next warm run rebuilds cold, correctly.
+        assert run_point_warm(good) == run_point(good)
+
+    def test_cache_is_bounded(self):
+        for width in (2, 3):
+            from dataclasses import replace
+
+            from repro.config import NetworkConfig
+            scale = replace(TINY, name=f"t{width}",
+                            network=NetworkConfig(
+                                mesh_width=width, mesh_height=2,
+                                nodes_per_cluster=2, buffer_depth=8,
+                                num_vcs=2))
+            point = SweepPoint(label=f"w{width}", scale=scale, power=None,
+                               traffic_factory=tiny_point().traffic_factory,
+                               seed=1, cycles=400)
+            run_point_warm(point)
+        assert cache_info()["size"] <= warm._CACHE_MAX
+
+
+class TestRunPairSharing:
+    def test_run_pair_is_bit_identical_with_cold_memos(self):
+        # run_pair's two sides share the per-process immutable artifacts
+        # (topology memo, route-table cache, operating-point table); the
+        # regression gate is that results equal a run with every memo
+        # cold, computed in a pristine subprocess.
+        from repro.experiments.fig5 import uniform_factory
+
+        aware, baseline, norm = run_pair(
+            TINY, PowerAwareConfig(), uniform_factory(0.05),
+            label="pair", seed=5, cycles=900)
+        script = (
+            "import json\n"
+            "from tests.sweeputil import TINY\n"
+            "from repro.config import PowerAwareConfig\n"
+            "from repro.experiments.fig5 import uniform_factory\n"
+            "from repro.experiments.runner import run_pair\n"
+            "aware, baseline, norm = run_pair(TINY, PowerAwareConfig(),\n"
+            "    uniform_factory(0.05), label='pair', seed=5, cycles=900)\n"
+            "print(json.dumps([aware.mean_latency, aware.relative_power,\n"
+            "    baseline.mean_latency, norm.latency_ratio]))\n"
+        )
+        out = subprocess.run([sys.executable, "-c", script],
+                             capture_output=True, text=True, check=True)
+        import json
+
+        assert json.loads(out.stdout) == [
+            aware.mean_latency, aware.relative_power,
+            baseline.mean_latency, norm.latency_ratio,
+        ]
+
+
+class TestPointKeyCache:
+    def test_cached_key_matches_recomputation(self):
+        point = tiny_point(label="k", seed=7)
+        first = point_key(point)
+        assert point.__dict__["_point_key"] == first
+        assert point_key(point) == first
+
+    def test_cache_is_invisible_to_hashing_and_equality(self):
+        a = tiny_point(label="k", seed=7)
+        b = tiny_point(label="k", seed=7)
+        point_key(a)  # a now carries the cache, b does not
+        assert a == b
+        assert point_key(b) == point_key(a)
+
+    def test_key_is_stable_across_processes(self):
+        point = tiny_point(label="x", seed=11)
+        local = point_key(point)
+        # Ship the point (cache already populated) to a fresh process
+        # and have it recompute from scratch there.
+        payload = pickle.dumps(point)
+        script = (
+            "import pickle, sys\n"
+            "from repro.experiments.journal import point_key\n"
+            "point = pickle.loads(sys.stdin.buffer.read())\n"
+            "object.__delattr__(point, '_point_key') if '_point_key' in "
+            "point.__dict__ else None\n"
+            "print(point_key(point))\n"
+        )
+        out = subprocess.run([sys.executable, "-c", script],
+                             input=payload, capture_output=True, check=True)
+        assert out.stdout.decode().strip() == local
+
+
+class TestExecutorIntegration:
+    def test_execute_sweep_warm_matches_cold(self):
+        from repro.experiments.executor import ExecutionPlan, execute_sweep
+
+        points = [tiny_point(label=f"e{i}", seed=i + 1) for i in range(4)]
+        cold = execute_sweep(points, max_workers=1,
+                             plan=ExecutionPlan(warm=False))
+        clear_cache()
+        hot = execute_sweep(points, max_workers=1,
+                            plan=ExecutionPlan(warm=True))
+        assert hot.results == cold.results
+        assert cache_info()["hits"] == 3
+
+    def test_plan_defaults_to_warm(self):
+        from repro.experiments.executor import ExecutionPlan
+
+        assert ExecutionPlan().warm is True
+
+
+class TestAcquireFallback:
+    def test_reset_failure_falls_back_to_cold_construction(self):
+        point = tiny_point(label="f", seed=1)
+        expected = run_point(point)
+        run_point_warm(point)
+        # Corrupt the cached simulator so its next reset raises.
+        (cached,) = warm._CACHE.values()
+        cached.reset = None  # type: ignore[assignment]
+        result = run_point_warm(point)
+        assert result == expected
+        info = cache_info()
+        assert info["misses"] == 2  # cold build replaced the corpse
+
+
+def test_structural_key_raises_nothing_on_faulted_points():
+    from repro.reliability import FaultConfig
+
+    point = SweepPoint(label="f", scale=TINY, power=None,
+                       traffic_factory=tiny_point().traffic_factory,
+                       seed=1, cycles=400,
+                       faults=FaultConfig(seed=3, received_power_w=13e-6))
+    assert structural_key(point) == TINY.network
+
+
+def test_warm_and_cold_agree_on_faulted_points():
+    from repro.reliability import FaultConfig
+
+    factory = tiny_point().traffic_factory
+    faulted = SweepPoint(label="f", scale=TINY, power=PowerAwareConfig(),
+                         traffic_factory=factory, seed=1, cycles=900,
+                         faults=FaultConfig(seed=3, received_power_w=13e-6))
+    clean = SweepPoint(label="c", scale=TINY, power=PowerAwareConfig(),
+                       traffic_factory=factory, seed=1, cycles=900)
+    cold = [run_point(faulted), run_point(clean), run_point(faulted)]
+    assert [run_point_warm(faulted), run_point_warm(clean),
+            run_point_warm(faulted)] == cold

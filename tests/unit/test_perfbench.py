@@ -242,3 +242,123 @@ class TestCalibrationDrift:
         baseline = fake_snapshot({"moderate": 20_000.0},
                                  calibration=1_000_000.0)
         assert perfbench.compare(current, baseline) != []
+
+
+def fake_sweep_snapshot(points_per_sec: dict[str, float],
+                        calibration: float = 1_000_000.0) -> dict:
+    snapshot = fake_snapshot({}, calibration=calibration)
+    snapshot["sweep_datapoints"] = [
+        {
+            "label": label,
+            "variant": label.split("_")[1],
+            "points": 24,
+            "cycles_per_point": 200,
+            "warm": label.endswith("warm"),
+            "jobs": 1,
+            "clock": "cpu",
+            "points_per_sec": pps,
+            "calibration_ops_per_sec": calibration,
+        }
+        for label, pps in points_per_sec.items()
+    ]
+    return snapshot
+
+
+class TestCompareSweeps:
+    def test_identical_snapshots_pass(self):
+        snapshot = fake_sweep_snapshot({"sweep_short_cold": 60.0,
+                                        "sweep_short_warm": 160.0})
+        assert perfbench.compare_sweeps(snapshot, snapshot) == []
+
+    def test_regression_beyond_tolerance_is_reported(self):
+        baseline = fake_sweep_snapshot({"sweep_short_warm": 160.0})
+        current = fake_sweep_snapshot({"sweep_short_warm": 100.0})
+        regressions = perfbench.compare_sweeps(current, baseline)
+        assert len(regressions) == 1
+        assert regressions[0].startswith("sweep_short_warm:")
+
+    def test_calibration_normalisation_applies(self):
+        baseline = fake_sweep_snapshot({"sweep_short_warm": 160.0},
+                                       calibration=2_000_000.0)
+        current = fake_sweep_snapshot({"sweep_short_warm": 80.0},
+                                      calibration=1_000_000.0)
+        assert perfbench.compare_sweeps(current, baseline) == []
+
+    def test_mismatched_geometry_is_skipped(self):
+        # points/sec across different sweep shapes is meaningless; a
+        # re-parameterised variant must not gate against the old shape.
+        baseline = fake_sweep_snapshot({"sweep_short_warm": 160.0})
+        current = fake_sweep_snapshot({"sweep_short_warm": 10.0})
+        current["sweep_datapoints"][0]["cycles_per_point"] = 500
+        assert perfbench.compare_sweeps(current, baseline) == []
+
+    def test_snapshots_without_sweeps_compare_vacuously(self):
+        plain = fake_snapshot({"light": 1.0})
+        sweeping = fake_sweep_snapshot({"sweep_short_warm": 160.0})
+        assert perfbench.compare_sweeps(plain, sweeping) == []
+        assert perfbench.compare_sweeps(sweeping, plain) == []
+
+    def test_bad_tolerance_rejected(self):
+        snapshot = fake_sweep_snapshot({"sweep_short_warm": 1.0})
+        with pytest.raises(ConfigError):
+            perfbench.compare_sweeps(snapshot, snapshot, tolerance=1.0)
+
+
+class TestSweepMeasurement:
+    TINY_VARIANTS = {
+        "short": {"points": 3, "cycles": 120, "warmup": 25,
+                  "rates": (0.02,)},
+    }
+
+    def test_measure_sweep_smoke(self, monkeypatch):
+        monkeypatch.setattr(perfbench, "SWEEP_VARIANTS", self.TINY_VARIANTS)
+        cold = perfbench.measure_sweep("short", warm=False, repeats=1)
+        warm = perfbench.measure_sweep("short", warm=True, repeats=1)
+        assert warm.pop("results") == cold.pop("results")
+        assert cold["label"] == "sweep_short_cold"
+        assert warm["label"] == "sweep_short_warm"
+        assert cold["points_per_sec"] > 0 and warm["points_per_sec"] > 0
+        assert cold["clock"] == "cpu"
+        json.dumps([cold, warm])  # must be serialisable as-is
+
+    def test_run_sweep_benchmarks_quick(self, monkeypatch):
+        monkeypatch.setattr(perfbench, "SWEEP_VARIANTS", self.TINY_VARIANTS)
+        doc = perfbench.run_sweep_benchmarks(quick=True)
+        labels = [p["label"] for p in doc["sweep_datapoints"]]
+        assert labels == ["sweep_short_cold", "sweep_short_warm"]
+        assert "short" in doc["sweep_speedups"]
+        for point in doc["sweep_datapoints"]:
+            assert "results" not in point
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigError, match="unknown sweep variant"):
+            perfbench.sweep_bench_points("nope")
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ConfigError):
+            perfbench.measure_sweep("short", warm=True, jobs=0)
+
+
+class TestCommittedSnapshotsCarryProfiles:
+    def test_post_pr9_datapoints_have_phase_profiles(self):
+        # BENCH_8 shipped torus/numpy riders with an empty phase_profile
+        # (the riders hardcoded profile=False); from PR 9 on, every
+        # committed single-run datapoint must carry a non-empty profile.
+        import glob
+        import os
+
+        root = os.path.join(os.path.dirname(__file__), "..", "..")
+        checked = 0
+        for path in sorted(glob.glob(os.path.join(root, "BENCH_*.json"))):
+            stem = os.path.basename(path)
+            number = int(stem[len("BENCH_"):-len(".json")])
+            if number < 9:
+                continue
+            snapshot = perfbench.load_snapshot(path)
+            for point in snapshot["datapoints"]:
+                assert point["phase_profile"], (
+                    f"{stem} datapoint {point['label']!r} has an empty "
+                    "phase_profile"
+                )
+                checked += 1
+        assert checked > 0, "no post-PR9 snapshot committed"
