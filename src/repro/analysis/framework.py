@@ -7,16 +7,14 @@ result as human-readable text or JSON.
 
 Suppression
 -----------
-A finding is suppressed by a comment on the flagged line::
+A finding is suppressed by a ``# repro: noqa[<rule id>]`` comment on
+the flagged line (e.g. ``noqa`` + ``[UN001]``), or for a whole file by
+a ``# repro: noqa-file[<rule id>]`` comment anywhere in it
+(conventionally at the top).  The examples spell the bracket out
+because the parser scans *raw lines* — a literal example here would
+register as a real (and stale, see SU001) suppression for this file.
 
-    total = margin_db + power_w  # repro: noqa[UN001] intentional: doc'd
-
-or for a whole file, by a comment anywhere in it (conventionally at the
-top)::
-
-    # repro: noqa-file[DT004] wall-time profiler measures wall time
-
-Several ids may share one comment: ``# repro: noqa[DT001,DT004]``.  Every
+Several ids may share one comment (``[DT001,DT004]``).  Every
 suppression should carry a short justification after the bracket; the
 text is free-form but reviewers treat an unexplained suppression as a
 finding of its own.
@@ -45,6 +43,12 @@ _SUPPRESS_RE = re.compile(
 
 #: Output-schema version stamped into every JSON report.
 JSON_SCHEMA_VERSION = 1
+
+#: Rule id of the stale-suppression meta-rule.  Its detection lives in
+#: :func:`run_check` (suppressions are only matched after every other
+#: rule has produced findings); the rule class in ``rules/suppressions``
+#: carries the id, severity and documentation.
+STALE_SUPPRESSION_ID = "SU001"
 
 
 @dataclass(frozen=True, order=True)
@@ -91,6 +95,18 @@ class Finding:
         )
 
 
+@dataclass(frozen=True)
+class SuppressionSite:
+    """One ``noqa[ID]`` comment, for stale-suppression accounting."""
+
+    rel: str
+    #: Line of the comment itself (the suppressed line for line-level
+    #: sites; wherever the ``noqa-file`` comment sits for file-level).
+    line: int
+    rule_id: str
+    file_wide: bool
+
+
 @dataclass
 class SourceFile:
     """One parsed file: AST, raw lines and its suppression comments."""
@@ -103,6 +119,8 @@ class SourceFile:
     line_suppressions: dict[int, set[str]] = field(default_factory=dict)
     #: rule ids suppressed for the whole file.
     file_suppressions: set[str] = field(default_factory=set)
+    #: every suppression comment, one site per (location, rule id).
+    suppression_sites: list[SuppressionSite] = field(default_factory=list)
 
     @classmethod
     def parse(cls, path: Path, rel: str) -> "SourceFile":
@@ -114,17 +132,37 @@ class SourceFile:
                 continue
             for match in _SUPPRESS_RE.finditer(line):
                 ids = {part.strip() for part in match.group("ids").split(",")}
-                if match.group("file"):
+                file_wide = bool(match.group("file"))
+                if file_wide:
                     src.file_suppressions |= ids
                 else:
                     src.line_suppressions.setdefault(lineno, set()).update(ids)
+                for rule_id in ids:
+                    src.suppression_sites.append(SuppressionSite(
+                        rel=rel, line=lineno, rule_id=rule_id,
+                        file_wide=file_wide,
+                    ))
         return src
 
     def suppresses(self, finding: Finding) -> bool:
-        if finding.rule_id in self.file_suppressions:
-            return True
-        on_line = self.line_suppressions.get(finding.line)
-        return on_line is not None and finding.rule_id in on_line
+        return self.matching_site(finding) is not None
+
+    def matching_site(self, finding: Finding) -> SuppressionSite | None:
+        """The suppression site covering ``finding``, if any.
+
+        File-wide sites win (they are what makes the finding disappear
+        however the flagged line moves); the returned site is what the
+        stale-suppression pass marks as *used*.
+        """
+        line_match = None
+        for site in self.suppression_sites:
+            if site.rule_id != finding.rule_id:
+                continue
+            if site.file_wide:
+                return site
+            if site.line == finding.line and line_match is None:
+                line_match = site
+        return line_match
 
 
 class Project:
@@ -292,12 +330,42 @@ def run_check(paths: Sequence[Path | str] | None = None,
 
     findings: list[Finding] = []
     suppressed = 0
+    used_sites: set[SuppressionSite] = set()
     for finding in raw:
         src = project.by_rel.get(finding.path)
-        if src is not None and src.suppresses(finding):
+        site = src.matching_site(finding) if src is not None else None
+        if site is not None:
             suppressed += 1
+            used_sites.add(site)
         else:
             findings.append(finding)
+
+    # Stale-suppression pass (SU001): a noqa that matched nothing is a
+    # finding of its own, but only when the suppressed rule actually ran
+    # (a --rules subset must not flag every other family's noqa), and
+    # never for noqa[SU001] itself (suppressing a stale-suppression
+    # report is a reviewed decision, not a staleness signal).
+    active_ids = {rule.rule_id for rule in rules}
+    stale_rule = next(
+        (rule for rule in rules if rule.rule_id == STALE_SUPPRESSION_ID),
+        None)
+    if stale_rule is not None:
+        for src in project:
+            for site in src.suppression_sites:
+                if (site.rule_id == STALE_SUPPRESSION_ID
+                        or site.rule_id not in active_ids
+                        or site in used_sites):
+                    continue
+                stale = stale_rule.finding(
+                    src.rel, None,
+                    f"noqa{'-file' if site.file_wide else ''}"
+                    f"[{site.rule_id}] suppresses no finding",
+                    line=site.line,
+                )
+                if src.matching_site(stale) is not None:
+                    suppressed += 1
+                else:
+                    findings.append(stale)
     findings.sort()
     return CheckResult(
         findings=findings,

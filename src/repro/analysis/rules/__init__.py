@@ -1,6 +1,6 @@
 """The rule catalogue for ``repro check``.
 
-Four families, sixteen rules (see ``docs/static-analysis.md``):
+Nine families, twenty-nine rules (see ``docs/static-analysis.md``):
 
 =========  ==================================================
 family     invariant
@@ -9,6 +9,11 @@ family     invariant
 ``UN0xx``  unit consistency across the photonics layer
 ``HC0xx``  hook contract between engine and subscribers
 ``HP0xx``  purity of the inlined hot loop
+``MC0xx``  batch-backend mirrors track every scalar mutation
+``RC0xx``  reset() restores everything __init__ creates
+``CK0xx``  memo/hash keys cover every behavioral input
+``SP0xx``  pool-boundary picklability and canonical hashing
+``SU0xx``  suppression hygiene (no stale noqa comments)
 =========  ==================================================
 
 To add a rule: subclass :class:`repro.analysis.framework.Rule` in the
@@ -20,6 +25,11 @@ uniqueness against it.
 from __future__ import annotations
 
 from repro.analysis.framework import Rule
+from repro.analysis.rules.cachekeys import (
+    GuardKeyAgreementRule,
+    MemoKeyCoverageRule,
+    SweepPointCoverageRule,
+)
 from repro.analysis.rules.determinism import (
     IdOrderingRule,
     UnseededRandomRule,
@@ -38,6 +48,22 @@ from repro.analysis.rules.hotpath import (
     LocalImportRule,
     LoggingInHotPathRule,
 )
+from repro.analysis.rules.mirrors import (
+    MirrorCoherenceRule,
+    MirrorRebuildRule,
+    MirrorSpecStalenessRule,
+)
+from repro.analysis.rules.resets import (
+    ResetCompletenessRule,
+    ResetDriftRule,
+    ResetExemptionStalenessRule,
+)
+from repro.analysis.rules.serialization import (
+    BoundaryFieldRule,
+    CanonicalHashingRule,
+    PoolSubmissionRule,
+)
+from repro.analysis.rules.suppressions import StaleSuppressionRule
 from repro.analysis.rules.units import (
     InlineDbMathRule,
     MagicScaleConstantRule,
@@ -62,6 +88,19 @@ _RULE_CLASSES: tuple[type[Rule], ...] = (
     LoggingInHotPathRule,
     ClosureInHotPathRule,
     ComprehensionInHotPathRule,
+    MirrorCoherenceRule,
+    MirrorRebuildRule,
+    MirrorSpecStalenessRule,
+    ResetCompletenessRule,
+    ResetDriftRule,
+    ResetExemptionStalenessRule,
+    SweepPointCoverageRule,
+    MemoKeyCoverageRule,
+    GuardKeyAgreementRule,
+    PoolSubmissionRule,
+    CanonicalHashingRule,
+    BoundaryFieldRule,
+    StaleSuppressionRule,
 )
 
 

@@ -37,7 +37,7 @@ class _HookRuleBase(Rule):
     """Shared lazily-built :class:`HookModel` per project run."""
 
     def _model(self, project: Project) -> HookModel:
-        cached = getattr(project, "_hook_model", None)
+        cached: HookModel | None = getattr(project, "_hook_model", None)
         if cached is None:
             cached = build_hook_model(project)
             project._hook_model = cached  # type: ignore[attr-defined]

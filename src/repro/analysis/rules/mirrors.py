@@ -1,0 +1,231 @@
+"""MC: mirror-coherence rules for the batched route-phase backend.
+
+:class:`~repro.network.batch.BatchRouteBackend` keeps struct-of-arrays
+mirrors of scalar gating state (latched routes, eligibility stamps,
+claimed output VCs, link serialiser horizons, output-VC ownership).
+The mirrors are only correct if **every** mutation of a mirrored field
+either writes the mirror through in the same method or sits in a method
+the backend re-syncs around — a single unmirrored store silently
+desynchronises the python and numpy engines.
+
+* **MC001** — a mirrored field is mutated outside the declared
+  mirror-maintaining methods (:data:`MIRROR_MAINTAINERS`) and outside
+  the justified exemptions (:data:`MIRROR_EXEMPT` /
+  :data:`MIRROR_EXEMPT_PREFIXES`).
+* **MC002** — a mirror array allocated in ``BatchRouteBackend.__init__``
+  is not rebuilt by ``resync()`` (a new mirror was added without
+  extending the rebuild).
+* **MC003** — the spec tables themselves are stale: a maintainer or
+  exemption names a method that no longer exists, or a structural
+  exemption names an attribute ``__init__`` no longer allocates.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.framework import Finding, Project, Rule, SourceFile
+from repro.analysis.project import class_models
+
+#: Scalar fields the backend mirrors (field -> mirror array), per
+#: docs in network/batch.py.  A store to any of these anywhere in the
+#: engine must be mirror-coherent.
+MIRRORED_FIELDS: dict[str, str] = {
+    "route_out": "routed/out_link",
+    "eligible_at": "elig",
+    "out_vc": "hasoutvc",
+    "vc_class": "klass",
+    "free_at": "linkfree",
+    "vc_owner": "vcfree",
+}
+
+#: Repo-relative module of the backend (without the ``src/`` prefix).
+BATCH_MODULE = "repro/network/batch.py"
+BATCH_CLASS = "BatchRouteBackend"
+
+#: Mirror arrays that are structural wiring, rebuilt only at
+#: construction: resync() restores run state on a fixed geometry.
+BATCH_STRUCTURAL = frozenset({
+    "routers", "links", "registry", "num_vcs", "_pv",
+    "_link_owner", "_link_out",
+})
+
+#: Methods allowed to mutate mirrored fields: each one either performs
+#: the matching mirror write-through (Router.step/step_candidates/
+#: _forward/receive_flit via _mirror_* helpers and inline array stores),
+#: runs while no backend is attached (constructors, Router.reset — the
+#: simulator rebuilds the backend, whose __init__ resyncs, after every
+#: fabric reset), or *is* the rebuild (BatchRouteBackend.resync).
+MIRROR_MAINTAINERS: dict[str, frozenset[str]] = {
+    "repro/network/router.py": frozenset({
+        "VirtualChannel.__init__", "OutputPort.__init__",
+        "Router.reset", "Router.receive_flit",
+        "Router.step", "Router.step_candidates", "Router._forward",
+        "Router._mirror_route", "Router._mirror_grant",
+    }),
+    "repro/network/links.py": frozenset({"Link.__init__", "Link.reset"}),
+    "repro/network/batch.py": frozenset({f"{BATCH_CLASS}.resync"}),
+}
+
+#: Justified out-of-band mutation sites.  Each entry must explain why
+#: the store cannot desynchronise a live backend.
+MIRROR_EXEMPT: dict[str, frozenset[str]] = {
+    # Link.push serialises on injection (node -> router) links; the
+    # backend mirrors free_at only for router *output* links, which are
+    # fed exclusively by Router._forward's inlined, mirrored store.
+    "repro/network/links.py": frozenset({"Link.push"}),
+    # Node.step inlines Link.push on the node's own injection link —
+    # never a router output, so linkfree does not track it.
+    "repro/network/topology.py": frozenset({"Node.step"}),
+}
+
+#: Module prefixes exempt wholesale: fault-injected runs never
+#: construct the backend (Simulator._init_run_state gates it on
+#: ``faults is None``), so the reliability layer cannot race a mirror.
+MIRROR_EXEMPT_PREFIXES: tuple[str, ...] = ("repro/reliability/",)
+
+
+def _iter_bodies(src: SourceFile) -> Iterator[tuple[str, ast.AST]]:
+    """(qualified name, body node) for each top-level function/method."""
+    for node in src.tree.body:  # type: ignore[attr-defined]
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield f"{node.name}.{item.name}", item
+
+
+def _mirror_stores(body: ast.AST) -> Iterator[tuple[str, ast.expr]]:
+    """(field, target node) for each store to a mirrored field."""
+    for node in ast.walk(body):
+        targets: list[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                target = target.value
+            if isinstance(target, ast.Attribute) and \
+                    target.attr in MIRRORED_FIELDS:
+                yield target.attr, target
+
+
+class _MirrorRuleBase(Rule):
+    def _rel(self, rel: str) -> str:
+        return rel.removeprefix("src/")
+
+
+class MirrorCoherenceRule(_MirrorRuleBase):
+    rule_id = "MC001"
+    name = "mirrored-fields-mutate-in-maintainers"
+    description = ("a field mirrored by BatchRouteBackend is mutated "
+                   "outside the declared mirror-maintaining methods")
+    hint = ("mirror the store through (see Router._mirror_* / the inline "
+            "batch writes in Router._forward), or add the method to "
+            "MIRROR_MAINTAINERS/MIRROR_EXEMPT in analysis/rules/"
+            "mirrors.py with a justification")
+
+    def scope(self, rel: str) -> bool:
+        plain = rel.removeprefix("src/")
+        return (plain.startswith("repro/")
+                and not plain.startswith("repro/analysis/")
+                and not plain.startswith(MIRROR_EXEMPT_PREFIXES))
+
+    def check_file(self, src: SourceFile,
+                   project: Project) -> Iterable[Finding]:
+        plain = self._rel(src.rel)
+        allowed = MIRROR_MAINTAINERS.get(plain, frozenset()) | \
+            MIRROR_EXEMPT.get(plain, frozenset())
+        for qualified, body in _iter_bodies(src):
+            if qualified in allowed:
+                continue
+            for fld, target in _mirror_stores(body):
+                yield self.finding(
+                    src.rel, target,
+                    f"{qualified} mutates mirrored field .{fld} "
+                    f"(backend array: {MIRRORED_FIELDS[fld]}) without a "
+                    f"mirror write-through",
+                )
+
+
+class MirrorRebuildRule(_MirrorRuleBase):
+    rule_id = "MC002"
+    name = "resync-rebuilds-every-mirror"
+    description = ("a mirror array allocated in BatchRouteBackend."
+                   "__init__ is not rebuilt by resync()")
+    hint = ("rebuild the new mirror in resync() (warm resets rely on it), "
+            "or add it to BATCH_STRUCTURAL if it is fixed wiring")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        index = class_models(project)
+        for rel in (BATCH_MODULE, f"src/{BATCH_MODULE}"):
+            model = index.get(rel, BATCH_CLASS)
+            if model is None:
+                continue
+            resynced = model.touched_attrs("resync")
+            for attr in sorted(model.bound_attrs("__init__")
+                               - BATCH_STRUCTURAL - resynced):
+                write = model.first_write("__init__", attr)
+                yield self.finding(
+                    model.rel, None,
+                    f"{BATCH_CLASS}.{attr} is allocated in __init__ but "
+                    f"never rebuilt by resync()",
+                    line=write.line if write is not None else model.line,
+                )
+
+
+class MirrorSpecStalenessRule(_MirrorRuleBase):
+    rule_id = "MC003"
+    name = "mirror-spec-stays-live"
+    description = ("a MIRROR_MAINTAINERS/MIRROR_EXEMPT/BATCH_STRUCTURAL "
+                   "entry no longer matches the code")
+    hint = "delete or update the stale entry in analysis/rules/mirrors.py"
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        rels = {self._rel(src.rel): src.rel for src in project}
+        if BATCH_MODULE not in rels:
+            return  # backend not part of this run's tree
+        index = class_models(project)
+        for table_name, table in (("MIRROR_MAINTAINERS", MIRROR_MAINTAINERS),
+                                  ("MIRROR_EXEMPT", MIRROR_EXEMPT)):
+            for spec_rel, methods in table.items():
+                rel = rels.get(spec_rel)
+                if rel is None:
+                    yield self.finding(
+                        rels[BATCH_MODULE], None,
+                        f"{table_name} names module {spec_rel}, which is "
+                        f"not in the tree",
+                    )
+                    continue
+                defined = {
+                    qualified
+                    for qualified, _ in _iter_bodies(project.by_rel[rel])
+                }
+                for method in sorted(methods - defined):
+                    yield self.finding(
+                        rel, None,
+                        f"{table_name} names {method} in {spec_rel}, "
+                        f"which no longer exists",
+                    )
+        model = index.get(rels[BATCH_MODULE], BATCH_CLASS)
+        if model is None:
+            yield self.finding(
+                rels[BATCH_MODULE], None,
+                f"class {BATCH_CLASS} not found in {BATCH_MODULE}",
+            )
+            return
+        allocated = model.bound_attrs("__init__")
+        for attr in sorted(BATCH_STRUCTURAL - allocated):
+            yield self.finding(
+                model.rel, None,
+                f"BATCH_STRUCTURAL lists {BATCH_CLASS}.{attr}, which "
+                f"__init__ no longer allocates",
+                line=model.line,
+            )

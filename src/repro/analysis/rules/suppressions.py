@@ -1,0 +1,35 @@
+"""SU: suppression-hygiene meta-rule.
+
+The suppression cap meta-test (``test_repository_suppressions_stay_few``)
+only stays honest if every ``# repro: noqa[ID]`` in the tree actually
+suppresses something: a noqa left behind after the flagged code was
+fixed or moved both pads the cap and — worse — silently swallows the
+*next* genuine finding that lands on its line.
+
+* **SU001** — a ``noqa[ID]`` / ``noqa-file[ID]`` comment that
+  suppressed zero findings in this run.
+
+The detection itself lives in
+:func:`repro.analysis.framework.run_check`, because staleness is only
+knowable *after* every other rule has run and the suppression filter
+has matched findings to sites; this class contributes the id, severity
+and hint, and makes the rule selectable via ``--rules``.  Two
+deliberate asymmetries: a suppression for a rule excluded from the run
+(``--rules`` subset) is never reported (the rule might have matched),
+and ``noqa[SU001]`` itself is never treated as stale (suppressing a
+stale-suppression report is a reviewed decision that must not
+oscillate).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.framework import STALE_SUPPRESSION_ID, Rule
+
+
+class StaleSuppressionRule(Rule):
+    rule_id = STALE_SUPPRESSION_ID
+    name = "suppressions-suppress-something"
+    description = ("a noqa[ID] / noqa-file[ID] comment suppresses zero "
+                   "findings (stale after the flagged code changed)")
+    hint = ("delete the noqa comment; if the finding is expected to "
+            "return, re-add it together with the code that triggers it")

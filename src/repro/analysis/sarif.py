@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 rendering for ``repro check`` reports.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format GitHub code scanning ingests: the CI ``check``
+job uploads ``repro check --format sarif`` output so findings render as
+PR annotations on the flagged lines.
+
+Only the schema's required skeleton plus the properties GitHub reads
+are emitted: one run, one tool driver carrying every registered rule as
+a ``reportingDescriptor``, and one ``result`` per finding with a
+repo-relative ``artifactLocation`` and a 1-based ``region``
+(:class:`~repro.analysis.framework.Finding` columns are 0-based).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.analysis.framework import ERROR, CheckResult, Finding, Rule
+
+#: The schema the output declares (and tests validate against).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Tool identity reported in the driver block.
+TOOL_NAME = "repro-check"
+TOOL_INFO_URI = "https://example.invalid/repro/docs/static-analysis.md"
+
+#: Finding severities -> SARIF result levels.
+_LEVELS = {ERROR: "error", "warning": "warning"}
+
+
+def _descriptor(rule: Rule) -> dict[str, object]:
+    return {
+        "id": rule.rule_id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.description or rule.name},
+        "help": {"text": rule.hint or rule.description or rule.name},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "warning"),
+        },
+    }
+
+
+def _result(finding: Finding, rule_index: dict[str, int]) -> dict[str, object]:
+    message = finding.message
+    if finding.hint:
+        message = f"{message} (hint: {finding.hint})"
+    result: dict[str, object] = {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path.replace("\\", "/"),
+                },
+                "region": {
+                    "startLine": max(1, finding.line),
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+    }
+    index = rule_index.get(finding.rule_id)
+    if index is not None:
+        result["ruleIndex"] = index
+    return result
+
+
+def to_sarif(result: CheckResult,
+             rules: Sequence[Rule]) -> dict[str, object]:
+    """The report as a SARIF 2.1.0 log object (JSON-serialisable)."""
+    ordered = sorted(rules, key=lambda rule: rule.rule_id)
+    rule_index = {rule.rule_id: i for i, rule in enumerate(ordered)}
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri": TOOL_INFO_URI,
+                    "rules": [_descriptor(rule) for rule in ordered],
+                },
+            },
+            "results": [
+                _result(finding, rule_index)
+                for finding in result.findings
+            ],
+            "columnKind": "unicodeCodePoints",
+        }],
+    }
+
+
+def to_sarif_json(result: CheckResult, rules: Sequence[Rule],
+                  indent: int | None = 2) -> str:
+    return json.dumps(to_sarif(result, rules), indent=indent,
+                      sort_keys=True)

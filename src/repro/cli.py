@@ -225,17 +225,23 @@ def _add_bench_parser(subparsers) -> None:
 def _add_check_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "check", help="run the project static-analysis pass "
-                      "(determinism/units/hooks/hot-path rules)")
+                      "(determinism/units/hooks/hot-path/"
+                      "stateful-invariant rules)")
     parser.add_argument("paths", nargs="*",
                         help="files or directories to check "
                              "(default: the repro package)")
-    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text")
     parser.add_argument("--rules", metavar="ID[,ID...]", default=None,
                         help="comma-separated rule ids to run")
     parser.add_argument("--root", default=None,
                         help="directory findings are reported relative to")
     parser.add_argument("--output", default=None, metavar="REPORT",
                         help="also write the report to this file")
+    parser.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                        metavar="BASE",
+                        help="report only findings in files changed vs. "
+                             "the git ref BASE (default HEAD)")
 
 
 def build_parser() -> argparse.ArgumentParser:

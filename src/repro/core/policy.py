@@ -111,5 +111,16 @@ class LinkPolicyController:
         return decision
 
     def reset(self) -> None:
-        """Clear the sliding history (used when a link is reconfigured)."""
+        """Restore the freshly-constructed state (link reconfiguration).
+
+        Everything ``observe`` accumulates goes: the sliding history,
+        the decision counters and the last (Lu, Bu) sample.  A
+        controller that kept its counters across a reconfiguration
+        would mis-report the new configuration's decision mix, and a
+        stale ``last_sample`` would leak one run's telemetry into the
+        next warm rerun.
+        """
         self._history.clear()
+        self.decisions = {STEP_DOWN: 0, HOLD: 0, STEP_UP: 0}
+        self._last_lu = 0.0
+        self._last_bu = 0.0

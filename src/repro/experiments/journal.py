@@ -87,7 +87,7 @@ def _canonical(value: Any, *, context: str) -> Any:
     if isinstance(value, (list, tuple)):
         return [_canonical(item, context=context) for item in value]
     if isinstance(value, dict):
-        out = {}
+        out: dict[str, Any] = {}
         for key, item in value.items():
             if not isinstance(key, str):
                 raise ConfigError(
@@ -129,7 +129,7 @@ def point_key(point: "SweepPoint") -> str:
     travelling to a worker via pickle equals what the worker would
     re-derive (unit-tested across processes).
     """
-    cached = getattr(point, "_point_key", None)
+    cached: str | None = getattr(point, "_point_key", None)
     if cached is not None:
         return cached
     payload = _canonical(point, context=f"sweep point {point.label!r}")

@@ -1,0 +1,106 @@
+"""The ``--changed`` pre-commit mode: findings filtered to the git diff.
+
+Each test builds a throwaway git repository with seeded violations in
+two files, changes one, and asserts only the changed file's findings
+survive the filter.  Cross-file rules still see the whole tree — only
+the *reporting* is filtered.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+
+import pytest
+
+from repro.analysis.cli import changed_files
+from repro.analysis.cli import main as check_main
+
+SEEDED = (
+    "import random\n"
+    "def jitter():\n"
+    "    return random.random()\n"
+)
+
+
+def git(repo, *args):
+    proc = subprocess.run(
+        ["git", "-C", str(repo), "-c", "user.email=t@example.invalid",
+         "-c", "user.name=t", *args],
+        capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        pytest.skip(f"git unavailable: {proc.stderr.strip()}")
+    return proc.stdout
+
+
+@pytest.fixture
+def seeded_repo(tmp_path):
+    """A git repo with two committed violations; one file then changed."""
+    for name in ("stable", "touched"):
+        target = tmp_path / "repro" / "network" / f"{name}.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(SEEDED, encoding="utf-8")
+    git(tmp_path, "init", "-q")
+    git(tmp_path, "add", "-A")
+    git(tmp_path, "commit", "-q", "-m", "seed")
+    touched = tmp_path / "repro" / "network" / "touched.py"
+    touched.write_text(SEEDED + "\n# edited\n", encoding="utf-8")
+    return tmp_path
+
+
+class TestChangedFilter:
+    def test_only_changed_file_findings_reported(self, seeded_repo, capsys):
+        code = check_main([str(seeded_repo), "--root", str(seeded_repo),
+                           "--changed", "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        paths = {finding["path"] for finding in payload["findings"]}
+        assert paths == {"repro/network/touched.py"}
+
+    def test_untracked_files_count_as_changed(self, seeded_repo, capsys):
+        fresh = seeded_repo / "repro" / "network" / "fresh.py"
+        fresh.write_text(SEEDED, encoding="utf-8")
+        code = check_main([str(seeded_repo), "--root", str(seeded_repo),
+                           "--changed", "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        paths = {finding["path"] for finding in payload["findings"]}
+        assert paths == {"repro/network/touched.py",
+                         "repro/network/fresh.py"}
+
+    def test_clean_diff_exits_zero(self, seeded_repo, capsys):
+        touched = seeded_repo / "repro" / "network" / "touched.py"
+        touched.write_text(SEEDED, encoding="utf-8")  # back to committed
+        code = check_main([str(seeded_repo), "--root", str(seeded_repo),
+                           "--changed", "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+
+    def test_explicit_base_ref(self, seeded_repo, capsys):
+        git(seeded_repo, "add", "-A")
+        git(seeded_repo, "commit", "-q", "-m", "edit")
+        # Nothing vs. HEAD, everything-touched vs. the first commit.
+        code = check_main([str(seeded_repo), "--root", str(seeded_repo),
+                           "--changed", "--format", "json"])
+        assert code == 0
+        capsys.readouterr()
+        code = check_main([str(seeded_repo), "--root", str(seeded_repo),
+                           "--changed", "HEAD~1", "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        paths = {finding["path"] for finding in payload["findings"]}
+        assert paths == {"repro/network/touched.py"}
+
+    def test_not_a_repository_is_a_usage_error(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "network" / "seeded.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(SEEDED, encoding="utf-8")
+        code = check_main([str(tmp_path), "--root", str(tmp_path),
+                           "--changed", "--format", "json"])
+        assert code == 2
+        assert "cannot diff" in capsys.readouterr().err
+
+    def test_changed_files_returns_none_outside_git(self, tmp_path):
+        assert changed_files("HEAD", tmp_path) is None

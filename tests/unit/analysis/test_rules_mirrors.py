@@ -1,0 +1,236 @@
+"""Flag / no-flag fixtures for the mirror-coherence rules (MC001-MC003).
+
+Fixtures are written to the real module paths (``repro/network/...``)
+so the maintainer/exemption spec tables match; the MC003 tests build a
+fully consistent mini-tree first and then perturb one spec-relevant
+fact at a time.
+"""
+
+from __future__ import annotations
+
+
+def rule_ids_of(result):
+    return [finding.rule_id for finding in result.findings]
+
+
+ROUTER_OK = (
+    "class VirtualChannel:\n"
+    "    def __init__(self):\n"
+    "        self.route_out = None\n"
+    "\n"
+    "class OutputPort:\n"
+    "    def __init__(self):\n"
+    "        self.free_at = 0\n"
+    "\n"
+    "class Router:\n"
+    "    def reset(self):\n"
+    "        self.route_out = None\n"
+    "    def receive_flit(self):\n"
+    "        pass\n"
+    "    def step(self):\n"
+    "        pass\n"
+    "    def step_candidates(self):\n"
+    "        pass\n"
+    "    def _forward(self):\n"
+    "        pass\n"
+    "    def _mirror_route(self):\n"
+    "        pass\n"
+    "    def _mirror_grant(self):\n"
+    "        pass\n"
+)
+
+LINKS_OK = (
+    "class Link:\n"
+    "    def __init__(self):\n"
+    "        self.free_at = 0\n"
+    "    def reset(self):\n"
+    "        self.free_at = 0\n"
+    "    def push(self):\n"
+    "        self.free_at = 1\n"
+)
+
+TOPOLOGY_OK = (
+    "class Node:\n"
+    "    def step(self):\n"
+    "        self.link.free_at = 2\n"
+)
+
+BATCH_OK = (
+    "class BatchRouteBackend:\n"
+    "    def __init__(self, sim):\n"
+    "        self.routers = []\n"
+    "        self.links = []\n"
+    "        self.registry = []\n"
+    "        self.num_vcs = 2\n"
+    "        self._pv = {}\n"
+    "        self._link_owner = {}\n"
+    "        self._link_out = {}\n"
+    "        self.elig = [0]\n"
+    "    def resync(self):\n"
+    "        self.elig = [0]\n"
+)
+
+
+def full_tree(**overrides):
+    tree = {
+        "repro/network/router.py": ROUTER_OK,
+        "repro/network/links.py": LINKS_OK,
+        "repro/network/topology.py": TOPOLOGY_OK,
+        "repro/network/batch.py": BATCH_OK,
+    }
+    tree.update(overrides)
+    return tree
+
+
+class TestMirrorCoherence:
+    def test_flags_store_outside_maintainers(self, check_tree):
+        result = check_tree({
+            "repro/network/controlflow.py": (
+                "def sneak(vc):\n"
+                "    vc.route_out = 3\n"
+            ),
+        }, rule_ids=["MC001"])
+        assert rule_ids_of(result) == ["MC001"]
+        assert "route_out" in result.findings[0].message
+
+    def test_flags_augassign_to_mirrored_field(self, check_tree):
+        result = check_tree({
+            "repro/network/controlflow.py": (
+                "class Gate:\n"
+                "    def advance(self, port):\n"
+                "        port.free_at += 1\n"
+            ),
+        }, rule_ids=["MC001"])
+        assert rule_ids_of(result) == ["MC001"]
+
+    def test_maintainer_method_passes(self, check_tree):
+        result = check_tree({
+            "repro/network/router.py": (
+                "class Router:\n"
+                "    def reset(self):\n"
+                "        self.route_out = None\n"
+            ),
+        }, rule_ids=["MC001"])
+        assert result.ok
+
+    def test_exempt_method_passes(self, check_tree):
+        result = check_tree({
+            "repro/network/links.py": (
+                "class Link:\n"
+                "    def push(self):\n"
+                "        self.free_at = 1\n"
+            ),
+        }, rule_ids=["MC001"])
+        assert result.ok
+
+    def test_reliability_layer_is_exempt_wholesale(self, check_tree):
+        result = check_tree({
+            "repro/reliability/faults.py": (
+                "def detour(vc):\n"
+                "    vc.route_out = None\n"
+            ),
+        }, rule_ids=["MC001"])
+        assert result.ok
+
+    def test_unmirrored_field_passes(self, check_tree):
+        result = check_tree({
+            "repro/network/controlflow.py": (
+                "def sneak(vc):\n"
+                "    vc.route_hint = 3\n"
+            ),
+        }, rule_ids=["MC001"])
+        assert result.ok
+
+
+class TestMirrorRebuild:
+    def test_flags_mirror_missing_from_resync(self, check_tree):
+        result = check_tree({
+            "repro/network/batch.py": (
+                "class BatchRouteBackend:\n"
+                "    def __init__(self, sim):\n"
+                "        self.routers = []\n"
+                "        self.elig = [0]\n"
+                "        self.extra = [0]\n"
+                "    def resync(self):\n"
+                "        self.elig = [0]\n"
+            ),
+        }, rule_ids=["MC002"])
+        assert rule_ids_of(result) == ["MC002"]
+        assert "extra" in result.findings[0].message
+
+    def test_resync_covering_every_mirror_passes(self, check_tree):
+        result = check_tree({
+            "repro/network/batch.py": (
+                "class BatchRouteBackend:\n"
+                "    def __init__(self, sim):\n"
+                "        self.elig = [0]\n"
+                "        self.extra = [0]\n"
+                "    def resync(self):\n"
+                "        self.elig = [0]\n"
+                "        self.extra = [0]\n"
+            ),
+        }, rule_ids=["MC002"])
+        assert result.ok
+
+    def test_structural_arrays_are_exempt(self, check_tree):
+        result = check_tree({
+            "repro/network/batch.py": (
+                "class BatchRouteBackend:\n"
+                "    def __init__(self, sim):\n"
+                "        self.routers = []\n"
+                "        self._link_owner = {}\n"
+                "    def resync(self):\n"
+                "        pass\n"
+            ),
+        }, rule_ids=["MC002"])
+        assert result.ok
+
+    def test_in_place_resync_counts(self, check_tree):
+        # resync() rebuilding an array element-wise (numpy fill idiom).
+        result = check_tree({
+            "repro/network/batch.py": (
+                "class BatchRouteBackend:\n"
+                "    def __init__(self, sim):\n"
+                "        self.elig = [0]\n"
+                "    def resync(self):\n"
+                "        self.elig[:] = [0]\n"
+            ),
+        }, rule_ids=["MC002"])
+        assert result.ok
+
+    def test_tree_without_backend_passes(self, check_tree):
+        result = check_tree({
+            "repro/network/router.py": ROUTER_OK,
+        }, rule_ids=["MC002"])
+        assert result.ok
+
+
+class TestMirrorSpecStaleness:
+    def test_consistent_tree_passes(self, check_tree):
+        result = check_tree(full_tree(), rule_ids=["MC003"])
+        assert result.ok, "\n" + result.format_text()
+
+    def test_flags_vanished_maintainer_method(self, check_tree):
+        router = ROUTER_OK.replace(
+            "    def _mirror_grant(self):\n        pass\n", "")
+        result = check_tree(full_tree(**{
+            "repro/network/router.py": router,
+        }), rule_ids=["MC003"])
+        assert rule_ids_of(result) == ["MC003"]
+        assert "Router._mirror_grant" in result.findings[0].message
+
+    def test_flags_vanished_structural_attr(self, check_tree):
+        batch = BATCH_OK.replace("        self.num_vcs = 2\n", "")
+        result = check_tree(full_tree(**{
+            "repro/network/batch.py": batch,
+        }), rule_ids=["MC003"])
+        assert rule_ids_of(result) == ["MC003"]
+        assert "num_vcs" in result.findings[0].message
+
+    def test_rule_gates_on_backend_presence(self, check_tree):
+        # A mini-tree without the backend (most fixtures) must not be
+        # flooded with missing-module staleness reports.
+        result = check_tree({
+            "repro/network/router.py": "class Router:\n    pass\n",
+        }, rule_ids=["MC003"])
+        assert result.ok

@@ -1,0 +1,154 @@
+"""Flag / no-flag fixtures for the serialization-purity rules (SP001-SP003).
+
+SP002's scope is the declared hashing functions, so those fixtures
+write to ``repro/experiments/journal.py``; the pool-boundary rules
+apply across the package.
+"""
+
+from __future__ import annotations
+
+
+def rule_ids_of(result):
+    return [finding.rule_id for finding in result.findings]
+
+
+class TestPoolSubmission:
+    def test_flags_lambda_submission(self, check_tree):
+        result = check_tree({
+            "repro/experiments/executor.py": (
+                "def launch(pool, work):\n"
+                "    return pool.submit(lambda: work)\n"),
+        }, rule_ids=["SP001"])
+        assert rule_ids_of(result) == ["SP001"]
+        assert "lambda" in result.findings[0].message
+
+    def test_flags_nested_function_submission(self, check_tree):
+        result = check_tree({
+            "repro/experiments/executor.py": (
+                "def launch(pool, work):\n"
+                "    def task():\n"
+                "        return work\n"
+                "    return pool.submit(task)\n"),
+        }, rule_ids=["SP001"])
+        assert rule_ids_of(result) == ["SP001"]
+        assert "task" in result.findings[0].message
+
+    def test_flags_lambda_map(self, check_tree):
+        result = check_tree({
+            "repro/experiments/executor.py": (
+                "def fan_out(pool, items):\n"
+                "    return pool.map(lambda item: item, items)\n"),
+        }, rule_ids=["SP001"])
+        assert rule_ids_of(result) == ["SP001"]
+
+    def test_module_level_function_passes(self, check_tree):
+        result = check_tree({
+            "repro/experiments/executor.py": (
+                "def run_one(work):\n"
+                "    return work\n"
+                "\n"
+                "def launch(pool, work):\n"
+                "    return pool.submit(run_one, work)\n"),
+        }, rule_ids=["SP001"])
+        assert result.ok
+
+    def test_analysis_package_is_out_of_scope(self, check_tree):
+        result = check_tree({
+            "repro/analysis/helper.py": (
+                "def launch(pool, work):\n"
+                "    return pool.submit(lambda: work)\n"),
+        }, rule_ids=["SP001"])
+        assert result.ok
+
+
+class TestCanonicalHashing:
+    def test_flags_unsorted_dumps_in_hashing_function(self, check_tree):
+        result = check_tree({
+            "repro/experiments/journal.py": (
+                "import json\n"
+                "def point_key(payload):\n"
+                "    return json.dumps(payload)\n"),
+        }, rule_ids=["SP002"])
+        assert rule_ids_of(result) == ["SP002"]
+        assert "sort_keys" in result.findings[0].message
+
+    def test_flags_set_iteration_in_hashing_function(self, check_tree):
+        result = check_tree({
+            "repro/experiments/journal.py": (
+                "def _canonical(values):\n"
+                "    return [v for v in set(values)]\n"),
+        }, rule_ids=["SP002"])
+        assert rule_ids_of(result) == ["SP002"]
+        assert "set" in result.findings[0].message
+
+    def test_canonical_serialisation_passes(self, check_tree):
+        result = check_tree({
+            "repro/experiments/journal.py": (
+                "import json\n"
+                "def point_key(payload):\n"
+                "    return json.dumps(payload, sort_keys=True)\n"
+                "def _canonical(values):\n"
+                "    return [v for v in sorted(values)]\n"),
+        }, rule_ids=["SP002"])
+        assert result.ok
+
+    def test_other_functions_in_the_module_pass(self, check_tree):
+        result = check_tree({
+            "repro/experiments/journal.py": (
+                "import json\n"
+                "def render(payload):\n"
+                "    return json.dumps(payload)\n"),
+        }, rule_ids=["SP002"])
+        assert result.ok
+
+    def test_other_modules_are_out_of_scope(self, check_tree):
+        result = check_tree({
+            "repro/metrics/report_helpers.py": (
+                "import json\n"
+                "def point_key(payload):\n"
+                "    return json.dumps(payload)\n"),
+        }, rule_ids=["SP002"])
+        assert result.ok
+
+
+class TestBoundaryField:
+    def test_flags_lambda_field(self, check_tree):
+        result = check_tree({
+            "repro/experiments/figures.py": (
+                "def build():\n"
+                "    return SweepPoint(label='x', "
+                "traffic_factory=lambda n, s: None)\n"),
+        }, rule_ids=["SP003"])
+        assert rule_ids_of(result) == ["SP003"]
+        assert "lambda" in result.findings[0].message
+
+    def test_flags_nested_function_field(self, check_tree):
+        result = check_tree({
+            "repro/experiments/figures.py": (
+                "def build():\n"
+                "    def factory(n, s):\n"
+                "        return None\n"
+                "    return SweepPoint(label='x', "
+                "traffic_factory=factory)\n"),
+        }, rule_ids=["SP003"])
+        assert rule_ids_of(result) == ["SP003"]
+
+    def test_module_level_factory_passes(self, check_tree):
+        result = check_tree({
+            "repro/experiments/figures.py": (
+                "def make_traffic(n, s):\n"
+                "    return None\n"
+                "\n"
+                "def build():\n"
+                "    return SweepPoint(label='x', "
+                "traffic_factory=make_traffic)\n"),
+        }, rule_ids=["SP003"])
+        assert result.ok
+
+    def test_other_constructors_pass(self, check_tree):
+        result = check_tree({
+            "repro/experiments/figures.py": (
+                "def build():\n"
+                "    return sorted([3, 1], key=lambda v: -v)\n"),
+        }, rule_ids=["SP003"])
+        assert result.ok

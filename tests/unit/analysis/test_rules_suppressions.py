@@ -1,0 +1,85 @@
+"""Fixtures for the stale-suppression meta-rule (SU001).
+
+Staleness is computed inside :func:`run_check` after the suppression
+filter has matched findings to ``noqa`` sites; these tests pin the two
+documented asymmetries (inactive rules never reported, ``noqa[SU001]``
+never stale) along with the basic flag / no-flag behaviour.
+"""
+
+from __future__ import annotations
+
+
+def rule_ids_of(result):
+    return [finding.rule_id for finding in result.findings]
+
+
+USED_NOQA = (
+    "import random\n"
+    "\n"
+    "def jitter():\n"
+    "    return random.random()  # repro: noqa[DT001] fixture\n"
+)
+
+
+class TestStaleSuppression:
+    def test_flags_noqa_that_suppresses_nothing(self, check_tree):
+        result = check_tree({
+            "repro/network/clean.py": (
+                "X = 1  # repro: noqa[DT001] nothing here any more\n"),
+        }, rule_ids=["DT001", "SU001"])
+        assert rule_ids_of(result) == ["SU001"]
+        finding = result.findings[0]
+        assert finding.line == 1
+        assert "noqa[DT001]" in finding.message
+
+    def test_flags_stale_file_wide_noqa(self, check_tree):
+        result = check_tree({
+            "repro/network/clean.py": (
+                "# repro: noqa-file[DT001] stale blanket\n"
+                "X = 1\n"),
+        }, rule_ids=["DT001", "SU001"])
+        assert rule_ids_of(result) == ["SU001"]
+        assert "noqa-file[DT001]" in result.findings[0].message
+
+    def test_used_noqa_passes(self, check_tree):
+        result = check_tree({
+            "repro/network/dirty.py": USED_NOQA,
+        }, rule_ids=["DT001", "SU001"])
+        assert result.ok
+        assert result.suppressed == 1
+
+    def test_inactive_rule_suppressions_are_not_reported(self, check_tree):
+        # With only SU001 active, DT001 never ran — its noqa might have
+        # matched, so it must not be called stale.
+        result = check_tree({
+            "repro/network/clean.py": (
+                "X = 1  # repro: noqa[DT001] rule not in this run\n"),
+        }, rule_ids=["SU001"])
+        assert result.ok
+
+    def test_su001_noqa_is_never_stale(self, check_tree):
+        result = check_tree({
+            "repro/network/clean.py": (
+                "X = 1  # repro: noqa[SU001] reviewed decision\n"),
+        }, rule_ids=["DT001", "SU001"])
+        assert result.ok
+
+    def test_stale_report_is_itself_suppressible(self, check_tree):
+        # noqa[DT001,SU001]: the DT001 site is stale, but the SU001 site
+        # on the same line swallows the stale report (and counts as a
+        # suppression, not a finding).
+        result = check_tree({
+            "repro/network/clean.py": (
+                "X = 1  # repro: noqa[DT001,SU001] migration leftover\n"),
+        }, rule_ids=["DT001", "SU001"])
+        assert result.ok
+        assert result.suppressed == 1
+
+    def test_no_stale_pass_without_su001(self, check_tree):
+        # SU001 excluded from the run: stale noqa comments stay silent
+        # (the meta-rule is opt-in via the registry like any other).
+        result = check_tree({
+            "repro/network/clean.py": (
+                "X = 1  # repro: noqa[DT001] stale but unchecked\n"),
+        }, rule_ids=["DT001"])
+        assert result.ok

@@ -1,0 +1,182 @@
+"""SARIF 2.1.0 rendering of ``repro check`` reports.
+
+Structural assertions always run; when ``jsonschema`` is importable the
+output is additionally validated against an offline subset of the SARIF
+2.1.0 schema covering everything this tool emits (the CI container has
+no network, so the full schemastore document cannot be fetched here).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.cli import main as check_main
+from repro.analysis.rules import all_rules
+from repro.analysis.sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    TOOL_NAME,
+    to_sarif,
+    to_sarif_json,
+)
+
+try:
+    import jsonschema
+except ImportError:  # pragma: no cover - optional in the test image
+    jsonschema = None
+
+SEEDED = {
+    "repro/network/seeded.py": (
+        "import random\n"
+        "def jitter():\n"
+        "    return random.random()\n"
+    ),
+}
+
+#: Offline subset of the SARIF 2.1.0 schema: the required skeleton plus
+#: every property :mod:`repro.analysis.sarif` emits, with
+#: ``additionalProperties`` pinned so an unknown key fails validation.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string"},
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "additionalProperties": False,
+                "properties": {
+                    "columnKind": {
+                        "enum": ["utf16CodeUnits", "unicodeCodePoints"],
+                    },
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "informationUri": {
+                                        "type": "string",
+                                        "format": "uri",
+                                    },
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer", "minimum": 0,
+                                },
+                                "level": {
+                                    "enum": ["none", "note", "warning",
+                                             "error"],
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {"type": "array"},
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def validate_subset(log: dict) -> None:
+    if jsonschema is not None:
+        jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+
+
+class TestSarifStructure:
+    def test_clean_run_skeleton(self, check_tree):
+        result = check_tree({"repro/network/clean.py": "X = 1\n"})
+        log = to_sarif(result, all_rules())
+        validate_subset(log)
+        assert log["$schema"] == SARIF_SCHEMA_URI
+        assert log["version"] == SARIF_VERSION
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == TOOL_NAME
+        assert run["results"] == []
+        assert run["columnKind"] == "unicodeCodePoints"
+
+    def test_every_registered_rule_has_a_descriptor(self, check_tree):
+        result = check_tree({"repro/network/clean.py": "X = 1\n"})
+        log = to_sarif(result, all_rules())
+        descriptors = log["runs"][0]["tool"]["driver"]["rules"]
+        ids = [d["id"] for d in descriptors]
+        assert ids == sorted(ids)
+        assert set(ids) == {rule.rule_id for rule in all_rules()}
+        for descriptor in descriptors:
+            assert descriptor["shortDescription"]["text"]
+            assert descriptor["defaultConfiguration"]["level"] in (
+                "error", "warning")
+
+    def test_finding_becomes_an_annotated_result(self, check_tree):
+        result = check_tree(SEEDED)
+        log = to_sarif(result, all_rules())
+        validate_subset(log)
+        (res,) = log["runs"][0]["results"]
+        assert res["ruleId"] == "DT001"
+        assert res["level"] == "error"
+        location = res["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == \
+            "repro/network/seeded.py"
+        # Findings are 1-based lines / 0-based cols; SARIF regions are
+        # 1-based on both axes.
+        assert location["region"]["startLine"] == 3
+        assert location["region"]["startColumn"] >= 1
+        descriptors = log["runs"][0]["tool"]["driver"]["rules"]
+        assert descriptors[res["ruleIndex"]]["id"] == "DT001"
+
+    def test_json_rendering_round_trips(self, check_tree):
+        result = check_tree(SEEDED)
+        log = json.loads(to_sarif_json(result, all_rules()))
+        validate_subset(log)
+        assert log == json.loads(to_sarif_json(result, all_rules()))
+
+
+class TestSarifCli:
+    def test_sarif_format_on_clean_repository(self, tmp_path, capsys):
+        report = tmp_path / "check.sarif"
+        code = check_main(["--format", "sarif", "--output", str(report)])
+        assert code == 0
+        log = json.loads(report.read_text(encoding="utf-8"))
+        validate_subset(log)
+        assert log["runs"][0]["results"] == []
+
+    def test_sarif_respects_rule_subset(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "network" / "seeded.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(SEEDED["repro/network/seeded.py"],
+                          encoding="utf-8")
+        code = check_main([str(tmp_path), "--root", str(tmp_path),
+                           "--format", "sarif", "--rules", "DT001"])
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        descriptors = log["runs"][0]["tool"]["driver"]["rules"]
+        assert [d["id"] for d in descriptors] == ["DT001"]
+        assert log["runs"][0]["results"][0]["ruleIndex"] == 0

@@ -81,6 +81,30 @@ class TestSlidingWindow:
         controller.reset()
         assert controller.averaged_utilisation == 0.0
 
+    def test_reset_restores_fresh_state(self):
+        # Regression: reset() used to clear only the history, leaving the
+        # decision counters and last (Lu, Bu) sample from the previous run
+        # to leak into warm-reused controllers (RC001).
+        controller = make_controller(history_windows=3)
+        for lu in (0.9, 0.9, 0.1, 0.5):
+            controller.observe(lu, 0.8)
+        controller.reset()
+        fresh = make_controller(history_windows=3)
+        assert controller.decisions == fresh.decisions
+        assert controller.last_sample == fresh.last_sample == (0.0, 0.0)
+        assert controller.averaged_utilisation == fresh.averaged_utilisation
+
+    def test_reset_controller_decides_like_fresh(self):
+        controller = make_controller(history_windows=2)
+        for lu in (0.95, 0.95, 0.95):
+            controller.observe(lu, 0.9)
+        controller.reset()
+        fresh = make_controller(history_windows=2)
+        trace = [(0.7, 0.2), (0.1, 0.0), (0.5, 0.95)]
+        for lu, bu in trace:
+            assert controller.observe(lu, bu) == fresh.observe(lu, bu)
+        assert controller.decisions == fresh.decisions
+
     def test_last_sample_exposed(self):
         controller = make_controller()
         controller.observe(0.3, 0.7)
